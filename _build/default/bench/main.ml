@@ -1,0 +1,179 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation, then micro-benchmarks each experiment's kernel
+   with Bechamel (one Test.make per table/figure).
+
+     dune exec bench/main.exe                 -- everything, full scale
+     dune exec bench/main.exe -- --scale 0.2  -- smaller database
+     dune exec bench/main.exe -- --only figure-3
+     dune exec bench/main.exe -- --skip-micro *)
+
+let experiments : (string * (Experiments.Harness.t -> string)) list =
+  [
+    ("table-1", Experiments.Exp_table1.render);
+    ("figure-3", Experiments.Exp_fig3.render);
+    ("figure-4", Experiments.Exp_fig4.render);
+    ("figure-5", Experiments.Exp_fig5.render);
+    ("table-sec4.1", Experiments.Exp_sec41.render);
+    ("figure-6", Experiments.Exp_fig6.render);
+    ("figure-7", Experiments.Exp_fig7.render);
+    ("figure-8", Experiments.Exp_fig8.render);
+    ("figure-9", Experiments.Exp_fig9.render);
+    ("table-2", Experiments.Exp_table2.render);
+    ("table-3", Experiments.Exp_table3.render);
+    ("ablations", Experiments.Exp_ablation.render);
+    ("extensions", Experiments.Exp_extensions.render);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: the computational kernel behind each
+   table/figure, measured in isolation on one representative query.     *)
+
+let micro_tests (h : Experiments.Harness.t) =
+  let q = Experiments.Harness.find h "13d" in
+  let truth = Experiments.Harness.truth q in
+  let graph = q.Experiments.Harness.graph in
+  let db = h.Experiments.Harness.db in
+  let pg = Experiments.Harness.estimator h q "PostgreSQL" in
+  let full = Query.Query_graph.full_set graph in
+  let true_search =
+    Planner.Search.create ~model:Cost.Cost_model.cmm ~graph ~db
+      ~card:(Cardest.True_card.card truth) ()
+  in
+  let sql = (Workload.Job.find "13d").Workload.Job.sql in
+  let stage = Bechamel.Staged.stage in
+  Storage.Database.set_index_config db Storage.Database.Pk_fk;
+  let plan, _ = Planner.Dp.optimize true_search in
+  [
+    Bechamel.Test.make ~name:"table-1: base-table estimation (PostgreSQL, q13d)"
+      (stage (fun () ->
+           Array.iter
+             (fun (r : Query.Query_graph.relation) ->
+               ignore (pg.Cardest.Estimator.base r.Query.Query_graph.idx))
+             (Query.Query_graph.relations graph)));
+    Bechamel.Test.make ~name:"figure-3: full-query estimate (PostgreSQL, q13d)"
+      (stage (fun () -> ignore (pg.Cardest.Estimator.subset full)));
+    Bechamel.Test.make ~name:"figure-4: SQL parse+bind (q13d)"
+      (stage (fun () -> ignore (Sqlfront.Binder.bind_sql db ~name:"13d" sql)));
+    Bechamel.Test.make ~name:"figure-5: exact cardinalities (q13d, all subsets)"
+      (stage (fun () -> ignore (Cardest.True_card.compute graph)));
+    Bechamel.Test.make ~name:"table-4.1: execute optimal plan (robust engine, q13d)"
+      (stage (fun () ->
+           ignore
+             (Exec.Executor.run ~db ~graph ~config:Exec.Engine_config.robust
+                ~size_est:(Cardest.True_card.card truth) plan)));
+    Bechamel.Test.make ~name:"figure-6: hash-join table build (64k inserts)"
+      (stage (fun () ->
+           let jt = Exec.Join_table.create ~estimated_rows:65536.0 ~resizable:true () in
+           for i = 0 to 65535 do
+             ignore (Exec.Join_table.insert jt ~hash:(Exec.Join_table.mix i) ~payload:i)
+           done));
+    Bechamel.Test.make ~name:"figure-7: index lookups (10k probes)"
+      (stage
+         (let idx =
+            Storage.Database.force_index db ~table:"movie_companies"
+              ~col:
+                (Storage.Table.column_index
+                   (Storage.Database.find_table db "movie_companies")
+                   "movie_id")
+          in
+          fun () ->
+            for key = 1 to 10_000 do
+              ignore (Storage.Index.lookup idx key)
+            done));
+    Bechamel.Test.make ~name:"figure-8: plan cost evaluation (Cmm, q13d)"
+      (stage (fun () ->
+           let env =
+             { Cost.Cost_model.graph; db; card = Cardest.True_card.card truth }
+           in
+           ignore (Cost.Cost_model.plan_cost Cost.Cost_model.cmm env plan)));
+    Bechamel.Test.make ~name:"figure-9: one Quickpick sample (q13d)"
+      (stage
+         (let prng = Util.Prng.create 3 in
+          fun () -> ignore (Planner.Quickpick.sample true_search prng)));
+    Bechamel.Test.make ~name:"table-2: shape-restricted DP (left-deep, q13d)"
+      (stage (fun () ->
+           let s =
+             Planner.Search.create ~shape:Planner.Search.Only_left_deep
+               ~model:Cost.Cost_model.cmm ~graph ~db
+               ~card:(Cardest.True_card.card truth) ()
+           in
+           ignore (Planner.Dp.optimize s)));
+    Bechamel.Test.make ~name:"table-3: exhaustive DP (bushy, q13d)"
+      (stage (fun () -> ignore (Planner.Dp.optimize true_search)));
+  ]
+
+let run_micro h =
+  let open Bechamel in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~stabilize:false ()
+  in
+  print_endline "=== micro-benchmarks (Bechamel, one kernel per table/figure) ===";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      let analyzed = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          let ns =
+            match Analyze.OLS.estimates ols_result with
+            | Some [ est ] -> est
+            | _ -> Float.nan
+          in
+          if ns > 1e6 then Printf.printf "%-58s %10.2f ms/run\n%!" name (ns /. 1e6)
+          else if ns > 1e3 then
+            Printf.printf "%-58s %10.2f us/run\n%!" name (ns /. 1e3)
+          else Printf.printf "%-58s %10.0f ns/run\n%!" name ns)
+        analyzed)
+    (micro_tests h)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let scale = ref 1.0 in
+  let seed = ref 42 in
+  let only = ref None in
+  let skip_micro = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--scale" :: v :: rest ->
+        scale := float_of_string v;
+        parse rest
+    | "--seed" :: v :: rest ->
+        seed := int_of_string v;
+        parse rest
+    | "--only" :: v :: rest ->
+        only := Some v;
+        parse rest
+    | "--skip-micro" :: rest ->
+        skip_micro := true;
+        parse rest
+    | arg :: _ -> failwith (Printf.sprintf "unknown argument %s" arg)
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let t0 = Unix.gettimeofday () in
+  Printf.printf
+    "Join Order Benchmark reproduction - regenerating all paper results\n\
+     (scale %.2f, seed %d, %d queries)\n\n%!"
+    !scale !seed Workload.Job.query_count;
+  let h = Experiments.Harness.create ~seed:!seed ~scale:!scale () in
+  Printf.printf "database: %d tables, %d rows\n\n%!"
+    (List.length (Storage.Database.table_names h.Experiments.Harness.db))
+    (Storage.Database.total_rows h.Experiments.Harness.db);
+  let selected =
+    match !only with
+    | None -> experiments
+    | Some id -> List.filter (fun (i, _) -> String.equal i id) experiments
+  in
+  List.iter
+    (fun (id, render) ->
+      let t1 = Unix.gettimeofday () in
+      let output = render h in
+      Printf.printf "=== %s ===\n%s\n(%.1fs)\n\n%!" id output
+        (Unix.gettimeofday () -. t1))
+    selected;
+  if not !skip_micro then run_micro h;
+  Printf.printf "\ntotal: %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,308 @@
+(* jobench: command-line driver for the Join Order Benchmark
+   reproduction.
+
+   Subcommands:
+     list                         the 113 benchmark queries
+     show QUERY                   SQL and bound join graph
+     plan QUERY [options]         optimize and explain
+     run QUERY [options]          optimize, execute, report
+     experiment ID [--scale S]    regenerate one paper table/figure *)
+
+open Cmdliner
+
+let scale_arg =
+  let doc = "Database scale factor (1.0 = the full ~325k-row benchmark)." in
+  Arg.(value & opt float 0.3 & info [ "scale" ] ~docv:"S" ~doc)
+
+let seed_arg =
+  let doc = "Data generator seed." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc)
+
+let estimator_arg =
+  let doc =
+    "Cardinality estimator: PostgreSQL, 'DBMS A', 'DBMS B', 'DBMS C', HyPer, \
+     'PostgreSQL (true distinct)', or true."
+  in
+  Arg.(value & opt string "PostgreSQL" & info [ "estimator"; "e" ] ~docv:"SYS" ~doc)
+
+let model_arg =
+  let doc = "Cost model: PostgreSQL, tuned, or Cmm." in
+  Arg.(value & opt string "PostgreSQL" & info [ "cost-model"; "m" ] ~docv:"M" ~doc)
+
+let indexes_arg =
+  let doc = "Physical design: none, pk, or pkfk." in
+  Arg.(value & opt string "pk" & info [ "indexes"; "i" ] ~docv:"CFG" ~doc)
+
+let enumerator_arg =
+  let doc = "Plan enumeration: dp, goo, or quickpick:N." in
+  Arg.(value & opt string "dp" & info [ "enumerator" ] ~docv:"E" ~doc)
+
+let query_arg =
+  let doc = "Benchmark query name (e.g. 13d) or a file containing SQL." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY" ~doc)
+
+let parse_indexes = function
+  | "none" -> Storage.Database.No_indexes
+  | "pk" -> Storage.Database.Pk_only
+  | "pkfk" -> Storage.Database.Pk_fk
+  | s -> failwith (Printf.sprintf "unknown index configuration %s" s)
+
+let parse_enumerator s =
+  if String.equal s "dp" then Core.Session.Exhaustive_dp
+  else if String.equal s "goo" then Core.Session.Greedy_operator_ordering
+  else
+    match String.split_on_char ':' s with
+    | [ "quickpick"; n ] -> Core.Session.Quickpick (int_of_string n)
+    | _ -> failwith (Printf.sprintf "unknown enumerator %s" s)
+
+let data_arg =
+  let doc =
+    "Load the database from a directory of CSV files (as written by \
+     'jobench generate') instead of generating it."
+  in
+  Arg.(value & opt (some string) None & info [ "data" ] ~docv:"DIR" ~doc)
+
+let session ?data ~seed ~scale ~indexes () =
+  let s =
+    match data with
+    | Some dir -> Core.Session.of_database (Datagen.Imdb_schema.load ~dir)
+    | None -> Core.Session.create ~seed ~scale ()
+  in
+  Core.Session.set_physical_design s (parse_indexes indexes);
+  s
+
+let load_query s name =
+  match Workload.Job.find name with
+  | q -> Core.Session.sql s ~name (q.Workload.Job.sql)
+  | exception Not_found ->
+      if Sys.file_exists name then
+        let ic = open_in name in
+        let text = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        Core.Session.sql s ~name:(Filename.basename name) text
+      else failwith (Printf.sprintf "no such benchmark query or file: %s" name)
+
+(* --- list ----------------------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (family, queries) ->
+        let names =
+          String.concat " "
+            (List.map (fun q -> q.Workload.Job.name) queries)
+        in
+        Printf.printf "family %2d: %s\n" family names)
+      Workload.Job.families;
+    Printf.printf "%d queries, %d families\n" Workload.Job.query_count
+      Workload.Job.family_count
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the 113 benchmark queries")
+    Term.(const run $ const ())
+
+(* --- show ------------------------------------------------------------ *)
+
+let show_cmd =
+  let run scale seed data name =
+    let s = session ?data ~seed ~scale ~indexes:"pk" () in
+    let q = load_query s name in
+    Printf.printf "%s\n\n" q.Core.Session.sql;
+    Format.printf "%a" Query.Query_graph.pp q.Core.Session.graph
+  in
+  Cmd.v (Cmd.info "show" ~doc:"Show a query's SQL and join graph")
+    Term.(const run $ scale_arg $ seed_arg $ data_arg $ query_arg)
+
+(* --- plan ------------------------------------------------------------- *)
+
+let dot_arg =
+  let doc = "Emit the plan as GraphViz dot instead of a tree." in
+  Arg.(value & flag & info [ "dot" ] ~doc)
+
+let plan_cmd =
+  let run scale seed data indexes estimator model enumerator dot name =
+    let s = session ?data ~seed ~scale ~indexes () in
+    let q = load_query s name in
+    ignore (Core.Session.true_cardinalities s q);
+    let choice =
+      Core.Session.optimize s ~estimator ~cost_model:model
+        ~enumerator:(parse_enumerator enumerator) q
+    in
+    if dot then print_string (Core.Session.plan_dot s q choice)
+    else print_string (Core.Session.explain s q choice)
+  in
+  Cmd.v
+    (Cmd.info "plan" ~doc:"Optimize a query and print the chosen plan")
+    Term.(
+      const run $ scale_arg $ seed_arg $ data_arg $ indexes_arg $ estimator_arg
+      $ model_arg $ enumerator_arg $ dot_arg $ query_arg)
+
+(* --- run --------------------------------------------------------------- *)
+
+let run_cmd =
+  let run scale seed data indexes estimator model enumerator name =
+    let s = session ?data ~seed ~scale ~indexes () in
+    let q = load_query s name in
+    let choice =
+      Core.Session.optimize s ~estimator ~cost_model:model
+        ~enumerator:(parse_enumerator enumerator) q
+    in
+    print_string (Core.Session.explain_analyze s q choice);
+    let result = Core.Session.run s q choice in
+    List.iter
+      (fun v -> Printf.printf "  MIN = %s\n" (Storage.Value.to_string v))
+      result.Exec.Executor.mins
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Optimize and execute a query (EXPLAIN ANALYZE)")
+    Term.(
+      const run $ scale_arg $ seed_arg $ data_arg $ indexes_arg $ estimator_arg
+      $ model_arg $ enumerator_arg $ query_arg)
+
+(* --- generate ------------------------------------------------------------ *)
+
+let generate_cmd =
+  let dir_arg =
+    let doc = "Output directory for the CSV files." in
+    Arg.(required & opt (some string) None & info [ "dir"; "o" ] ~docv:"DIR" ~doc)
+  in
+  let run scale seed dir =
+    let db = Datagen.Imdb_gen.generate ~seed ~scale () in
+    Storage.Csv.export_database db ~dir;
+    Printf.printf "exported %d tables (%d rows) to %s\n"
+      (List.length (Storage.Database.table_names db))
+      (Storage.Database.total_rows db) dir
+  in
+  Cmd.v
+    (Cmd.info "generate"
+       ~doc:"Generate the synthetic IMDB database and export it as CSV files")
+    Term.(const run $ scale_arg $ seed_arg $ dir_arg)
+
+(* --- stats ---------------------------------------------------------------- *)
+
+let stats_cmd =
+  let table_arg =
+    let doc = "Table to show ANALYZE statistics for." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"TABLE" ~doc)
+  in
+  let run scale seed data table_name =
+    let s = session ?data ~seed ~scale ~indexes:"pk" () in
+    let db = Core.Session.db s in
+    let table = Storage.Database.find_table db table_name in
+    let analyze = Dbstats.Analyze.create db in
+    let stats = Dbstats.Analyze.table analyze table_name in
+    Printf.printf "table %s: %d rows, %d columns\n\n" table_name
+      stats.Dbstats.Analyze.row_count
+      (Storage.Table.column_count table);
+    Array.iteri
+      (fun i (cs : Dbstats.Column_stats.t) ->
+        let column = Storage.Table.column table i in
+        Printf.printf "%-18s %-5s nulls %5s  distinct ~%.0f (exact %.0f)\n"
+          column.Storage.Column.name
+          (Storage.Value.ty_to_string column.Storage.Column.ty)
+          (Util.Render.percent_cell cs.Dbstats.Column_stats.null_fraction)
+          cs.Dbstats.Column_stats.distinct_sampled
+          cs.Dbstats.Column_stats.distinct_exact;
+        Array.iteri
+          (fun rank (code, freq) ->
+            if rank < 5 then
+              let v =
+                if code < 0 then Storage.Value.Null else Storage.Column.value column 0
+              in
+              ignore v;
+              let decoded =
+                match column.Storage.Column.dict with
+                | Some dict when code >= 0 ->
+                    Printf.sprintf "'%s'" (Storage.Dict.get dict code)
+                | _ -> string_of_int code
+              in
+              Printf.printf "    mcv%d %-28s %s\n" (rank + 1) decoded
+                (Util.Render.percent_cell freq))
+          cs.Dbstats.Column_stats.mcv)
+      stats.Dbstats.Analyze.columns
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Show ANALYZE statistics for a table")
+    Term.(const run $ scale_arg $ seed_arg $ data_arg $ table_arg)
+
+(* --- estimate ------------------------------------------------------------- *)
+
+let estimate_cmd =
+  let run scale seed data indexes name =
+    let s = session ?data ~seed ~scale ~indexes () in
+    let q = load_query s name in
+    let truth = Core.Session.true_cardinalities s q in
+    let full = Query.Query_graph.full_set q.Core.Session.graph in
+    let exact = Cardest.True_card.card truth full in
+    Printf.printf "%s: true cardinality %.0f\n\n" q.Core.Session.name exact;
+    Printf.printf "%-28s %14s %12s\n" "system" "estimate" "q-error";
+    List.iter
+      (fun system ->
+        let est = Core.Session.estimator s q system in
+        let estimate = est.Cardest.Estimator.subset full in
+        Printf.printf "%-28s %14.0f %12s\n" system estimate
+          (Util.Render.float_cell
+             (Util.Stat.q_error
+                ~estimate:(Float.max 1.0 estimate)
+                ~truth:(Float.max 1.0 exact))))
+      ([ "PostgreSQL"; "DBMS A"; "DBMS B"; "DBMS C"; "HyPer";
+         "PostgreSQL (true distinct)" ])
+  in
+  Cmd.v
+    (Cmd.info "estimate"
+       ~doc:"Compare every system's full-query cardinality estimate to the truth")
+    Term.(const run $ scale_arg $ seed_arg $ data_arg $ indexes_arg $ query_arg)
+
+(* --- experiment ---------------------------------------------------------- *)
+
+let experiments : (string * string * (Experiments.Harness.t -> string)) list =
+  [
+    ("table-1", "base-table q-errors", Experiments.Exp_table1.render);
+    ("figure-3", "join estimate errors by join count", Experiments.Exp_fig3.render);
+    ("figure-4", "JOB vs TPC-H estimates", Experiments.Exp_fig4.render);
+    ("figure-5", "default vs true distinct counts", Experiments.Exp_fig5.render);
+    ("table-sec4.1", "slowdowns from injected estimates", Experiments.Exp_sec41.render);
+    ("figure-6", "engine robustness variants", Experiments.Exp_fig6.render);
+    ("figure-7", "PK vs PK+FK slowdowns", Experiments.Exp_fig7.render);
+    ("figure-8", "cost model vs runtime", Experiments.Exp_fig8.render);
+    ("figure-9", "random plan cost distributions", Experiments.Exp_fig9.render);
+    ("table-2", "restricted tree shapes", Experiments.Exp_table2.render);
+    ("table-3", "DP vs heuristics", Experiments.Exp_table3.render);
+    ("ablations", "design-choice ablations (extensions)", Experiments.Exp_ablation.render);
+    ( "extensions",
+      "future-work implementations: join sampling, adaptive re-optimization",
+      Experiments.Exp_extensions.render );
+  ]
+
+let experiment_cmd =
+  let id_arg =
+    let doc = "Experiment id (table-1, figure-3, ..., table-3) or 'all'." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
+  in
+  let run scale seed id =
+    let h = Experiments.Harness.create ~seed ~scale () in
+    let selected =
+      if String.equal id "all" then experiments
+      else
+        match List.find_opt (fun (i, _, _) -> String.equal i id) experiments with
+        | Some e -> [ e ]
+        | None ->
+            failwith
+              (Printf.sprintf "unknown experiment %s (known: %s)" id
+                 (String.concat ", " (List.map (fun (i, _, _) -> i) experiments)))
+    in
+    List.iter
+      (fun (id, _, render) ->
+        Printf.printf "=== %s ===\n%s\n%!" id (render h))
+      selected
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Regenerate a table or figure from the paper")
+    Term.(const run $ scale_arg $ seed_arg $ id_arg)
+
+let () =
+  let doc = "Join Order Benchmark reproduction toolkit" in
+  let info = Cmd.info "jobench" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; show_cmd; plan_cmd; run_cmd; generate_cmd; stats_cmd;
+            estimate_cmd; experiment_cmd ]))

@@ -1,0 +1,1 @@
+examples/cardinality_anatomy.ml: Array Cardest Core Float List Option Printf Query String Util

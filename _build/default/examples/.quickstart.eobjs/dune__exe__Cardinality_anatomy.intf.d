@@ -1,0 +1,1 @@
+examples/cardinality_anatomy.mli:

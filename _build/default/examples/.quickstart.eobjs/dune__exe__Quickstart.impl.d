@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cardest Core Exec List Printf Query Storage

@@ -1,0 +1,1 @@
+examples/robust_engine.ml: Core Exec Float List Printf Storage

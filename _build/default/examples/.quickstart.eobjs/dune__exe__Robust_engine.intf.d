@@ -1,0 +1,1 @@
+examples/robust_engine.mli:

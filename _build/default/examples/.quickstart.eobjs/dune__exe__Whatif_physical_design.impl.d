@@ -1,0 +1,1 @@
+examples/whatif_physical_design.ml: Cardest Core Cost Exec List Planner Printf Storage Util

@@ -1,0 +1,1 @@
+examples/whatif_physical_design.mli:

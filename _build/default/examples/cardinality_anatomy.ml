@@ -1,0 +1,77 @@
+(* Anatomy of a misestimate: walk the paper's example query 13d (ratings
+   and release dates of movies by US production companies) and show how
+   each emulated system's cardinality estimates drift from the truth as
+   the number of joins grows — the per-query version of Figure 3.
+
+   Run with: dune exec examples/cardinality_anatomy.exe *)
+
+module Bitset = Util.Bitset
+module QG = Query.Query_graph
+
+let systems =
+  [ "PostgreSQL"; "DBMS A"; "DBMS B"; "DBMS C"; "HyPer" ]
+
+let () =
+  let session = Core.Session.create ~scale:0.3 () in
+  let query = Core.Session.job session "13d" in
+  let graph = query.Core.Session.graph in
+  Printf.printf "Query 13d: %s\n\n" query.Core.Session.sql;
+
+  let truth = Core.Session.true_cardinalities session query in
+  let estimators =
+    List.map (fun s -> (s, Core.Session.estimator session query s)) systems
+  in
+
+  (* For each join count, find the subexpression with the worst
+     PostgreSQL error and show everyone's estimate for it. *)
+  let subsets = QG.connected_subsets graph in
+  let pg = List.assoc "PostgreSQL" estimators in
+  Printf.printf "%-6s %12s %12s  %s\n" "joins" "true" "PostgreSQL"
+    "(worst-estimated subexpression per level)";
+  for joins = 0 to QG.n_relations graph - 1 do
+    let level =
+      Array.to_list subsets
+      |> List.filter (fun s -> Bitset.cardinal s = joins + 1)
+    in
+    match level with
+    | [] -> ()
+    | _ ->
+        let worst =
+          List.fold_left
+            (fun acc s ->
+              let t = Float.max 1.0 (Cardest.True_card.card truth s) in
+              let e = Float.max 1.0 (pg.Cardest.Estimator.subset s) in
+              let q = Util.Stat.q_error ~estimate:e ~truth:t in
+              match acc with
+              | Some (_, bq) when bq >= q -> acc
+              | _ -> Some (s, q))
+            None level
+        in
+        let s, _ = Option.get worst in
+        let aliases =
+          Bitset.to_list s
+          |> List.map (fun r -> (QG.relation graph r).QG.alias)
+          |> String.concat ","
+        in
+        Printf.printf "%-6d %12.0f %12.0f  {%s}\n" joins
+          (Cardest.True_card.card truth s)
+          (pg.Cardest.Estimator.subset s)
+          aliases
+  done;
+
+  (* Full-query estimates across all systems. *)
+  let full = QG.full_set graph in
+  Printf.printf "\nFull query (%d joins), true cardinality %.0f:\n"
+    (QG.n_edges graph)
+    (Cardest.True_card.card truth full);
+  List.iter
+    (fun (name, est) ->
+      let e = est.Cardest.Estimator.subset full in
+      let t = Float.max 1.0 (Cardest.True_card.card truth full) in
+      Printf.printf "  %-12s estimates %12.0f   (q-error %s)\n" name e
+        (Util.Render.float_cell
+           (Util.Stat.q_error ~estimate:(Float.max 1.0 e) ~truth:t)))
+    estimators;
+  print_endline
+    "\nUnderestimation compounds with every join under the independence\n\
+     assumption - exactly the trend of the paper's Figure 3."

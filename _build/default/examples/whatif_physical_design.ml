@@ -1,0 +1,46 @@
+(* What-if physical design: the same query under the paper's three index
+   configurations. More indexes widen the gap between the best and worst
+   plans (Section 4.3 / Figure 9): overall performance improves, but the
+   optimizer's job gets harder.
+
+   Run with: dune exec examples/whatif_physical_design.exe *)
+
+let configs =
+  [ Storage.Database.No_indexes; Storage.Database.Pk_only; Storage.Database.Pk_fk ]
+
+let () =
+  let session = Core.Session.create ~scale:0.3 () in
+  let query = Core.Session.job session "8a" in
+  Printf.printf "Query 8a: %s\n\n" query.Core.Session.sql;
+  (* Force the exact-cardinality oracle so differences come from the
+     plan space alone. *)
+  ignore (Core.Session.true_cardinalities session query);
+
+  List.iter
+    (fun config ->
+      Core.Session.set_physical_design session config;
+      let choice =
+        Core.Session.optimize session ~estimator:"true" ~cost_model:"Cmm" query
+      in
+      let result = Core.Session.run session query choice in
+      Printf.printf "=== %s ===\n"
+        (Storage.Database.index_config_to_string config);
+      print_string (Core.Session.explain session query choice);
+      Printf.printf "-> %d rows, %.1f simulated ms\n\n"
+        result.Exec.Executor.rows result.Exec.Executor.runtime_ms;
+      (* How risky is this plan space? Sample random join orders. *)
+      let search =
+        Planner.Search.create ~model:Cost.Cost_model.cmm
+          ~graph:query.Core.Session.graph
+          ~db:(Core.Session.db session)
+          ~card:choice.Core.Session.estimator.Cardest.Estimator.subset ()
+      in
+      let prng = Util.Prng.create 7 in
+      let costs = Planner.Quickpick.sample_costs search prng ~attempts:500 in
+      let optimal = choice.Core.Session.estimated_cost in
+      Printf.printf
+        "500 random join orders: best %.1fx, median %.0fx, worst %.0fx of optimal\n\n"
+        (Util.Stat.minimum costs /. optimal)
+        (Util.Stat.median costs /. optimal)
+        (Util.Stat.maximum costs /. optimal))
+    configs

@@ -1,0 +1,1 @@
+lib/cardest/estimator.ml: Array Float Hashtbl List Query Util

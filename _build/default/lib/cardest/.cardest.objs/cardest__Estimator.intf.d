@@ -1,0 +1,1 @@
+lib/cardest/estimator.mli: Query Util

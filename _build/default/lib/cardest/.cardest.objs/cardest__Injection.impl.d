@@ -1,0 +1,1 @@
+lib/cardest/injection.ml: Estimator Hashtbl List Util

@@ -1,0 +1,1 @@
+lib/cardest/injection.mli: Estimator Util

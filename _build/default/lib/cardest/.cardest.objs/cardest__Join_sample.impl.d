@@ -1,0 +1,1 @@
+lib/cardest/join_sample.ml: Array Estimator Float Hashtbl List Option Printf Query Storage True_card Util

@@ -1,0 +1,1 @@
+lib/cardest/join_sample.mli: Estimator Query Storage Util

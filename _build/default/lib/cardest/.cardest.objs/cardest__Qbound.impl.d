@@ -1,0 +1,1 @@
+lib/cardest/qbound.ml: Array Estimator Float Query True_card Util

@@ -1,0 +1,1 @@
+lib/cardest/qbound.mli: Estimator Query True_card

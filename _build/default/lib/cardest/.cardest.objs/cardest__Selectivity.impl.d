@@ -1,0 +1,1 @@
+lib/cardest/selectivity.ml: Array Dbstats Float List Query Storage

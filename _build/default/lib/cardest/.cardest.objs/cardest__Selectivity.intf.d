@@ -1,0 +1,1 @@
+lib/cardest/selectivity.mli: Dbstats Query Storage

@@ -1,0 +1,1 @@
+lib/cardest/systems.ml: Dbstats Estimator Float Hashtbl List Option Printf Query Selectivity Storage Util

@@ -1,0 +1,1 @@
+lib/cardest/systems.mli: Dbstats Estimator Query Storage

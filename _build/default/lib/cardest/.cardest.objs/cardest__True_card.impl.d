@@ -1,0 +1,1 @@
+lib/cardest/true_card.ml: Array Estimator Format Hashtbl List Option Query Storage Util

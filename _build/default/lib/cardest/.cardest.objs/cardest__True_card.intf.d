@@ -1,0 +1,1 @@
+lib/cardest/true_card.mli: Estimator Query Util

@@ -1,0 +1,99 @@
+module Bitset = Util.Bitset
+module QG = Query.Query_graph
+
+type t = {
+  name : string;
+  base : int -> float;
+  subset : Bitset.t -> float;
+}
+
+type combine =
+  | Independence
+  | Backoff of float
+
+type rounding =
+  | No_rounding
+  | Clamp_one
+  | Floor_one
+
+let apply_rounding rounding x =
+  match rounding with
+  | No_rounding -> x
+  | Clamp_one -> Float.max 1.0 x
+  | Floor_one -> Float.max 1.0 (Float.of_int (int_of_float x))
+
+(* Deterministic decomposition: the highest-index relation whose removal
+   keeps the subset connected (one always exists in a connected graph). *)
+let canonical_split graph s =
+  let rec go r =
+    if r < 0 then invalid_arg "Estimator: disconnected subset"
+    else if Bitset.mem r s && QG.is_connected graph (Bitset.remove r s) then r
+    else go (r - 1)
+  in
+  go (QG.n_relations graph - 1)
+
+let compositional ~name ~graph ~base ~edge_selectivity ?(combine = Independence)
+    ?(rounding = No_rounding) () =
+  let base_cache = Array.make (QG.n_relations graph) None in
+  let base_memo r =
+    match base_cache.(r) with
+    | Some v -> v
+    | None ->
+        let v = base r in
+        base_cache.(r) <- Some v;
+        v
+  in
+  let memo : (Bitset.t, float) Hashtbl.t = Hashtbl.create 256 in
+  (* Number of edges already applied inside a subset, for backoff
+     numbering (deterministic because the decomposition is canonical). *)
+  let edges_inside s =
+    List.length
+      (List.filter
+         (fun (e : QG.edge) -> Bitset.mem e.QG.left s && Bitset.mem e.QG.right s)
+         (QG.edges graph))
+  in
+  let rec subset s =
+    if Bitset.is_empty s then invalid_arg "Estimator: empty subset"
+    else if Bitset.cardinal s = 1 then
+      apply_rounding rounding (base_memo (Bitset.lowest s))
+    else
+      match Hashtbl.find_opt memo s with
+      | Some v -> v
+      | None ->
+          let r = canonical_split graph s in
+          let rest = Bitset.remove r s in
+          let crossing = QG.edges_between graph rest (Bitset.singleton r) in
+          let rest_est = subset rest in
+          let base_est = base_memo r in
+          let already = edges_inside rest in
+          let joined =
+            List.fold_left
+              (fun (acc, j) e ->
+                let sel = edge_selectivity e in
+                let sel =
+                  match combine with
+                  | Independence -> sel
+                  | Backoff c ->
+                      (* Every join selectivity after the first is damped
+                         by a constant exponent c < 1 (raised toward 1):
+                         the more predicates, the less the system trusts
+                         full independence. *)
+                      if j = 0 then sel else sel ** c
+                in
+                (acc *. sel, j + 1))
+              (rest_est *. base_est, already)
+              crossing
+            |> fst
+          in
+          let v = apply_rounding rounding joined in
+          Hashtbl.add memo s v;
+          v
+  in
+  { name; base = base_memo; subset }
+
+let of_function ~name ~base subset = { name; base; subset }
+
+let textbook_edge_selectivity ~dom (e : QG.edge) =
+  let dl = Float.max 1.0 (dom ~rel:e.QG.left ~col:e.QG.left_col) in
+  let dr = Float.max 1.0 (dom ~rel:e.QG.right ~col:e.QG.right_col) in
+  1.0 /. Float.max dl dr

@@ -1,0 +1,20 @@
+module Bitset = Util.Bitset
+
+let create ~name ~fallback overrides =
+  let table = Hashtbl.create (List.length overrides) in
+  List.iter (fun (s, c) -> Hashtbl.replace table s c) overrides;
+  let subset s =
+    match Hashtbl.find_opt table s with
+    | Some c -> c
+    | None -> fallback.Estimator.subset s
+  in
+  let base r =
+    match Hashtbl.find_opt table (Bitset.singleton r) with
+    | Some c -> c
+    | None -> fallback.Estimator.base r
+  in
+  { Estimator.name; base; subset }
+
+let of_estimator ~name ~fallback ~source ~subsets =
+  create ~name ~fallback
+    (List.map (fun s -> (s, source.Estimator.subset s)) subsets)

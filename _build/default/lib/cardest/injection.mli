@@ -1,0 +1,22 @@
+(** Cardinality injection (the paper's PostgreSQL patch, Section 2.4).
+
+    The patched PostgreSQL lets an experiment override the optimizer's
+    estimate for {e arbitrary join expressions} while the optimizer falls
+    back to its own numbers elsewhere. This module is that patch:
+    overrides are keyed by relation subset; unlisted subsets go to the
+    fallback estimator. *)
+
+val create :
+  name:string ->
+  fallback:Estimator.t ->
+  (Util.Bitset.t * float) list ->
+  Estimator.t
+
+val of_estimator :
+  name:string ->
+  fallback:Estimator.t ->
+  source:Estimator.t ->
+  subsets:Util.Bitset.t list ->
+  Estimator.t
+(** Inject the source's estimates for the listed subsets (e.g. the
+    estimates extracted from another system) on top of the fallback. *)

@@ -1,0 +1,12 @@
+module QG = Query.Query_graph
+
+let worst_q ~truth est graph =
+  Array.fold_left
+    (fun acc s ->
+      let estimate = Float.max 1.0 (est.Estimator.subset s) in
+      let exact = Float.max 1.0 (True_card.card truth s) in
+      Float.max acc (Util.Stat.q_error ~estimate ~truth:exact))
+    1.0
+    (QG.connected_subsets graph)
+
+let cost_ratio_bound ~q = q ** 4.0

@@ -1,0 +1,20 @@
+(** The q-error plan-quality guarantee (Moerkotte, Neumann & Steidl,
+    "Preventing Bad Plans by Bounding the Impact of Cardinality
+    Estimation Errors", PVLDB 2009 — reference [30] of the paper, invoked
+    in its Section 3.1: "the q-error provides a theoretical upper bound
+    for the plan quality if the q-errors of a query are bounded").
+
+    The theorem: if every cardinality estimate the optimizer consults is
+    within a factor [q] of the truth, then for cost functions built from
+    monotone per-operator terms bounded by linear functions of their
+    input/output cardinalities (C_mm with hash joins qualifies), the plan
+    chosen under the estimates costs at most [q^4] times the true
+    optimum. The empirical validation lives in
+    {!Experiments.Exp_extensions}. *)
+
+val worst_q : truth:True_card.t -> Estimator.t -> Query.Query_graph.t -> float
+(** The largest q-error over every connected subexpression of the query
+    (both sides floored at one row). *)
+
+val cost_ratio_bound : q:float -> float
+(** The guaranteed bound [q^4]. *)

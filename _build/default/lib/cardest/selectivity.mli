@@ -1,0 +1,35 @@
+(** Histogram / MCV based selectivity estimation for base-table atoms —
+    the PostgreSQL way (Section 2.3 of the paper).
+
+    Equality uses the MCV list when the constant is a most-common value
+    and the uniform leftover estimate [(1 - mcv - nulls) / (d - |mcv|)]
+    otherwise; order comparisons use the equi-depth histogram (in rank
+    space for strings) plus the satisfying MCV mass; LIKE and other
+    histogram-resistant predicates fall back to "magic constants";
+    conjunctions multiply (independence). *)
+
+type magic = {
+  like_contains : float;  (** LIKE '%...%' and other free patterns. *)
+  like_prefix : float;  (** LIKE 'abc%'. *)
+  default_range : float;  (** Order comparison with no histogram. *)
+}
+
+val pg_magic : magic
+(** 0.005 / 0.02 / 0.333 — in the spirit of PostgreSQL's defaults. *)
+
+val atom :
+  stats:Dbstats.Column_stats.t ->
+  table:Storage.Table.t ->
+  magic:magic ->
+  Query.Predicate.atom ->
+  float
+(** Selectivity in [\[0, 1\]] of one atom. *)
+
+val conjunction :
+  stats_of:(int -> Dbstats.Column_stats.t) ->
+  table:Storage.Table.t ->
+  magic:magic ->
+  Query.Predicate.t ->
+  float
+(** Independence product over the atoms ([stats_of] maps a column index
+    to its statistics). *)

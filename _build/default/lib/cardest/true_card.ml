@@ -1,0 +1,421 @@
+module Bitset = Util.Bitset
+module QG = Query.Query_graph
+
+type t = {
+  graph : QG.t;
+  cards : (Bitset.t, float) Hashtbl.t;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Join-attribute equivalence classes                                  *)
+
+(* Union-find over (relation, column) pairs connected by join edges. *)
+module Classes = struct
+  type uf = { parents : (int * int, int * int) Hashtbl.t }
+
+  let rec find uf x =
+    match Hashtbl.find_opt uf.parents x with
+    | None -> x
+    | Some p when p = x -> x
+    | Some p ->
+        let root = find uf p in
+        Hashtbl.replace uf.parents x root;
+        root
+
+  let union uf a b =
+    let ra = find uf a and rb = find uf b in
+    if ra <> rb then Hashtbl.replace uf.parents ra rb
+
+  let ensure uf x = if not (Hashtbl.mem uf.parents x) then Hashtbl.add uf.parents x x
+
+  (* Per-relation (class_id, col) lists for one subset, derived from the
+     join edges {e inside} that subset only. Using in-subset edges (not
+     the whole query's transitive closure) matches the semantics of the
+     executor and the enumerator: a subexpression applies exactly the
+     join predicates whose both sides it contains. *)
+  let build_subset graph s =
+    let uf = { parents = Hashtbl.create 16 } in
+    let in_subset (e : QG.edge) =
+      Util.Bitset.mem e.QG.left s && Util.Bitset.mem e.QG.right s
+    in
+    let edges = List.filter in_subset (QG.edges graph) in
+    List.iter
+      (fun (e : QG.edge) ->
+        let a = (e.QG.left, e.QG.left_col) and b = (e.QG.right, e.QG.right_col) in
+        ensure uf a;
+        ensure uf b;
+        union uf a b)
+      edges;
+    let class_of_root = Hashtbl.create 16 in
+    let next = ref 0 in
+    let class_id pair =
+      let root = find uf pair in
+      match Hashtbl.find_opt class_of_root root with
+      | Some id -> id
+      | None ->
+          let id = !next in
+          incr next;
+          Hashtbl.add class_of_root root id;
+          id
+    in
+    let n = QG.n_relations graph in
+    let rel_classes = Array.make n [] in
+    List.iter
+      (fun (e : QG.edge) ->
+        List.iter
+          (fun (r, col) ->
+            let c = class_id (r, col) in
+            if not (List.mem_assoc c rel_classes.(r)) then
+              rel_classes.(r) <- (c, col) :: rel_classes.(r))
+          [ (e.QG.left, e.QG.left_col); (e.QG.right, e.QG.right_col) ])
+      edges;
+    Array.iteri (fun r pairs -> rel_classes.(r) <- List.sort compare pairs) rel_classes;
+    rel_classes
+end
+
+(* ------------------------------------------------------------------ *)
+(* Compressed relations: multiplicity per join-class value tuple       *)
+
+type compressed = {
+  classes : int list; (* sorted class ids; key positions correspond *)
+  groups : (int array, float) Hashtbl.t;
+}
+
+let positions ~from ~wanted =
+  let arr = Array.of_list from in
+  Array.of_list
+    (List.map
+       (fun c ->
+         let rec go i =
+           if i >= Array.length arr then
+             invalid_arg "True_card.positions: class not present"
+           else if arr.(i) = c then i
+           else go (i + 1)
+         in
+         go 0)
+       wanted)
+
+let add_to tbl key v =
+  match Hashtbl.find_opt tbl key with
+  | Some prior -> Hashtbl.replace tbl key (prior +. v)
+  | None -> Hashtbl.add tbl key v
+
+let project c ~onto =
+  if onto = c.classes then c
+  else begin
+    let pos = positions ~from:c.classes ~wanted:onto in
+    let groups = Hashtbl.create (Hashtbl.length c.groups) in
+    Hashtbl.iter
+      (fun key count -> add_to groups (Array.map (fun p -> key.(p)) pos) count)
+      c.groups;
+    { classes = onto; groups }
+  end
+
+let total c = Hashtbl.fold (fun _ n acc -> acc +. n) c.groups 0.0
+
+(* Base groups are keyed by raw column ids (every join column of the
+   relation); per-subset localization projects onto the columns the
+   subset's own edges mention and relabels them to local class ids. *)
+let base_compressed graph r =
+  let relation = QG.relation graph r in
+  let table = relation.QG.table in
+  let pred = Query.Predicate.compile table relation.QG.preds in
+  let classes = QG.join_columns graph r in
+  let cols = Array.of_list classes in
+  let col_data =
+    Array.map (fun c -> (Storage.Table.column table c).Storage.Column.data) cols
+  in
+  let groups = Hashtbl.create 1024 in
+  let nrows = Storage.Table.row_count table in
+  for row = 0 to nrows - 1 do
+    if pred row then
+      add_to groups (Array.map (fun data -> data.(row)) col_data) 1.0
+  done;
+  { classes; groups }
+
+(* ------------------------------------------------------------------ *)
+(* Join trees                                                          *)
+
+(* A join tree over the relations of a subset: a maximum spanning tree of
+   the "shared class count" graph. For acyclic (hyper)queries this
+   satisfies the running-intersection property, which we verify; cyclic
+   subsets fall back to pairwise joins. *)
+module Join_tree = struct
+  type node = {
+    rel : int;
+    mutable children : node list;
+  }
+
+  let shared_classes rel_classes r1 r2 =
+    let c2 = List.map fst rel_classes.(r2) in
+    List.filter (fun (c, _) -> List.mem c c2) rel_classes.(r1) |> List.map fst
+
+  (* Maximum spanning tree (Prim) over the subset's relations, weights =
+     number of shared classes. Returns the root node, or None when the
+     subset is not join-connected through classes (cannot happen for
+     connected query subsets). *)
+  let build rel_classes members =
+    match members with
+    | [] -> invalid_arg "Join_tree.build: empty"
+    | root_rel :: _ ->
+        let nodes = Hashtbl.create (List.length members) in
+        let node_of r =
+          match Hashtbl.find_opt nodes r with
+          | Some n -> n
+          | None ->
+              let n = { rel = r; children = [] } in
+              Hashtbl.add nodes r n;
+              n
+        in
+        let in_tree = ref [ root_rel ] in
+        let out = ref (List.filter (fun r -> r <> root_rel) members) in
+        let root = node_of root_rel in
+        while !out <> [] do
+          (* Best (weight, inside, outside) pair. *)
+          let best = ref None in
+          List.iter
+            (fun o ->
+              List.iter
+                (fun i ->
+                  let w = List.length (shared_classes rel_classes i o) in
+                  if w > 0 then
+                    match !best with
+                    | Some (bw, _, _) when bw >= w -> ()
+                    | _ -> best := Some (w, i, o))
+                !in_tree)
+            !out;
+          match !best with
+          | None -> invalid_arg "Join_tree.build: disconnected subset"
+          | Some (_, i, o) ->
+              let parent = node_of i in
+              parent.children <- node_of o :: parent.children;
+              in_tree := o :: !in_tree;
+              out := List.filter (fun r -> r <> o) !out
+        done;
+        root
+
+  (* Running intersection: for every class, the tree nodes whose relation
+     mentions it must form a connected subtree. *)
+  let running_intersection rel_classes root =
+    let ok = ref true in
+    let all_classes = Hashtbl.create 16 in
+    let rec collect n =
+      List.iter (fun (c, _) -> Hashtbl.replace all_classes c ()) rel_classes.(n.rel);
+      List.iter collect n.children
+    in
+    collect root;
+    Hashtbl.iter
+      (fun cls () ->
+        (* Count connected components of nodes mentioning cls: walk the
+           tree; a component starts at a mentioning node whose parent
+           does not mention it. *)
+        let components = ref 0 in
+        let mentions r = List.exists (fun (c, _) -> c = cls) rel_classes.(r) in
+        let rec walk parent_mentions n =
+          let m = mentions n.rel in
+          if m && not parent_mentions then incr components;
+          List.iter (walk m) n.children
+        in
+        walk false root;
+        if !components > 1 then ok := false)
+      all_classes;
+    !ok
+end
+
+(* Yannakakis-style bottom-up counting over a join tree: linear in the
+   sizes of the base groups, never materializing any joint distribution
+   wider than a single relation's own key. *)
+let count_acyclic rel_classes base_groups root =
+  (* Message from the subtree rooted at [n], keyed by the classes shared
+     with [parent_rel] ([None] for the root: scalar total). *)
+  let rec message (n : Join_tree.node) ~parent_rel =
+    let g : compressed = base_groups.(n.Join_tree.rel) in
+    let child_info =
+      List.map
+        (fun (c : Join_tree.node) ->
+          let shared =
+            Join_tree.shared_classes rel_classes n.Join_tree.rel c.Join_tree.rel
+          in
+          let msg = message c ~parent_rel:(Some n.Join_tree.rel) in
+          (positions ~from:g.classes ~wanted:shared, msg))
+        n.Join_tree.children
+    in
+    let out_pos =
+      match parent_rel with
+      | None -> [||]
+      | Some p ->
+          positions ~from:g.classes
+            ~wanted:(Join_tree.shared_classes rel_classes n.Join_tree.rel p)
+    in
+    let out = Hashtbl.create 256 in
+    let scalar = ref 0.0 in
+    Hashtbl.iter
+      (fun key count ->
+        let weight = ref count in
+        List.iter
+          (fun (pos, (msg : (int array, float) Hashtbl.t)) ->
+            if !weight > 0.0 then
+              match Hashtbl.find_opt msg (Array.map (fun p -> key.(p)) pos) with
+              | Some w -> weight := !weight *. w
+              | None -> weight := 0.0)
+          child_info;
+        if !weight > 0.0 then
+          match parent_rel with
+          | None -> scalar := !scalar +. !weight
+          | Some _ -> add_to out (Array.map (fun p -> key.(p)) out_pos) !weight)
+      g.groups;
+    match parent_rel with
+    | None ->
+        let result = Hashtbl.create 1 in
+        Hashtbl.add result [||] !scalar;
+        result
+    | Some _ -> out
+  in
+  let result = message root ~parent_rel:None in
+  match Hashtbl.find_opt result [||] with Some v -> v | None -> 0.0
+
+(* Fallback for cyclic subsets (e.g. TPC-H Q5): left-deep pairwise joins
+   of the compressed relations, projecting after every step onto the
+   classes still referenced by the remaining relations. *)
+let count_cyclic graph rel_classes base_groups members =
+  match members with
+  | [] -> invalid_arg "True_card.count_cyclic: empty"
+  | first :: rest ->
+      (* Join in an order that keeps every prefix connected. *)
+      let order = ref [ first ] in
+      let remaining = ref rest in
+      while !remaining <> [] do
+        let next =
+          List.find
+            (fun r ->
+              List.exists
+                (fun i ->
+                  Join_tree.shared_classes rel_classes i r <> [])
+                !order)
+            !remaining
+        in
+        order := !order @ [ next ];
+        remaining := List.filter (fun r -> r <> next) !remaining
+      done;
+      ignore graph;
+      let order = !order in
+      let classes_of rs =
+        List.concat_map (fun r -> List.map fst rel_classes.(r)) rs
+        |> List.sort_uniq compare
+      in
+      let rec go acc = function
+        | [] -> total acc
+        | r :: rest ->
+            let g = base_groups.(r) in
+            let shared =
+              List.filter (fun c -> List.mem c acc.classes) g.classes
+            in
+            (* Classes still needed: mentioned by relations after r. *)
+            let future = classes_of rest in
+            let out_classes =
+              List.filter
+                (fun c -> List.mem c future)
+                (List.sort_uniq compare (acc.classes @ g.classes))
+            in
+            let keep side =
+              List.filter
+                (fun c -> List.mem c shared || List.mem c out_classes)
+                side.classes
+            in
+            let a = project acc ~onto:(keep acc) in
+            let b = project g ~onto:(keep g) in
+            let spa = positions ~from:a.classes ~wanted:shared in
+            let spb = positions ~from:b.classes ~wanted:shared in
+            let index = Hashtbl.create (Hashtbl.length b.groups) in
+            Hashtbl.iter
+              (fun key count ->
+                let sk = Array.map (fun p -> key.(p)) spb in
+                let prior =
+                  match Hashtbl.find_opt index sk with Some l -> l | None -> []
+                in
+                Hashtbl.replace index sk ((key, count) :: prior))
+              b.groups;
+            let out_source =
+              Array.of_list
+                (List.map
+                   (fun c ->
+                     let rec idx i = function
+                       | [] -> None
+                       | x :: r -> if x = c then Some i else idx (i + 1) r
+                     in
+                     match idx 0 a.classes with
+                     | Some i -> `A i
+                     | None -> `B (Option.get (idx 0 b.classes)))
+                   out_classes)
+            in
+            let groups = Hashtbl.create (Hashtbl.length a.groups) in
+            Hashtbl.iter
+              (fun a_key a_count ->
+                let sk = Array.map (fun p -> a_key.(p)) spa in
+                match Hashtbl.find_opt index sk with
+                | None -> ()
+                | Some partners ->
+                    List.iter
+                      (fun (b_key, b_count) ->
+                        let out_key =
+                          Array.map
+                            (function `A i -> a_key.(i) | `B i -> b_key.(i))
+                            out_source
+                        in
+                        add_to groups out_key (a_count *. b_count))
+                      partners)
+              a.groups;
+            go { classes = out_classes; groups } rest
+      in
+      let g0 = base_groups.(List.hd order) in
+      go g0 (List.tl order)
+
+(* ------------------------------------------------------------------ *)
+
+let compute graph =
+  let n = QG.n_relations graph in
+  let base_groups = Array.init n (base_compressed graph) in
+  let subsets = QG.connected_subsets graph in
+  let cards = Hashtbl.create (Array.length subsets) in
+  Array.iter
+    (fun s ->
+      let members = Bitset.to_list s in
+      let card =
+        match members with
+        | [ r ] -> total base_groups.(r)
+        | _ ->
+            (* Classes from the edges inside this subset only. *)
+            let rel_classes = Classes.build_subset graph s in
+            (* Localize base groups: project onto the columns this
+               subset's edges mention and relabel them to class ids. *)
+            let local_groups = Array.make n { classes = []; groups = Hashtbl.create 0 } in
+            List.iter
+              (fun r ->
+                let wanted_cols = List.map snd rel_classes.(r) in
+                let projected = project base_groups.(r) ~onto:wanted_cols in
+                local_groups.(r) <-
+                  { projected with classes = List.map fst rel_classes.(r) })
+              members;
+            let root = Join_tree.build rel_classes members in
+            if Join_tree.running_intersection rel_classes root then
+              count_acyclic rel_classes local_groups root
+            else count_cyclic graph rel_classes local_groups members
+      in
+      Hashtbl.add cards s card)
+    subsets;
+  { graph; cards }
+
+let card t s =
+  match Hashtbl.find_opt t.cards s with
+  | Some c -> c
+  | None ->
+      invalid_arg
+        (Format.asprintf "True_card.card: subset %a is not connected in %s"
+           Bitset.pp s (QG.name t.graph))
+
+let base t r = card t (Bitset.singleton r)
+
+let estimator t =
+  Estimator.of_function ~name:"true" ~base:(base t) (card t)
+
+let subset_count t = Hashtbl.length t.cards

@@ -1,0 +1,36 @@
+(** Exact cardinalities of every connected subexpression of a query.
+
+    This replaces the paper's [SELECT COUNT( * )] runs (Section 2.4).
+    Instead of materializing each intermediate result, the computation
+    aggregates multiplicities: every relation is first grouped by its
+    join attributes (more precisely, by the join-attribute {e equivalence
+    classes} induced by the query's equality predicates), and connected
+    subsets are then combined bottom-up, level by level, keeping only
+    counts per frontier-attribute value. The result is exact — projection
+    onto the frontier preserves total multiplicity — and the memory high
+    water mark is two levels of compressed tables rather than the full
+    intermediate results.
+
+    Cost: one pass over each base table plus work proportional to the
+    number of connected subsets times the size of the compressed tables
+    (bounded by the join-key domains, not by intermediate result
+    sizes). *)
+
+type t
+
+val compute : Query.Query_graph.t -> t
+(** Runs the full bottom-up DP eagerly over all connected subsets. *)
+
+val card : t -> Util.Bitset.t -> float
+(** Exact cardinality of a connected subset. Raises [Invalid_argument]
+    for subsets that are not connected in the query graph. *)
+
+val base : t -> int -> float
+(** Exact [|σ(R_i)|]. *)
+
+val estimator : t -> Estimator.t
+(** The oracle "estimator" used for cardinality injection of true
+    values. *)
+
+val subset_count : t -> int
+(** Number of connected subsets whose cardinality was computed. *)

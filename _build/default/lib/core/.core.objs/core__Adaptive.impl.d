@@ -1,0 +1,1 @@
+lib/core/adaptive.ml: Cardest Exec Float Hashtbl Option Plan Planner Query Storage Util

@@ -1,0 +1,1 @@
+lib/core/adaptive.mli: Cardest Cost Exec Query Storage

@@ -1,0 +1,1 @@
+lib/core/session.ml: Cardest Cost Datagen Dbstats Exec Format Hashtbl Plan Planner Printf Query Sqlfront Storage Util Workload

@@ -1,0 +1,1 @@
+lib/core/session.mli: Cardest Cost Exec Plan Planner Query Storage

@@ -1,0 +1,116 @@
+module Bitset = Util.Bitset
+module QG = Query.Query_graph
+
+type outcome = {
+  result : Exec.Executor.result;
+  probes : int;
+  probe_work : int;
+}
+
+(* The plan's bottom-most {e suspicious} join subtree: unobserved, and
+   estimated at (nearly) one row — the signature of a clamped,
+   collapsed estimate, which is where the catastrophic plans come from
+   (Section 4.1). Well-estimated plans yield no target and run without
+   any probing overhead. Smallest relation count first: probing it is
+   cheapest and corrects the deepest compounding. *)
+let suspicion_threshold = 1.5
+
+let probe_target observed est plan =
+  Plan.fold
+    (fun acc (node : Plan.t) ->
+      match node.Plan.op with
+      | Plan.Scan _ -> acc
+      | Plan.Join _ ->
+          let estimate = est node.Plan.set in
+          if Hashtbl.mem observed node.Plan.set || estimate > suspicion_threshold
+          then acc
+          else
+            let size = Bitset.cardinal node.Plan.set in
+            (match acc with
+            | Some (bs, bc, _) when (bs, bc) <= (size, estimate) -> acc
+            | _ -> Some (size, estimate, node)))
+    None plan
+  |> Option.map (fun (_, _, node) -> node)
+
+(* Probes run against a 10% sample of the fact tables, built once per
+   database and cached: a real system would keep such a sample resident,
+   exactly like the table samples of Section 3.1, and pay only the
+   sampled fraction of the work per observation. *)
+let sample_cache : (Storage.Database.t * Cardest.Join_sample.t) option ref = ref None
+
+let sample_for db =
+  match !sample_cache with
+  | Some (cached_db, sample) when cached_db == db -> sample
+  | _ ->
+      let sample = Cardest.Join_sample.create db in
+      sample_cache := Some (db, sample);
+      sample
+
+let run ~db ~graph ~config ~model ~estimator ?(max_probes = 3)
+    ?(projections = []) () =
+  let sample = sample_for db in
+  let sampled_db = Cardest.Join_sample.sampled_db sample in
+  Storage.Database.set_index_config sampled_db (Storage.Database.index_config db);
+  let sampled_graph = Cardest.Join_sample.rebind sample graph in
+
+  let observed : (Bitset.t, float) Hashtbl.t = Hashtbl.create 8 in
+  let injected () =
+    Cardest.Injection.create ~name:"adaptive" ~fallback:estimator
+      (Hashtbl.fold (fun s c acc -> (s, c) :: acc) observed [])
+  in
+  let optimize est =
+    let search =
+      Planner.Search.create ~allow_nl:config.Exec.Engine_config.allow_nl_join
+        ~model ~graph ~db ~card:est.Cardest.Estimator.subset ()
+    in
+    fst (Planner.Dp.optimize search)
+  in
+  let probe_work = ref 0 in
+  let probes = ref 0 in
+  let observe (node : Plan.t) est =
+    (* Execute the same subtree shape against the sampled database and
+       scale the observed count back up. *)
+    let result =
+      Exec.Executor.run ~db:sampled_db ~graph:sampled_graph ~config
+        ~size_est:est.Cardest.Estimator.subset node
+    in
+    probe_work := !probe_work + result.Exec.Executor.work;
+    incr probes;
+    let factor = Cardest.Join_sample.scale sample graph node.Plan.set in
+    if result.Exec.Executor.timed_out then
+      (* Even the sample blew the budget: record an enormous lower
+         bound. *)
+      Hashtbl.replace observed node.Plan.set
+        (float_of_int config.Exec.Engine_config.work_limit)
+    else
+      let scaled = float_of_int result.Exec.Executor.rows *. factor in
+      (* Zero sampled rows resolve to the sample's resolution limit. *)
+      Hashtbl.replace observed node.Plan.set
+        (Float.max 1.0 (if scaled > 0.0 then scaled else 0.5 *. factor))
+  in
+  let rec refine rounds est =
+    let plan = optimize est in
+    if rounds = 0 then (plan, est)
+    else
+      match probe_target observed est.Cardest.Estimator.subset plan with
+      | None -> (plan, est)
+      | Some node ->
+          observe node est;
+          refine (rounds - 1) (injected ())
+  in
+  let plan, final_est = refine max_probes estimator in
+  let result =
+    Exec.Executor.run ~db ~graph ~config
+      ~size_est:final_est.Cardest.Estimator.subset ~projections plan
+  in
+  let work = result.Exec.Executor.work + !probe_work in
+  {
+    result =
+      {
+        result with
+        Exec.Executor.work;
+        runtime_ms = float_of_int work /. Exec.Engine_config.work_units_per_ms;
+      };
+    probes = !probes;
+    probe_work = !probe_work;
+  }

@@ -1,0 +1,89 @@
+(** The library's front door: a database session that ties together the
+    whole optimizer architecture of the paper's Figure 1 — cardinality
+    estimation, cost model, and plan-space enumeration — over the
+    synthetic IMDB database, plus execution and cardinality injection.
+
+    {[
+      let s = Session.create ~scale:0.2 () in
+      let q = Session.job s "13d" in
+      let choice = Session.optimize s q in
+      print_string (Session.explain s q choice);
+      let result = Session.run s q choice in
+      Printf.printf "%d rows in %.1f ms\n"
+        result.Exec.Executor.rows result.Exec.Executor.runtime_ms
+    ]} *)
+
+type t
+
+type query = {
+  name : string;
+  sql : string;
+  graph : Query.Query_graph.t;
+  projections : (int * int) list;
+}
+
+type enumerator = Exhaustive_dp | Quickpick of int | Greedy_operator_ordering
+
+type plan_choice = {
+  plan : Plan.t;
+  estimated_cost : float;
+  estimator : Cardest.Estimator.t;
+  cost_model : Cost.Cost_model.t;
+}
+
+val create : ?seed:int -> ?scale:float -> unit -> t
+(** Generate the IMDB-like database and ANALYZE it. Defaults: seed 42,
+    scale 1.0 (~325 k rows). *)
+
+val of_database : Storage.Database.t -> t
+(** Wrap an existing database (e.g. the TPC-H generator's). *)
+
+val db : t -> Storage.Database.t
+
+val set_physical_design : t -> Storage.Database.index_config -> unit
+(** Choose between the paper's no-index / PK / PK+FK designs. Default:
+    PK only. *)
+
+val sql : t -> ?name:string -> string -> query
+(** Parse and bind a query in the JOB SQL subset. *)
+
+val job : t -> string -> query
+(** One of the 113 benchmark queries, by name (e.g. ["16d"]). *)
+
+val estimator : t -> query -> string -> Cardest.Estimator.t
+(** By system name ("PostgreSQL", "DBMS A", "DBMS B", "DBMS C",
+    "HyPer"), plus "PostgreSQL (true distinct)" and "true" (the exact
+    oracle, computed on demand). *)
+
+val true_cardinalities : t -> query -> Cardest.True_card.t
+(** Exact cardinalities of every connected subexpression (cached). *)
+
+val optimize :
+  t ->
+  ?estimator:string ->
+  ?cost_model:string ->
+  ?enumerator:enumerator ->
+  ?shape:Planner.Search.shape_limit ->
+  ?allow_nl:bool ->
+  query ->
+  plan_choice
+(** Defaults: PostgreSQL estimates, the PostgreSQL-style cost model,
+    exhaustive DP, bushy trees, no (non-index) nested-loop joins. *)
+
+val explain : t -> query -> plan_choice -> string
+(** Operator tree annotated with estimated and (if already computed)
+    true cardinalities. *)
+
+val run :
+  t -> ?engine:Exec.Engine_config.t -> query -> plan_choice -> Exec.Executor.result
+(** Execute under an engine configuration (default: the robust engine —
+    no NL joins, resizing hash tables). *)
+
+val explain_analyze :
+  t -> ?engine:Exec.Engine_config.t -> query -> plan_choice -> string
+(** EXPLAIN ANALYZE: execute, then render the plan with estimated and
+    exact cardinalities per operator plus a runtime summary. Computes the
+    exact cardinalities on first use. *)
+
+val plan_dot : t -> query -> plan_choice -> string
+(** GraphViz source for the chosen plan. *)

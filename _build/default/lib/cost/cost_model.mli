@@ -1,0 +1,54 @@
+(** Cost models (Section 5 of the paper).
+
+    A cost model maps a physical plan and a cardinality function to a
+    scalar. Three models are provided:
+
+    - {!postgres}: a disk-oriented weighted sum of page accesses and CPU
+      work, structured like PostgreSQL's (seq/random page costs, CPU
+      tuple/index-tuple/operator costs);
+    - {!tuned}: the same with the CPU weights multiplied by 50 — the
+      paper's main-memory tuning (Section 5.3);
+    - {!cmm}: the paper's simple main-memory model C_mm (Section 5.4),
+      which only counts tuples flowing through operators, with a scan
+      discount [tau = 0.2] and an index-lookup penalty [lambda = 2].
+
+    Join cost composition follows the plan conventions: hash and NL joins
+    add to both children's costs; an index-NL join {e replaces} its
+    inner child's scan (the index lookups are the access path). *)
+
+type env = {
+  graph : Query.Query_graph.t;
+  db : Storage.Database.t;
+  card : Util.Bitset.t -> float;
+      (** Cardinality (estimate or truth) of a connected relation
+          subset. *)
+}
+
+type t = {
+  name : string;
+  scan_cost : env -> int -> float;
+  join_cost :
+    env ->
+    Plan.join_algo ->
+    outer:Plan.t ->
+    inner:Plan.t ->
+    outer_cost:float ->
+    inner_cost:float ->
+    float;
+      (** Total cost of the join's subtree. *)
+}
+
+val plan_cost : t -> env -> Plan.t -> float
+
+val postgres : t
+val tuned : t
+val cmm : t
+
+val all : t list
+
+val by_name : string -> t option
+
+(** Parameters exposed for tests and ablations. *)
+
+val cmm_tau : float
+val cmm_lambda : float

@@ -1,0 +1,1 @@
+lib/datagen/imdb_gen.ml: Array Char Float List Printf Storage Util Vocab

@@ -1,0 +1,1 @@
+lib/datagen/imdb_gen.mli: Storage

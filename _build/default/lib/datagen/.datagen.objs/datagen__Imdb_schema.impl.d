@@ -1,0 +1,1 @@
+lib/datagen/imdb_schema.ml: Filename List Printf Storage String

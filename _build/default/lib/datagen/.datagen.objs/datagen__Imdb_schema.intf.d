@@ -1,0 +1,1 @@
+lib/datagen/imdb_schema.mli: Storage

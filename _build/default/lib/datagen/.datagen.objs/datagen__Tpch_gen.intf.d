@@ -1,0 +1,1 @@
+lib/datagen/tpch_gen.mli: Storage

@@ -1,0 +1,756 @@
+module Prng = Util.Prng
+module Zipf = Util.Zipf
+module Column = Storage.Column
+module Table = Storage.Table
+
+type sizes = {
+  titles : int;
+  companies : int;
+  persons : int;
+  char_names : int;
+  keywords : int;
+  cast_info : int;
+  movie_info : int;
+  movie_companies : int;
+  movie_keyword : int;
+  movie_link : int;
+  aka_name : int;
+  aka_title : int;
+  complete_cast : int;
+  person_info : int;
+}
+
+let default_sizes =
+  {
+    titles = 12_000;
+    companies = 5_000;
+    persons = 25_000;
+    char_names = 12_000;
+    keywords = 6_000;
+    cast_info = 80_000;
+    movie_info = 60_000;
+    movie_companies = 30_000;
+    movie_keyword = 40_000;
+    movie_link = 4_000;
+    aka_name = 8_000;
+    aka_title = 3_000;
+    complete_cast = 6_000;
+    person_info = 20_000;
+  }
+
+let sizes_of_scale scale =
+  let s base minimum = max minimum (int_of_float (float_of_int base *. scale)) in
+  {
+    titles = s default_sizes.titles 60;
+    companies = s default_sizes.companies 40;
+    persons = s default_sizes.persons 80;
+    char_names = s default_sizes.char_names 50;
+    keywords = s default_sizes.keywords 40;
+    cast_info = s default_sizes.cast_info 200;
+    movie_info = s default_sizes.movie_info 150;
+    movie_companies = s default_sizes.movie_companies 100;
+    movie_keyword = s default_sizes.movie_keyword 120;
+    movie_link = s default_sizes.movie_link 30;
+    aka_name = s default_sizes.aka_name 40;
+    aka_title = s default_sizes.aka_title 20;
+    complete_cast = s default_sizes.complete_cast 30;
+    person_info = s default_sizes.person_info 60;
+  }
+
+let table_names =
+  [
+    "aka_name"; "aka_title"; "cast_info"; "char_name"; "comp_cast_type";
+    "company_name"; "company_type"; "complete_cast"; "info_type"; "keyword";
+    "kind_type"; "link_type"; "movie_companies"; "movie_info";
+    "movie_info_idx"; "movie_keyword"; "movie_link"; "name"; "person_info";
+    "role_type"; "title";
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Column building helpers                                            *)
+
+let int_col name values = Column.of_ints ~name values
+let str_col name values = Column.of_strings ~name values
+
+let id_col n = int_col "id" (Array.init n (fun i -> Some (i + 1)))
+
+let all_null_str name n = str_col name (Array.make n None)
+
+(* ------------------------------------------------------------------ *)
+(* Tiny dimension tables                                              *)
+
+let dimension_table ~name ~col values =
+  let n = Array.length values in
+  Table.create ~name ~pk:"id"
+    [| id_col n; str_col col (Array.map (fun s -> Some s) values) |]
+
+(* ------------------------------------------------------------------ *)
+(* Generation proper                                                  *)
+
+type movie_profile = {
+  year : int option;
+  kind : int; (* 0-based index into Vocab.kind_types *)
+  primary_genre : int; (* index into Vocab.genres *)
+  mutable has_us_company : bool;
+  mutable rating : float option;
+}
+
+let phonetic prng =
+  let letter = Char.chr (Char.code 'A' + Prng.int prng 26) in
+  Printf.sprintf "%c%d" letter (Prng.int prng 600)
+
+let month_names =
+  [|
+    "January"; "February"; "March"; "April"; "May"; "June"; "July"; "August";
+    "September"; "October"; "November"; "December";
+  |]
+
+let generate ?(seed = 42) ?(scale = 1.0) () =
+  let sizes = sizes_of_scale scale in
+  let root = Prng.create seed in
+  let db = Storage.Database.create () in
+  let add = Storage.Database.add_table db in
+
+  (* --- dimension tables ------------------------------------------- *)
+  add (dimension_table ~name:"kind_type" ~col:"kind" Vocab.kind_types);
+  add (dimension_table ~name:"company_type" ~col:"kind" Vocab.company_types);
+  add (dimension_table ~name:"role_type" ~col:"role" Vocab.role_types);
+  add (dimension_table ~name:"link_type" ~col:"link" Vocab.link_types);
+  add (dimension_table ~name:"comp_cast_type" ~col:"kind" Vocab.comp_cast_types);
+  add (dimension_table ~name:"info_type" ~col:"info" Vocab.info_types);
+
+  (* --- keyword ------------------------------------------------------ *)
+  let kw_prng = Prng.split root in
+  let n_kw = sizes.keywords in
+  let n_special = Array.length Vocab.keywords_special in
+  let keyword_strings =
+    Array.init n_kw (fun i ->
+        if i < n_special then Vocab.keywords_special.(i)
+        else
+          let stem = Prng.pick kw_prng Vocab.keyword_stems in
+          let stem2 = Prng.pick kw_prng Vocab.keyword_stems in
+          if Prng.bool kw_prng then Printf.sprintf "%s-%s" stem stem2
+          else Printf.sprintf "%s-%s-%d" stem stem2 (Prng.int kw_prng 500))
+  in
+  add
+    (Table.create ~name:"keyword" ~pk:"id"
+       [|
+         id_col n_kw;
+         str_col "keyword" (Array.map (fun s -> Some s) keyword_strings);
+         str_col "phonetic_code"
+           (Array.init n_kw (fun _ ->
+                if Prng.chance kw_prng 0.9 then Some (phonetic kw_prng) else None));
+       |]);
+
+  (* --- company_name ------------------------------------------------- *)
+  let cn_prng = Prng.split root in
+  let n_cn = sizes.companies in
+  let majors = max 1 (n_cn / 10) in
+  let code_zipf = Zipf.create ~n:(Array.length Vocab.country_codes) ~theta:1.1 in
+  let company_country =
+    Array.init n_cn (fun i ->
+        let us_probability = if i < majors then 0.7 else 0.25 in
+        if Prng.chance cn_prng us_probability then 0 (* "[us]" *)
+        else 1 + Prng.int cn_prng (Array.length Vocab.country_codes - 1) |> fun j ->
+          (* Skew the non-US tail towards the popular codes. *)
+          if Prng.chance cn_prng 0.5 then
+            max 1 (Zipf.sample code_zipf cn_prng)
+          else j)
+  in
+  let company_names =
+    Array.init n_cn (fun i ->
+        let core = Prng.pick cn_prng Vocab.company_cores in
+        let suffix = Prng.pick cn_prng Vocab.company_suffixes in
+        if i < majors then Printf.sprintf "%s %s" core suffix
+        else Printf.sprintf "%s %s %d" core suffix (Prng.int cn_prng 900))
+  in
+  add
+    (Table.create ~name:"company_name" ~pk:"id"
+       [|
+         id_col n_cn;
+         str_col "name" (Array.map (fun s -> Some s) company_names);
+         str_col "country_code"
+           (Array.init n_cn (fun i ->
+                if Prng.chance cn_prng 0.04 then None
+                else Some Vocab.country_codes.(company_country.(i))));
+         int_col "imdb_id" (Array.make n_cn None);
+         str_col "name_pcode_nf"
+           (Array.init n_cn (fun _ -> Some (phonetic cn_prng)));
+         str_col "name_pcode_sf"
+           (Array.init n_cn (fun _ ->
+                if Prng.chance cn_prng 0.8 then Some (phonetic cn_prng) else None));
+         all_null_str "md5sum" n_cn;
+       |]);
+
+  (* --- name (persons) ----------------------------------------------- *)
+  let nm_prng = Prng.split root in
+  let n_nm = sizes.persons in
+  (* gender.(p): 0 = male, 1 = female, 2 = NULL *)
+  let person_gender =
+    Array.init n_nm (fun _ ->
+        let u = Prng.float nm_prng 1.0 in
+        if u < 0.55 then 0 else if u < 0.93 then 1 else 2)
+  in
+  let person_name =
+    Array.init n_nm (fun p ->
+        let surname = Prng.pick nm_prng Vocab.surnames in
+        let first =
+          match person_gender.(p) with
+          | 1 -> Prng.pick nm_prng Vocab.first_names_f
+          | _ -> Prng.pick nm_prng Vocab.first_names_m
+        in
+        Printf.sprintf "%s, %s %d" surname first (Prng.int nm_prng 2000))
+  in
+  add
+    (Table.create ~name:"name" ~pk:"id"
+       [|
+         id_col n_nm;
+         str_col "name" (Array.map (fun s -> Some s) person_name);
+         str_col "imdb_index"
+           (Array.init n_nm (fun _ ->
+                if Prng.chance nm_prng 0.03 then Some "I" else None));
+         int_col "imdb_id" (Array.make n_nm None);
+         str_col "gender"
+           (Array.init n_nm (fun p ->
+                match person_gender.(p) with
+                | 0 -> Some "m"
+                | 1 -> Some "f"
+                | _ -> None));
+         str_col "name_pcode_cf" (Array.init n_nm (fun _ -> Some (phonetic nm_prng)));
+         str_col "name_pcode_nf"
+           (Array.init n_nm (fun _ ->
+                if Prng.chance nm_prng 0.85 then Some (phonetic nm_prng) else None));
+         str_col "surname_pcode"
+           (Array.init n_nm (fun _ ->
+                if Prng.chance nm_prng 0.7 then Some (phonetic nm_prng) else None));
+         all_null_str "md5sum" n_nm;
+       |]);
+
+  (* --- char_name ----------------------------------------------------- *)
+  let chn_prng = Prng.split root in
+  let n_chn = sizes.char_names in
+  let special_chars =
+    [| "Tony Stark"; "James Bond"; "Queen"; "Sherlock Holmes"; "Batman" |]
+  in
+  add
+    (Table.create ~name:"char_name" ~pk:"id"
+       [|
+         id_col n_chn;
+         str_col "name"
+           (Array.init n_chn (fun i ->
+                if i < Array.length special_chars then Some special_chars.(i)
+                else
+                  let first =
+                    if Prng.bool chn_prng then Prng.pick chn_prng Vocab.first_names_m
+                    else Prng.pick chn_prng Vocab.first_names_f
+                  in
+                  Some
+                    (Printf.sprintf "%s %s" first (Prng.pick chn_prng Vocab.surnames))));
+         str_col "imdb_index" (Array.make n_chn None);
+         int_col "imdb_id" (Array.make n_chn None);
+         str_col "name_pcode_nf" (Array.init n_chn (fun _ -> Some (phonetic chn_prng)));
+         str_col "surname_pcode"
+           (Array.init n_chn (fun _ ->
+                if Prng.chance chn_prng 0.6 then Some (phonetic chn_prng) else None));
+         all_null_str "md5sum" n_chn;
+       |]);
+
+  (* --- title --------------------------------------------------------- *)
+  let t_prng = Prng.split root in
+  let n_t = sizes.titles in
+  let genre_zipf = Zipf.create ~n:(Array.length Vocab.genres) ~theta:0.7 in
+  (* Kind assignment; remember tv-series rows so episodes can reference
+     them. *)
+  let series_rows = ref [] in
+  let profiles =
+    Array.init n_t (fun row ->
+        let u = Prng.float t_prng 1.0 in
+        let kind =
+          if u < 0.60 then 0 (* movie *)
+          else if u < 0.75 then 6 (* episode *)
+          else if u < 0.83 then 1 (* tv series *)
+          else if u < 0.89 then 2 (* tv movie *)
+          else if u < 0.95 then 3 (* video movie *)
+          else if u < 0.98 then 4 (* tv mini series *)
+          else 5 (* video game *)
+        in
+        if kind = 1 then series_rows := row :: !series_rows;
+        (* Popular rows (small index) skew recent: the age spread widens
+           with the row index. *)
+        let popularity = 1.0 -. (float_of_int row /. float_of_int n_t) in
+        let spread = 25.0 +. ((1.0 -. popularity) *. 95.0) in
+        let age = Prng.float t_prng 1.0 ** 1.5 *. spread in
+        let year = 2013 - int_of_float age in
+        let year = if Prng.chance t_prng 0.02 then None else Some (max 1880 year) in
+        {
+          year;
+          kind;
+          primary_genre = Zipf.sample genre_zipf t_prng;
+          has_us_company = false;
+          rating = None;
+        })
+  in
+  let series = Array.of_list !series_rows in
+  let title_year = Array.map (fun p -> p.year) profiles in
+  let title_strings =
+    Array.init n_t (fun row ->
+        let p = profiles.(row) in
+        let w1 = Prng.pick t_prng Vocab.title_words in
+        let w2 = Prng.pick t_prng Vocab.title_words in
+        let base =
+          if Prng.chance t_prng 0.22 then Printf.sprintf "The %s %s" w1 w2
+          else Printf.sprintf "%s of the %s" w1 w2
+        in
+        if p.kind = 6 then Printf.sprintf "%s (#%d.%d)" base (1 + Prng.int t_prng 12) (1 + Prng.int t_prng 24)
+        else if Prng.chance t_prng 0.3 then Printf.sprintf "%s %d" base (Prng.int t_prng 2000)
+        else base)
+  in
+  let episode_of =
+    Array.init n_t (fun row ->
+        if profiles.(row).kind = 6 && Array.length series > 0 then
+          Some (Prng.pick t_prng series + 1)
+        else None)
+  in
+  add
+    (Table.create ~name:"title" ~pk:"id" ~fks:[ "kind_id" ]
+       [|
+         id_col n_t;
+         str_col "title" (Array.map (fun s -> Some s) title_strings);
+         str_col "imdb_index"
+           (Array.init n_t (fun _ ->
+                if Prng.chance t_prng 0.02 then Some "II" else None));
+         int_col "kind_id" (Array.map (fun p -> Some (p.kind + 1)) profiles);
+         int_col "production_year" title_year;
+         int_col "imdb_id" (Array.make n_t None);
+         str_col "phonetic_code" (Array.init n_t (fun _ -> Some (phonetic t_prng)));
+         int_col "episode_of_id" episode_of;
+         int_col "season_nr"
+           (Array.init n_t (fun row ->
+                if profiles.(row).kind = 6 then Some (1 + Prng.int t_prng 12) else None));
+         int_col "episode_nr"
+           (Array.init n_t (fun row ->
+                if profiles.(row).kind = 6 then Some (1 + Prng.int t_prng 24) else None));
+         str_col "series_years"
+           (Array.init n_t (fun row ->
+                if profiles.(row).kind = 1 then
+                  let start = 1950 + Prng.int t_prng 60 in
+                  Some (Printf.sprintf "%d-%d" start (start + Prng.int t_prng 12))
+                else None));
+         all_null_str "md5sum" n_t;
+       |]);
+
+  (* Popularity skew shared by every satellite table: this is the planted
+     cross-table correlation. Movie row indexes are popularity ranks. *)
+  let movie_zipf = Zipf.create ~n:n_t ~theta:0.6 in
+  let person_zipf = Zipf.create ~n:n_nm ~theta:0.6 in
+  let company_zipf = Zipf.create ~n:n_cn ~theta:0.8 in
+  let keyword_zipf = Zipf.create ~n:n_kw ~theta:0.75 in
+
+  (* --- movie_companies ---------------------------------------------- *)
+  let mc_prng = Prng.split root in
+  let n_mc = sizes.movie_companies in
+  let mc_movie = Array.init n_mc (fun _ -> Zipf.sample movie_zipf mc_prng) in
+  let mc_company =
+    Array.init n_mc (fun i ->
+        (* Popular movies attract the major companies. *)
+        let movie = mc_movie.(i) in
+        let popular = movie < n_t / 5 in
+        if popular && Prng.chance mc_prng 0.3 then Prng.int mc_prng majors
+        else Zipf.sample company_zipf mc_prng)
+  in
+  let mc_type =
+    Array.init n_mc (fun _ ->
+        let u = Prng.float mc_prng 1.0 in
+        if u < 0.55 then 1 (* production companies *)
+        else if u < 0.90 then 2 (* distributors *)
+        else if u < 0.95 then 3
+        else 4)
+  in
+  (* Record the join-crossing correlation input: movie has a US production
+     company. *)
+  Array.iteri
+    (fun i movie ->
+      if mc_type.(i) = 1 && company_country.(mc_company.(i)) = 0 then
+        profiles.(movie).has_us_company <- true)
+    mc_movie;
+  let mc_note =
+    Array.init n_mc (fun i ->
+        if Prng.chance mc_prng 0.45 then None
+        else
+          let major = mc_company.(i) < majors in
+          let pool = Vocab.mc_notes in
+          let pick =
+            if major && Prng.chance mc_prng 0.5 then pool.(0) (* (presents) *)
+            else if Prng.chance mc_prng 0.25 then pool.(1) (* (co-production) *)
+            else Prng.pick mc_prng pool
+          in
+          (* Some notes carry the year, enabling LIKE '%(199%' patterns. *)
+          if Prng.chance mc_prng 0.2 then
+            match profiles.(mc_movie.(i)).year with
+            | Some y -> Some (Printf.sprintf "(%d) %s" y pick)
+            | None -> Some pick
+          else Some pick)
+  in
+  add
+    (Table.create ~name:"movie_companies" ~pk:"id"
+       ~fks:[ "movie_id"; "company_id"; "company_type_id" ]
+       [|
+         id_col n_mc;
+         int_col "movie_id" (Array.map (fun m -> Some (m + 1)) mc_movie);
+         int_col "company_id" (Array.map (fun c -> Some (c + 1)) mc_company);
+         int_col "company_type_id" (Array.map (fun x -> Some x) mc_type);
+         str_col "note" mc_note;
+       |]);
+
+  (* --- movie_info ----------------------------------------------------- *)
+  let mi_prng = Prng.split root in
+  let n_mi = sizes.movie_info in
+  let it_id = Vocab.info_type_id in
+  let mi_movie = Array.init n_mi (fun _ -> Zipf.sample movie_zipf mi_prng) in
+  let mi_type = Array.make n_mi 0 in
+  let mi_info = Array.make n_mi None in
+  for i = 0 to n_mi - 1 do
+    let movie = mi_movie.(i) in
+    let p = profiles.(movie) in
+    let u = Prng.float mi_prng 1.0 in
+    if u < 0.25 then begin
+      mi_type.(i) <- it_id "genres";
+      let genre =
+        if Prng.chance mi_prng 0.6 then Vocab.genres.(p.primary_genre)
+        else Prng.pick mi_prng Vocab.genres
+      in
+      mi_info.(i) <- Some genre
+    end
+    else if u < 0.40 then begin
+      mi_type.(i) <- it_id "countries";
+      (* Join-crossing correlation: movies of US production companies are
+         overwhelmingly tagged "USA". *)
+      let usa_probability = if p.has_us_company then 0.8 else 0.15 in
+      let country =
+        if Prng.chance mi_prng usa_probability then "USA"
+        else Vocab.countries.(1 + Prng.int mi_prng (Array.length Vocab.countries - 1))
+      in
+      mi_info.(i) <- Some country
+    end
+    else if u < 0.52 then begin
+      mi_type.(i) <- it_id "languages";
+      let english_probability = if p.has_us_company then 0.85 else 0.3 in
+      let language =
+        if Prng.chance mi_prng english_probability then "English"
+        else Vocab.languages.(1 + Prng.int mi_prng (Array.length Vocab.languages - 1))
+      in
+      mi_info.(i) <- Some language
+    end
+    else if u < 0.70 then begin
+      mi_type.(i) <- it_id "release dates";
+      let country =
+        if p.has_us_company && Prng.chance mi_prng 0.7 then "USA"
+        else Prng.pick mi_prng Vocab.countries
+      in
+      let year = match p.year with Some y -> y | None -> 1990 in
+      mi_info.(i) <-
+        Some
+          (Printf.sprintf "%s:%d %s %d" country
+             (1 + Prng.int mi_prng 28)
+             (Prng.pick mi_prng month_names)
+             (min 2013 (year + Prng.int mi_prng 2)))
+    end
+    else if u < 0.78 then begin
+      mi_type.(i) <- it_id "runtimes";
+      mi_info.(i) <- Some (string_of_int (60 + Prng.int mi_prng 120))
+    end
+    else if u < 0.84 then begin
+      mi_type.(i) <- it_id "color info";
+      mi_info.(i) <-
+        Some (if Prng.chance mi_prng 0.85 then "Color" else "Black and White")
+    end
+    else if u < 0.91 then begin
+      mi_type.(i) <- it_id "plot";
+      mi_info.(i) <-
+        Some
+          (Printf.sprintf "A story about %s and %s."
+             (Prng.pick mi_prng Vocab.keyword_stems)
+             (Prng.pick mi_prng Vocab.keyword_stems))
+    end
+    else if u < 0.96 then begin
+      mi_type.(i) <- it_id "certificates";
+      mi_info.(i) <-
+        Some
+          (Printf.sprintf "%s:%s"
+             (Prng.pick mi_prng [| "USA"; "UK"; "Germany"; "France" |])
+             (Prng.pick mi_prng [| "PG"; "PG-13"; "R"; "G"; "12"; "16" |]))
+    end
+    else begin
+      mi_type.(i) <- it_id "locations";
+      mi_info.(i) <-
+        Some
+          (Printf.sprintf "%s" (Prng.pick mi_prng Vocab.countries))
+    end
+  done;
+  add
+    (Table.create ~name:"movie_info" ~pk:"id" ~fks:[ "movie_id"; "info_type_id" ]
+       [|
+         id_col n_mi;
+         int_col "movie_id" (Array.map (fun m -> Some (m + 1)) mi_movie);
+         int_col "info_type_id" (Array.map (fun x -> Some x) mi_type);
+         str_col "info" mi_info;
+         str_col "note"
+           (Array.init n_mi (fun _ ->
+                if Prng.chance mi_prng 0.12 then Some "(estimated)" else None));
+       |]);
+
+  (* --- movie_info_idx -------------------------------------------------- *)
+  (* Per-movie coverage: popular movies almost always carry rating and
+     votes rows; ratings themselves correlate with popularity (the second
+     join-crossing correlation: big casts <-> high ratings). *)
+  let mx_prng = Prng.split root in
+  let mx_movie = ref [] and mx_type = ref [] and mx_info = ref [] in
+  let emit movie type_id info =
+    mx_movie := movie :: !mx_movie;
+    mx_type := type_id :: !mx_type;
+    mx_info := Some info :: !mx_info
+  in
+  for movie = 0 to n_t - 1 do
+    let popularity = 1.0 -. (float_of_int movie /. float_of_int n_t) in
+    if Prng.chance mx_prng (0.25 +. (0.65 *. popularity)) then begin
+      let noise = Prng.float mx_prng 2.4 -. 1.2 in
+      let rating =
+        Float.min 9.9 (Float.max 1.0 (4.8 +. (3.4 *. popularity) +. noise))
+      in
+      profiles.(movie).rating <- Some rating;
+      emit movie (it_id "rating") (Printf.sprintf "%.1f" rating);
+      let votes =
+        5 + int_of_float (popularity ** 3.0 *. 80_000.0) + Prng.int mx_prng 200
+      in
+      emit movie (it_id "votes") (string_of_int votes)
+    end;
+    if movie < 250 && Prng.chance mx_prng 0.6 then
+      emit movie (it_id "top 250 rank") (string_of_int (movie + 1))
+  done;
+  let mx_movie = Array.of_list (List.rev !mx_movie) in
+  let mx_type = Array.of_list (List.rev !mx_type) in
+  let mx_info = Array.of_list (List.rev !mx_info) in
+  let n_mx = Array.length mx_movie in
+  add
+    (Table.create ~name:"movie_info_idx" ~pk:"id"
+       ~fks:[ "movie_id"; "info_type_id" ]
+       [|
+         id_col n_mx;
+         int_col "movie_id" (Array.map (fun m -> Some (m + 1)) mx_movie);
+         int_col "info_type_id" (Array.map (fun x -> Some x) mx_type);
+         str_col "info" mx_info;
+         all_null_str "note" n_mx;
+       |]);
+
+  (* --- cast_info ------------------------------------------------------- *)
+  let ci_prng = Prng.split root in
+  let n_ci = sizes.cast_info in
+  let ci_movie = Array.init n_ci (fun _ -> Zipf.sample movie_zipf ci_prng) in
+  let ci_person =
+    Array.init n_ci (fun i ->
+        (* Popular movies employ popular people. *)
+        let movie = ci_movie.(i) in
+        if movie < n_t / 5 && Prng.chance ci_prng 0.3 then
+          Zipf.sample person_zipf ci_prng
+        else Prng.int ci_prng n_nm)
+  in
+  let ci_role =
+    Array.init n_ci (fun i ->
+        let gender = person_gender.(ci_person.(i)) in
+        let u = Prng.float ci_prng 1.0 in
+        (* role ids are 1-based: actor=1, actress=2, producer=3, writer=4,
+           director=5, ... *)
+        match gender with
+        | 1 ->
+            if u < 0.52 then 2
+            else if u < 0.60 then 3
+            else if u < 0.68 then 4
+            else if u < 0.73 then 5
+            else 6 + Prng.int ci_prng 6
+        | _ ->
+            if u < 0.48 then 1
+            else if u < 0.60 then 3
+            else if u < 0.70 then 4
+            else if u < 0.78 then 5
+            else 6 + Prng.int ci_prng 6)
+  in
+  let ci_note =
+    Array.init n_ci (fun i ->
+        let role = ci_role.(i) in
+        if role = 3 && Prng.chance ci_prng 0.55 then
+          Some
+            (if Prng.chance ci_prng 0.6 then "(producer)"
+             else if Prng.chance ci_prng 0.5 then "(executive producer)"
+             else "(co-producer)")
+        else if Prng.chance ci_prng 0.18 then
+          (* Voice notes concentrate on Animation titles. *)
+          let p = profiles.(ci_movie.(i)) in
+          if Vocab.genres.(p.primary_genre) = "Animation" then
+            Some (if Prng.chance ci_prng 0.5 then "(voice)" else "(voice: English version)")
+          else Some (Prng.pick ci_prng Vocab.ci_notes)
+        else None)
+  in
+  add
+    (Table.create ~name:"cast_info" ~pk:"id"
+       ~fks:[ "person_id"; "movie_id"; "person_role_id"; "role_id" ]
+       [|
+         id_col n_ci;
+         int_col "person_id" (Array.map (fun p -> Some (p + 1)) ci_person);
+         int_col "movie_id" (Array.map (fun m -> Some (m + 1)) ci_movie);
+         int_col "person_role_id"
+           (Array.init n_ci (fun i ->
+                let role = ci_role.(i) in
+                if (role = 1 || role = 2) && Prng.chance ci_prng 0.6 then
+                  Some (1 + Prng.int ci_prng n_chn)
+                else None));
+         str_col "note" ci_note;
+         int_col "nr_order"
+           (Array.init n_ci (fun _ ->
+                if Prng.chance ci_prng 0.5 then Some (1 + Prng.int ci_prng 60)
+                else None));
+         int_col "role_id" (Array.map (fun r -> Some r) ci_role);
+       |]);
+
+  (* --- movie_keyword ---------------------------------------------------- *)
+  let mk_prng = Prng.split root in
+  let n_mk = sizes.movie_keyword in
+  (* Genre-linked keyword pools (indexes into the keyword table). *)
+  let pool_of_genre genre =
+    match Vocab.genres.(genre) with
+    | "Horror" | "Thriller" | "Crime" -> [| 6; 7; 8; 9; 10 |] (* murder..revenge *)
+    | "Action" | "Adventure" -> [| 1; 3; 4; 5 |] (* marvel, comic, sequel, superhero *)
+    | "Romance" | "Drama" -> [| 13; 14; 15 |] (* love, friendship, death *)
+    | _ -> [| 0; 12; 16; 17 |]
+  in
+  let mk_movie = Array.init n_mk (fun _ -> Zipf.sample movie_zipf mk_prng) in
+  let mk_keyword =
+    Array.init n_mk (fun i ->
+        let movie = mk_movie.(i) in
+        let p = profiles.(movie) in
+        if Prng.chance mk_prng 0.45 then
+          let pool = pool_of_genre p.primary_genre in
+          Prng.pick mk_prng pool
+        else Zipf.sample keyword_zipf mk_prng)
+  in
+  add
+    (Table.create ~name:"movie_keyword" ~pk:"id" ~fks:[ "movie_id"; "keyword_id" ]
+       [|
+         id_col n_mk;
+         int_col "movie_id" (Array.map (fun m -> Some (m + 1)) mk_movie);
+         int_col "keyword_id" (Array.map (fun k -> Some (k + 1)) mk_keyword);
+       |]);
+
+  (* --- movie_link -------------------------------------------------------- *)
+  let ml_prng = Prng.split root in
+  let n_ml = sizes.movie_link in
+  let popular_pool = max 2 (n_t / 4) in
+  add
+    (Table.create ~name:"movie_link" ~pk:"id"
+       ~fks:[ "movie_id"; "linked_movie_id"; "link_type_id" ]
+       [|
+         id_col n_ml;
+         int_col "movie_id"
+           (Array.init n_ml (fun _ -> Some (1 + Prng.int ml_prng popular_pool)));
+         int_col "linked_movie_id"
+           (Array.init n_ml (fun _ -> Some (1 + Prng.int ml_prng popular_pool)));
+         int_col "link_type_id"
+           (Array.init n_ml (fun _ ->
+                if Prng.chance ml_prng 0.5 then Some (1 + Prng.int ml_prng 2)
+                else Some (1 + Prng.int ml_prng (Array.length Vocab.link_types))));
+       |]);
+
+  (* --- aka_name ----------------------------------------------------------- *)
+  let an_prng = Prng.split root in
+  let n_an = sizes.aka_name in
+  add
+    (Table.create ~name:"aka_name" ~pk:"id" ~fks:[ "person_id" ]
+       [|
+         id_col n_an;
+         int_col "person_id"
+           (Array.init n_an (fun _ -> Some (1 + Zipf.sample person_zipf an_prng)));
+         str_col "name"
+           (Array.init n_an (fun _ ->
+                Some
+                  (Printf.sprintf "%s %s"
+                     (Prng.pick an_prng Vocab.first_names_m)
+                     (Prng.pick an_prng Vocab.surnames))));
+         str_col "imdb_index" (Array.make n_an None);
+         str_col "name_pcode_cf" (Array.init n_an (fun _ -> Some (phonetic an_prng)));
+         str_col "name_pcode_nf" (Array.init n_an (fun _ -> Some (phonetic an_prng)));
+         str_col "surname_pcode"
+           (Array.init n_an (fun _ ->
+                if Prng.chance an_prng 0.6 then Some (phonetic an_prng) else None));
+         all_null_str "md5sum" n_an;
+       |]);
+
+  (* --- aka_title ------------------------------------------------------------ *)
+  let at_prng = Prng.split root in
+  let n_at = sizes.aka_title in
+  let at_movie = Array.init n_at (fun _ -> Zipf.sample movie_zipf at_prng) in
+  add
+    (Table.create ~name:"aka_title" ~pk:"id" ~fks:[ "movie_id"; "kind_id" ]
+       [|
+         id_col n_at;
+         int_col "movie_id" (Array.map (fun m -> Some (m + 1)) at_movie);
+         str_col "title"
+           (Array.init n_at (fun i ->
+                Some (Printf.sprintf "%s (aka %d)" title_strings.(at_movie.(i)) i)));
+         str_col "imdb_index" (Array.make n_at None);
+         int_col "kind_id"
+           (Array.map (fun m -> Some (profiles.(m).kind + 1)) at_movie);
+         int_col "production_year" (Array.map (fun m -> profiles.(m).year) at_movie);
+         str_col "phonetic_code" (Array.init n_at (fun _ -> Some (phonetic at_prng)));
+         int_col "episode_of_id" (Array.make n_at None);
+         int_col "season_nr" (Array.make n_at None);
+         int_col "episode_nr" (Array.make n_at None);
+         str_col "note"
+           (Array.init n_at (fun _ ->
+                if Prng.chance at_prng 0.3 then Some "(worldwide, English title)"
+                else None));
+         all_null_str "md5sum" n_at;
+       |]);
+
+  (* --- complete_cast ----------------------------------------------------------- *)
+  let cc_prng = Prng.split root in
+  let n_cc = sizes.complete_cast in
+  add
+    (Table.create ~name:"complete_cast" ~pk:"id"
+       ~fks:[ "movie_id"; "subject_id"; "status_id" ]
+       [|
+         id_col n_cc;
+         int_col "movie_id"
+           (Array.init n_cc (fun _ -> Some (1 + Zipf.sample movie_zipf cc_prng)));
+         int_col "subject_id"
+           (Array.init n_cc (fun _ -> Some (1 + Prng.int cc_prng 2)));
+         int_col "status_id"
+           (Array.init n_cc (fun _ -> Some (3 + Prng.int cc_prng 2)));
+       |]);
+
+  (* --- person_info ---------------------------------------------------------------- *)
+  let pi_prng = Prng.split root in
+  let n_pi = sizes.person_info in
+  let pi_person = Array.init n_pi (fun _ -> Zipf.sample person_zipf pi_prng) in
+  let pi_types =
+    [| it_id "birth date"; it_id "birth name"; it_id "height"; it_id "biography";
+       it_id "death date"; it_id "spouse" |]
+  in
+  add
+    (Table.create ~name:"person_info" ~pk:"id" ~fks:[ "person_id"; "info_type_id" ]
+       [|
+         id_col n_pi;
+         int_col "person_id" (Array.map (fun p -> Some (p + 1)) pi_person);
+         int_col "info_type_id"
+           (Array.init n_pi (fun _ -> Some (Prng.pick pi_prng pi_types)));
+         str_col "info"
+           (Array.init n_pi (fun _ ->
+                Some
+                  (Printf.sprintf "%d %s %d"
+                     (1 + Prng.int pi_prng 28)
+                     (Prng.pick pi_prng month_names)
+                     (1900 + Prng.int pi_prng 95))));
+         str_col "note"
+           (Array.init n_pi (fun _ ->
+                if Prng.chance pi_prng 0.08 then Some "Volker Boehm" else None));
+       |]);
+
+  db

@@ -1,0 +1,51 @@
+(** Synthetic IMDB-like database generator.
+
+    Produces the 21-table schema of the paper's IMDB snapshot, at reduced
+    scale, with the statistical properties that make JOB hard for
+    cardinality estimators:
+
+    - a Zipfian popularity skew over movies shared by {e every} satellite
+      table (cast, info, keywords, companies), so join fan-outs are
+      positively correlated and the independence assumption
+      underestimates multi-join results;
+    - intra-table correlations (kind vs production year, gender vs role,
+      genre vs keyword);
+    - join-crossing correlations (movies of US production companies
+      mostly carry the country info "USA"; popular movies have both high
+      ratings and large casts), which no tested estimator can see;
+    - heavy-tailed categorical distributions (country codes, genres,
+      keywords) with most-common values that dwarf the tail.
+
+    All draws come from a seeded {!Util.Prng}, so a given (seed, scale)
+    always yields the identical database. *)
+
+type sizes = {
+  titles : int;
+  companies : int;
+  persons : int;
+  char_names : int;
+  keywords : int;
+  cast_info : int;
+  movie_info : int;
+  movie_companies : int;
+  movie_keyword : int;
+  movie_link : int;
+  aka_name : int;
+  aka_title : int;
+  complete_cast : int;
+  person_info : int;
+}
+
+val default_sizes : sizes
+(** The scale-1.0 sizes (~330 k rows across all tables). *)
+
+val sizes_of_scale : float -> sizes
+(** Every size multiplied by the factor, floored at small minimums. *)
+
+val generate : ?seed:int -> ?scale:float -> unit -> Storage.Database.t
+(** Build the full 21-table database. Default [seed] is 42, default
+    [scale] is 1.0. The returned database has PK/FK metadata declared on
+    every table; its index configuration starts as [Pk_only]. *)
+
+val table_names : string list
+(** The 21 table names, sorted. *)

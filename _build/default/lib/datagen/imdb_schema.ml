@@ -1,0 +1,175 @@
+type table_spec = {
+  name : string;
+  pk : string option;
+  fks : string list;
+  columns : Storage.Csv.column_spec list;
+}
+
+let i name = { Storage.Csv.name; ty = Storage.Value.Int_ty }
+let s name = { Storage.Csv.name; ty = Storage.Value.Str_ty }
+
+let tables =
+  [
+    {
+      name = "aka_name";
+      pk = Some "id";
+      fks = [ "person_id" ];
+      columns =
+        [ i "id"; i "person_id"; s "name"; s "imdb_index"; s "name_pcode_cf";
+          s "name_pcode_nf"; s "surname_pcode"; s "md5sum" ];
+    };
+    {
+      name = "aka_title";
+      pk = Some "id";
+      fks = [ "movie_id"; "kind_id" ];
+      columns =
+        [ i "id"; i "movie_id"; s "title"; s "imdb_index"; i "kind_id";
+          i "production_year"; s "phonetic_code"; i "episode_of_id";
+          i "season_nr"; i "episode_nr"; s "note"; s "md5sum" ];
+    };
+    {
+      name = "cast_info";
+      pk = Some "id";
+      fks = [ "person_id"; "movie_id"; "person_role_id"; "role_id" ];
+      columns =
+        [ i "id"; i "person_id"; i "movie_id"; i "person_role_id"; s "note";
+          i "nr_order"; i "role_id" ];
+    };
+    {
+      name = "char_name";
+      pk = Some "id";
+      fks = [];
+      columns =
+        [ i "id"; s "name"; s "imdb_index"; i "imdb_id"; s "name_pcode_nf";
+          s "surname_pcode"; s "md5sum" ];
+    };
+    {
+      name = "comp_cast_type";
+      pk = Some "id";
+      fks = [];
+      columns = [ i "id"; s "kind" ];
+    };
+    {
+      name = "company_name";
+      pk = Some "id";
+      fks = [];
+      columns =
+        [ i "id"; s "name"; s "country_code"; i "imdb_id"; s "name_pcode_nf";
+          s "name_pcode_sf"; s "md5sum" ];
+    };
+    {
+      name = "company_type";
+      pk = Some "id";
+      fks = [];
+      columns = [ i "id"; s "kind" ];
+    };
+    {
+      name = "complete_cast";
+      pk = Some "id";
+      fks = [ "movie_id"; "subject_id"; "status_id" ];
+      columns = [ i "id"; i "movie_id"; i "subject_id"; i "status_id" ];
+    };
+    {
+      name = "info_type";
+      pk = Some "id";
+      fks = [];
+      columns = [ i "id"; s "info" ];
+    };
+    {
+      name = "keyword";
+      pk = Some "id";
+      fks = [];
+      columns = [ i "id"; s "keyword"; s "phonetic_code" ];
+    };
+    {
+      name = "kind_type";
+      pk = Some "id";
+      fks = [];
+      columns = [ i "id"; s "kind" ];
+    };
+    {
+      name = "link_type";
+      pk = Some "id";
+      fks = [];
+      columns = [ i "id"; s "link" ];
+    };
+    {
+      name = "movie_companies";
+      pk = Some "id";
+      fks = [ "movie_id"; "company_id"; "company_type_id" ];
+      columns =
+        [ i "id"; i "movie_id"; i "company_id"; i "company_type_id"; s "note" ];
+    };
+    {
+      name = "movie_info";
+      pk = Some "id";
+      fks = [ "movie_id"; "info_type_id" ];
+      columns = [ i "id"; i "movie_id"; i "info_type_id"; s "info"; s "note" ];
+    };
+    {
+      name = "movie_info_idx";
+      pk = Some "id";
+      fks = [ "movie_id"; "info_type_id" ];
+      columns = [ i "id"; i "movie_id"; i "info_type_id"; s "info"; s "note" ];
+    };
+    {
+      name = "movie_keyword";
+      pk = Some "id";
+      fks = [ "movie_id"; "keyword_id" ];
+      columns = [ i "id"; i "movie_id"; i "keyword_id" ];
+    };
+    {
+      name = "movie_link";
+      pk = Some "id";
+      fks = [ "movie_id"; "linked_movie_id"; "link_type_id" ];
+      columns = [ i "id"; i "movie_id"; i "linked_movie_id"; i "link_type_id" ];
+    };
+    {
+      name = "name";
+      pk = Some "id";
+      fks = [];
+      columns =
+        [ i "id"; s "name"; s "imdb_index"; i "imdb_id"; s "gender";
+          s "name_pcode_cf"; s "name_pcode_nf"; s "surname_pcode"; s "md5sum" ];
+    };
+    {
+      name = "person_info";
+      pk = Some "id";
+      fks = [ "person_id"; "info_type_id" ];
+      columns = [ i "id"; i "person_id"; i "info_type_id"; s "info"; s "note" ];
+    };
+    {
+      name = "role_type";
+      pk = Some "id";
+      fks = [];
+      columns = [ i "id"; s "role" ];
+    };
+    {
+      name = "title";
+      pk = Some "id";
+      fks = [ "kind_id" ];
+      columns =
+        [ i "id"; s "title"; s "imdb_index"; i "kind_id"; i "production_year";
+          i "imdb_id"; s "phonetic_code"; i "episode_of_id"; i "season_nr";
+          i "episode_nr"; s "series_years"; s "md5sum" ];
+    };
+  ]
+
+let find name =
+  match List.find_opt (fun t -> String.equal t.name name) tables with
+  | Some t -> t
+  | None -> invalid_arg (Printf.sprintf "Imdb_schema.find: unknown table %s" name)
+
+let load ~dir =
+  let db = Storage.Database.create () in
+  List.iter
+    (fun spec ->
+      let table =
+        Storage.Csv.import ~name:spec.name ?pk:spec.pk ~fks:spec.fks
+          ~columns:spec.columns
+          ~path:(Filename.concat dir (spec.name ^ ".csv"))
+          ()
+      in
+      Storage.Database.add_table db table)
+    tables;
+  db

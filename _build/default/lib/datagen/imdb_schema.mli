@@ -1,0 +1,27 @@
+(** Declarative description of the 21-table IMDB schema — the contract
+    between the synthetic generator, the workload, and external data.
+
+    [load ~dir] imports a directory of CSV files (one [<table>.csv] per
+    table, with header rows, as produced by {!Storage.Csv.export_database})
+    into a fully usable database. Exporting the synthetic database and
+    re-importing it round-trips exactly; a real IMDB dump converted to
+    this layout loads the same way, which is the intended adoption path
+    for running the benchmark against the paper's original data. *)
+
+type table_spec = {
+  name : string;
+  pk : string option;
+  fks : string list;
+  columns : Storage.Csv.column_spec list;
+}
+
+val tables : table_spec list
+(** All 21 tables, alphabetical. *)
+
+val find : string -> table_spec
+(** Raises [Invalid_argument] for unknown table names. *)
+
+val load : dir:string -> Storage.Database.t
+(** Import [<dir>/<table>.csv] for every table of the schema. Raises
+    {!Storage.Csv.Csv_error} on malformed input and [Sys_error] on
+    missing files. *)

@@ -1,0 +1,136 @@
+module Prng = Util.Prng
+module Column = Storage.Column
+module Table = Storage.Table
+
+type sizes = {
+  customers : int;
+  orders : int;
+  lineitems : int;
+  suppliers : int;
+  parts : int;
+}
+
+let default_sizes =
+  { customers = 3_000; orders = 10_000; lineitems = 40_000; suppliers = 400; parts = 4_000 }
+
+let table_names =
+  [ "customer"; "lineitem"; "nation"; "orders"; "part"; "region"; "supplier" ]
+
+let regions = [| "AFRICA"; "AMERICA"; "ASIA"; "EUROPE"; "MIDDLE EAST" |]
+
+let nations =
+  [|
+    ("ALGERIA", 0); ("ARGENTINA", 1); ("BRAZIL", 1); ("CANADA", 1);
+    ("EGYPT", 4); ("ETHIOPIA", 0); ("FRANCE", 3); ("GERMANY", 3);
+    ("INDIA", 2); ("INDONESIA", 2); ("IRAN", 4); ("IRAQ", 4); ("JAPAN", 2);
+    ("JORDAN", 4); ("KENYA", 0); ("MOROCCO", 0); ("MOZAMBIQUE", 0);
+    ("PERU", 1); ("CHINA", 2); ("ROMANIA", 3); ("SAUDI ARABIA", 4);
+    ("VIETNAM", 2); ("RUSSIA", 3); ("UNITED KINGDOM", 3); ("UNITED STATES", 1);
+  |]
+
+let segments = [| "AUTOMOBILE"; "BUILDING"; "FURNITURE"; "HOUSEHOLD"; "MACHINERY" |]
+
+let priorities = [| "1-URGENT"; "2-HIGH"; "3-MEDIUM"; "4-NOT SPECIFIED"; "5-LOW" |]
+
+let part_types =
+  [|
+    "ECONOMY ANODIZED STEEL"; "ECONOMY BRUSHED BRASS"; "STANDARD POLISHED TIN";
+    "STANDARD PLATED COPPER"; "LARGE BURNISHED NICKEL"; "MEDIUM ANODIZED STEEL";
+    "SMALL PLATED BRASS"; "PROMO BURNISHED COPPER"; "PROMO POLISHED STEEL";
+    "LARGE BRUSHED TIN";
+  |]
+
+let int_col name values = Column.of_ints ~name values
+let str_col name values = Column.of_strings ~name values
+let some_init n f = Array.init n (fun i -> Some (f i))
+
+let generate ?(seed = 7) ?(scale = 1.0) () =
+  let s base minimum = max minimum (int_of_float (float_of_int base *. scale)) in
+  let sizes =
+    {
+      customers = s default_sizes.customers 30;
+      orders = s default_sizes.orders 80;
+      lineitems = s default_sizes.lineitems 200;
+      suppliers = s default_sizes.suppliers 10;
+      parts = s default_sizes.parts 40;
+    }
+  in
+  let prng = Prng.create seed in
+  let db = Storage.Database.create () in
+  let add = Storage.Database.add_table db in
+
+  let n_region = Array.length regions in
+  add
+    (Table.create ~name:"region" ~pk:"r_regionkey"
+       [|
+         int_col "r_regionkey" (some_init n_region (fun i -> i + 1));
+         str_col "r_name" (Array.map (fun r -> Some r) regions);
+       |]);
+
+  let n_nation = Array.length nations in
+  add
+    (Table.create ~name:"nation" ~pk:"n_nationkey" ~fks:[ "n_regionkey" ]
+       [|
+         int_col "n_nationkey" (some_init n_nation (fun i -> i + 1));
+         str_col "n_name" (Array.map (fun (n, _) -> Some n) nations);
+         int_col "n_regionkey" (Array.map (fun (_, r) -> Some (r + 1)) nations);
+       |]);
+
+  let n_supp = sizes.suppliers in
+  add
+    (Table.create ~name:"supplier" ~pk:"s_suppkey" ~fks:[ "s_nationkey" ]
+       [|
+         int_col "s_suppkey" (some_init n_supp (fun i -> i + 1));
+         str_col "s_name" (some_init n_supp (Printf.sprintf "Supplier#%09d"));
+         int_col "s_nationkey" (some_init n_supp (fun _ -> 1 + Prng.int prng n_nation));
+       |]);
+
+  let n_cust = sizes.customers in
+  add
+    (Table.create ~name:"customer" ~pk:"c_custkey" ~fks:[ "c_nationkey" ]
+       [|
+         int_col "c_custkey" (some_init n_cust (fun i -> i + 1));
+         str_col "c_name" (some_init n_cust (Printf.sprintf "Customer#%09d"));
+         int_col "c_nationkey" (some_init n_cust (fun _ -> 1 + Prng.int prng n_nation));
+         str_col "c_mktsegment" (some_init n_cust (fun _ -> Prng.pick prng segments));
+         int_col "c_acctbal" (some_init n_cust (fun _ -> Prng.int prng 11_000 - 1_000));
+       |]);
+
+  let n_ord = sizes.orders in
+  let order_year = some_init n_ord (fun _ -> 1992 + Prng.int prng 7) in
+  add
+    (Table.create ~name:"orders" ~pk:"o_orderkey" ~fks:[ "o_custkey" ]
+       [|
+         int_col "o_orderkey" (some_init n_ord (fun i -> i + 1));
+         int_col "o_custkey" (some_init n_ord (fun _ -> 1 + Prng.int prng n_cust));
+         int_col "o_orderyear" order_year;
+         str_col "o_orderpriority" (some_init n_ord (fun _ -> Prng.pick prng priorities));
+         int_col "o_totalprice" (some_init n_ord (fun _ -> 1_000 + Prng.int prng 400_000));
+       |]);
+
+  let n_part = sizes.parts in
+  add
+    (Table.create ~name:"part" ~pk:"p_partkey"
+       [|
+         int_col "p_partkey" (some_init n_part (fun i -> i + 1));
+         str_col "p_name" (some_init n_part (Printf.sprintf "Part#%08d"));
+         str_col "p_type" (some_init n_part (fun _ -> Prng.pick prng part_types));
+         int_col "p_size" (some_init n_part (fun _ -> 1 + Prng.int prng 50));
+       |]);
+
+  let n_li = sizes.lineitems in
+  add
+    (Table.create ~name:"lineitem" ~pk:"l_linekey"
+       ~fks:[ "l_orderkey"; "l_partkey"; "l_suppkey" ]
+       [|
+         int_col "l_linekey" (some_init n_li (fun i -> i + 1));
+         int_col "l_orderkey" (some_init n_li (fun _ -> 1 + Prng.int prng n_ord));
+         int_col "l_partkey" (some_init n_li (fun _ -> 1 + Prng.int prng n_part));
+         int_col "l_suppkey" (some_init n_li (fun _ -> 1 + Prng.int prng n_supp));
+         int_col "l_quantity" (some_init n_li (fun _ -> 1 + Prng.int prng 50));
+         int_col "l_extendedprice" (some_init n_li (fun _ -> 1_000 + Prng.int prng 90_000));
+         int_col "l_discount" (some_init n_li (fun _ -> Prng.int prng 11));
+         int_col "l_shipyear" (some_init n_li (fun _ -> 1992 + Prng.int prng 7));
+       |]);
+
+  db

@@ -1,0 +1,23 @@
+(** Uniform, independent mini TPC-H generator (Figure 4's contrast case).
+
+    The paper's point about TPC-H is that its generator shares the very
+    assumptions estimators make (uniformity, independence, inclusion), so
+    estimates look unrealistically good. This generator therefore draws
+    every attribute independently and uniformly: no skew, no
+    correlations, full key inclusion. *)
+
+type sizes = {
+  customers : int;
+  orders : int;
+  lineitems : int;
+  suppliers : int;
+  parts : int;
+}
+
+val default_sizes : sizes
+
+val generate : ?seed:int -> ?scale:float -> unit -> Storage.Database.t
+(** Seven tables: region, nation, supplier, customer, orders, lineitem,
+    part, with PK/FK metadata declared. *)
+
+val table_names : string list

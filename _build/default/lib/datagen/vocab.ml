@@ -1,0 +1,160 @@
+let kind_types =
+  [|
+    "movie"; "tv series"; "tv movie"; "video movie"; "tv mini series";
+    "video game"; "episode";
+  |]
+
+let company_types =
+  [|
+    "production companies"; "distributors"; "special effects companies";
+    "miscellaneous companies";
+  |]
+
+let role_types =
+  [|
+    "actor"; "actress"; "producer"; "writer"; "director"; "cinematographer";
+    "composer"; "costume designer"; "editor"; "miscellaneous crew";
+    "production designer"; "guest";
+  |]
+
+let link_types =
+  [|
+    "follows"; "followed by"; "remake of"; "remade as"; "references";
+    "referenced in"; "spoofs"; "spoofed in"; "features"; "featured in";
+    "spin off from"; "spin off"; "version of"; "similar to"; "edited into";
+    "edited from"; "alternate language version of"; "unknown link";
+  |]
+
+let comp_cast_types = [| "cast"; "crew"; "complete"; "complete+verified" |]
+
+let info_types =
+  [|
+    "budget"; "genres"; "languages"; "countries"; "rating"; "votes";
+    "release dates"; "runtimes"; "color info"; "taglines"; "plot";
+    "certificates"; "sound mix"; "locations"; "production dates";
+    "top 250 rank"; "bottom 10 rank"; "trivia"; "goofs"; "quotes";
+    "gross"; "opening weekend"; "admissions"; "filming dates"; "copyright holder";
+    "tech info"; "camera"; "laboratory"; "printed film format"; "cinematographic process";
+    "birth date"; "death date"; "birth name"; "height"; "biography";
+    "spouse"; "other works"; "birth notes"; "books"; "agent address";
+  |]
+
+let info_type_id info =
+  let rec go i =
+    if i >= Array.length info_types then
+      invalid_arg (Printf.sprintf "Vocab.info_type_id: unknown info type %s" info)
+    else if String.equal info_types.(i) info then i + 1
+    else go (i + 1)
+  in
+  go 0
+
+let genres =
+  [|
+    "Drama"; "Comedy"; "Documentary"; "Short"; "Romance"; "Action"; "Thriller";
+    "Crime"; "Horror"; "Adventure"; "Music"; "Animation"; "Family"; "Mystery";
+    "Sci-Fi"; "Fantasy"; "War"; "Western"; "Biography"; "History"; "Sport";
+    "Musical"; "Film-Noir"; "News";
+  |]
+
+let countries =
+  [|
+    "USA"; "UK"; "Germany"; "France"; "Italy"; "Japan"; "Canada"; "India";
+    "Spain"; "Australia"; "Sweden"; "Denmark"; "Norway"; "Finland";
+    "Netherlands"; "Belgium"; "Mexico"; "Brazil"; "Argentina"; "Russia";
+    "China"; "South Korea"; "Poland"; "Austria"; "Switzerland"; "Greece";
+    "Ireland"; "Hungary"; "Czech Republic"; "Portugal";
+  |]
+
+let languages =
+  [|
+    "English"; "German"; "French"; "Italian"; "Japanese"; "Spanish";
+    "Mandarin"; "Hindi"; "Russian"; "Swedish"; "Danish"; "Norwegian";
+    "Portuguese"; "Dutch"; "Polish"; "Korean"; "Cantonese"; "Greek";
+    "Czech"; "Hungarian";
+  |]
+
+let country_codes =
+  [|
+    "[us]"; "[gb]"; "[de]"; "[fr]"; "[it]"; "[jp]"; "[ca]"; "[in]"; "[es]";
+    "[au]"; "[se]"; "[dk]"; "[no]"; "[fi]"; "[nl]"; "[be]"; "[mx]"; "[br]";
+    "[ar]"; "[ru]"; "[cn]"; "[kr]"; "[pl]"; "[at]"; "[ch]"; "[gr]"; "[ie]";
+    "[hu]"; "[cz]"; "[pt]"; "[tr]"; "[il]"; "[za]"; "[nz]"; "[th]"; "[ph]";
+    "[eg]"; "[ro]"; "[bg]"; "[yu]";
+  |]
+
+let company_suffixes =
+  [|
+    "Film"; "Pictures"; "Productions"; "Entertainment"; "Studios"; "Media";
+    "Films"; "International"; "Television"; "Cinema";
+  |]
+
+let company_cores =
+  [|
+    "Warner"; "Universal"; "Paramount"; "Columbia"; "Metro"; "Fox"; "United";
+    "National"; "Royal"; "Pacific"; "Atlantic"; "Golden"; "Silver"; "Summit";
+    "Vista"; "Nova"; "Orion"; "Castle"; "Crown"; "Liberty"; "Phoenix";
+    "Aurora"; "Zenith"; "Meridian"; "Harbor"; "Northern"; "Southern";
+    "Eastern"; "Western"; "Central";
+  |]
+
+let mc_notes =
+  [|
+    "(presents)"; "(co-production)"; "(in association with)"; "(as producer)";
+    "(VHS)"; "(DVD)"; "(USA)"; "(worldwide)"; "(theatrical)"; "(TV)";
+    "(2000) (worldwide)"; "(1994) (VHS)"; "(uncredited)";
+  |]
+
+let ci_notes =
+  [|
+    "(producer)"; "(executive producer)"; "(co-producer)"; "(voice)";
+    "(voice: English version)"; "(voice: Japanese version)"; "(uncredited)";
+    "(archive footage)"; "(as himself)"; "(writer)"; "(story)";
+    "(screenplay)";
+  |]
+
+let keywords_special =
+  [|
+    "character-name-in-title"; "marvel-cinematic-universe"; "based-on-novel";
+    "based-on-comic"; "sequel"; "superhero"; "murder"; "blood"; "violence";
+    "gore"; "revenge"; "female-nudity"; "independent-film"; "love";
+    "friendship"; "death"; "police"; "new-york-city"; "london"; "paris";
+  |]
+
+let keyword_stems =
+  [|
+    "dog"; "cat"; "war"; "family"; "school"; "money"; "dream"; "night";
+    "city"; "island"; "river"; "mountain"; "winter"; "summer"; "dance";
+    "song"; "train"; "ship"; "letter"; "secret"; "ghost"; "robot"; "alien";
+    "king"; "queen"; "doctor"; "teacher"; "soldier"; "artist"; "journey";
+  |]
+
+let first_names_f =
+  [|
+    "Anna"; "Maria"; "Elizabeth"; "Angela"; "Catherine"; "Julia"; "Sophie";
+    "Laura"; "Emma"; "Alice"; "Clara"; "Diana"; "Eva"; "Grace"; "Helen";
+    "Irene"; "Jane"; "Karen"; "Lily"; "Nina";
+  |]
+
+let first_names_m =
+  [|
+    "James"; "John"; "Robert"; "Michael"; "William"; "David"; "Richard";
+    "Thomas"; "Charles"; "George"; "Daniel"; "Paul"; "Mark"; "Steven";
+    "Andrew"; "Peter"; "Frank"; "Henry"; "Victor"; "Walter";
+  |]
+
+let surnames =
+  [|
+    "Smith"; "Johnson"; "Williams"; "Brown"; "Jones"; "Miller"; "Davis";
+    "Wilson"; "Anderson"; "Taylor"; "Moore"; "Martin"; "Lee"; "Walker";
+    "Hall"; "Young"; "King"; "Wright"; "Hill"; "Scott"; "Green"; "Baker";
+    "Adams"; "Nelson"; "Carter"; "Mitchell"; "Turner"; "Parker"; "Collins";
+    "Edwards";
+  |]
+
+let title_words =
+  [|
+    "Night"; "Day"; "Shadow"; "Light"; "River"; "Mountain"; "Dream"; "Star";
+    "Heart"; "Storm"; "Fire"; "Ice"; "Road"; "House"; "Garden"; "Island";
+    "Winter"; "Summer"; "Autumn"; "Spring"; "Silence"; "Echo"; "Dance";
+    "Song"; "Journey"; "Return"; "Secret"; "Promise"; "Letter"; "Stranger";
+  |]

@@ -1,0 +1,50 @@
+(** Shared constant vocabularies.
+
+    The data generator draws categorical values from these lists, and the
+    JOB-style workload (lib/workload) references the same constants in its
+    predicates. Keeping both sides on one vocabulary guarantees that every
+    query constant actually exists in the generated database (or
+    deliberately does not, for the zero-result predicates the paper's
+    estimators stumble on). *)
+
+val kind_types : string array
+val company_types : string array
+val role_types : string array
+val link_types : string array
+val comp_cast_types : string array
+
+val info_types : string array
+(** Position [i] is the info with id [i+1]. Includes the movie infos
+    ([rating], [votes], [genres], [countries], ...) and person infos
+    ([birth date], ...). *)
+
+val info_type_id : string -> int
+(** 1-based id of an info type. Raises [Invalid_argument] if unknown. *)
+
+val genres : string array
+val countries : string array
+(** Movie-info country names, e.g. ["USA"]. *)
+
+val languages : string array
+
+val country_codes : string array
+(** Company country codes, e.g. ["[us]"]; position 0 is ["[us]"]. *)
+
+val company_suffixes : string array
+val company_cores : string array
+val mc_notes : string array
+(** movie_companies note templates, e.g. ["(co-production)"]. *)
+
+val ci_notes : string array
+(** cast_info note values, e.g. ["(producer)"]. *)
+
+val keywords_special : string array
+(** Keywords referenced verbatim by queries, e.g.
+    ["character-name-in-title"]. *)
+
+val keyword_stems : string array
+
+val first_names_f : string array
+val first_names_m : string array
+val surnames : string array
+val title_words : string array

@@ -1,0 +1,1 @@
+lib/dbstats/analyze.ml: Array Column_stats Hashtbl Sample Storage Util

@@ -1,0 +1,1 @@
+lib/dbstats/analyze.mli: Column_stats Sample Storage

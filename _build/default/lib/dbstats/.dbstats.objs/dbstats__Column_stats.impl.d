@@ -1,0 +1,1 @@
+lib/dbstats/column_stats.ml: Array Float Hashtbl Histogram List Storage String

@@ -1,0 +1,1 @@
+lib/dbstats/column_stats.mli: Histogram Storage Util

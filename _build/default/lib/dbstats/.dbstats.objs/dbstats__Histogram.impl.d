@@ -1,0 +1,1 @@
+lib/dbstats/histogram.ml: Array Float Query

@@ -1,0 +1,1 @@
+lib/dbstats/sample.ml: Array Storage Util

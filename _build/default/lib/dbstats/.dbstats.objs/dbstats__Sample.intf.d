@@ -1,0 +1,1 @@
+lib/dbstats/sample.mli: Storage Util

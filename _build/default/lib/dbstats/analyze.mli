@@ -1,0 +1,33 @@
+(** The ANALYZE pipeline: build and cache statistics for a database.
+
+    One [t] corresponds to one run of the statistics-gathering command of
+    a system under test (Section 2.4 of the paper: "we ran the statistics
+    gathering command of each database system with default settings").
+    Estimators with different sampling budgets create their own [t]. *)
+
+type table_stats = {
+  table : Storage.Table.t;
+  row_count : int;
+  columns : Column_stats.t array;  (** Indexed like the table's columns. *)
+  sample : Sample.t;  (** The row sample the statistics came from. *)
+}
+
+type t
+
+val create :
+  ?seed:int ->
+  ?sample_size:int ->
+  ?buckets:int ->
+  ?mcv_entries:int ->
+  Storage.Database.t ->
+  t
+(** Lazy: a table is analyzed on first access. Defaults: sample 30000
+    rows, 100 histogram buckets, 100 MCV entries (PostgreSQL-ish). *)
+
+val database : t -> Storage.Database.t
+
+val table : t -> string -> table_stats
+
+val column : t -> table:string -> col:int -> Column_stats.t
+
+val sample : t -> table:string -> Sample.t

@@ -1,0 +1,130 @@
+type t = {
+  row_count : int;
+  null_fraction : float;
+  distinct_sampled : float;
+  distinct_exact : float;
+  mcv : (int * float) array;
+  histogram : Histogram.t option;
+  rank_of_code : int array option;
+}
+
+(* Haas & Stokes Duj1 estimator, the one PostgreSQL uses:
+   d = n*d_s / (n - f1 + f1*n/N)
+   where d_s = distinct in sample, f1 = values seen exactly once, n =
+   sample size, N = table rows. *)
+let duj1 ~sample_size ~table_rows ~sample_distinct ~singletons =
+  if sample_size = 0 then 0.0
+  else if sample_size >= table_rows then float_of_int sample_distinct
+  else begin
+    let n = float_of_int sample_size in
+    let big_n = float_of_int table_rows in
+    let d = float_of_int sample_distinct in
+    let f1 = float_of_int singletons in
+    let denom = n -. f1 +. (f1 *. n /. big_n) in
+    if denom <= 0.0 then d else Float.min big_n (n *. d /. denom)
+  end
+
+let build prng table ~col ~sample_rows ?(buckets = 100) ?(mcv_entries = 100) () =
+  ignore prng;
+  let column = Storage.Table.column table col in
+  let data = column.Storage.Column.data in
+  let row_count = Array.length data in
+  let null_code = Storage.Value.null_code in
+
+  (* Rank translation for string columns. *)
+  let rank_of_code =
+    match column.Storage.Column.dict with
+    | None -> None
+    | Some dict ->
+        let n = Storage.Dict.size dict in
+        let codes = Array.init n (fun c -> c) in
+        Array.sort
+          (fun a b -> String.compare (Storage.Dict.get dict a) (Storage.Dict.get dict b))
+          codes;
+        let ranks = Array.make n 0 in
+        Array.iteri (fun r c -> ranks.(c) <- r) codes;
+        Some ranks
+  in
+  let to_rank code =
+    match rank_of_code with None -> code | Some ranks -> ranks.(code)
+  in
+
+  (* Sample pass: frequencies per code. *)
+  let freqs = Hashtbl.create 512 in
+  let nulls = ref 0 in
+  let non_null = ref 0 in
+  Array.iter
+    (fun row ->
+      let v = data.(row) in
+      if v = null_code then incr nulls
+      else begin
+        incr non_null;
+        match Hashtbl.find_opt freqs v with
+        | Some c -> Hashtbl.replace freqs v (c + 1)
+        | None -> Hashtbl.add freqs v 1
+      end)
+    sample_rows;
+  let sample_size = Array.length sample_rows in
+  let null_fraction =
+    if sample_size = 0 then 0.0 else float_of_int !nulls /. float_of_int sample_size
+  in
+  let sample_distinct = Hashtbl.length freqs in
+  let singletons = Hashtbl.fold (fun _ c acc -> if c = 1 then acc + 1 else acc) freqs 0 in
+  let distinct_sampled =
+    Float.max 1.0
+      (duj1 ~sample_size:!non_null ~table_rows:row_count ~sample_distinct ~singletons)
+  in
+  let distinct_exact = Float.max 1.0 (float_of_int (Storage.Column.distinct_count column)) in
+
+  (* MCVs: codes seen at least twice in the sample, most frequent first. *)
+  let pairs = Hashtbl.fold (fun code c acc -> (code, c) :: acc) freqs [] in
+  let pairs = List.filter (fun (_, c) -> c >= 2) pairs in
+  let pairs = List.sort (fun (_, a) (_, b) -> compare b a) pairs in
+  let mcv =
+    pairs
+    |> List.filteri (fun i _ -> i < mcv_entries)
+    |> List.map (fun (code, c) ->
+           (code, float_of_int c /. float_of_int (max 1 sample_size)))
+    |> Array.of_list
+  in
+  let mcv_codes = Hashtbl.create 32 in
+  Array.iter (fun (code, _) -> Hashtbl.replace mcv_codes code ()) mcv;
+
+  (* Histogram over the non-MCV part of the sample, in rank space. *)
+  let hist_values =
+    Array.of_list
+      (Array.fold_left
+         (fun acc row ->
+           let v = data.(row) in
+           if v = null_code || Hashtbl.mem mcv_codes v then acc else to_rank v :: acc)
+         [] sample_rows)
+  in
+  let histogram = Histogram.build ~buckets hist_values in
+  {
+    row_count;
+    null_fraction;
+    distinct_sampled;
+    distinct_exact;
+    mcv;
+    histogram;
+    rank_of_code;
+  }
+
+let mcv_fraction_total t = Array.fold_left (fun acc (_, f) -> acc +. f) 0.0 t.mcv
+
+let mcv_find t code =
+  let found = ref None in
+  Array.iter (fun (c, f) -> if c = code && !found = None then found := Some f) t.mcv;
+  !found
+
+let rank t code = match t.rank_of_code with None -> code | Some ranks -> ranks.(code)
+
+let rank_of_string t column s =
+  match (t.rank_of_code, column.Storage.Column.dict) with
+  | Some ranks, Some dict ->
+      (* Count dictionary entries strictly smaller than s. *)
+      let smaller = ref 0 in
+      Storage.Dict.iter (fun _ entry -> if String.compare entry s < 0 then incr smaller) dict;
+      ignore ranks;
+      !smaller
+  | _ -> invalid_arg "Column_stats.rank_of_string: not a string column"

@@ -1,0 +1,19 @@
+type t = { table : string; rows : int array }
+
+let take prng table ~size =
+  let n = Storage.Table.row_count table in
+  let rows =
+    if size >= n then Array.init n (fun i -> i)
+    else Util.Prng.sample_without_replacement prng size n
+  in
+  { table = Storage.Table.name table; rows }
+
+let evaluate t table pred =
+  ignore table;
+  Array.fold_left (fun acc row -> if pred row then acc + 1 else acc) 0 t.rows
+
+let size t = Array.length t.rows
+
+let selectivity t table pred =
+  let n = size t in
+  if n = 0 then 0.0 else float_of_int (evaluate t table pred) /. float_of_int n

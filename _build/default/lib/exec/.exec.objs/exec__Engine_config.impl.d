@@ -1,0 +1,1 @@
+lib/exec/engine_config.ml:

@@ -1,0 +1,1 @@
+lib/exec/executor.ml: Array Engine_config Float Join_table List Plan Query Storage Util

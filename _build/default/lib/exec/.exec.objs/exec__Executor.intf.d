@@ -1,0 +1,1 @@
+lib/exec/executor.mli: Engine_config Plan Query Storage Util

@@ -1,0 +1,1 @@
+lib/exec/join_table.ml: Array Float Int64 Stdlib

@@ -1,0 +1,353 @@
+module Bitset = Util.Bitset
+module QG = Query.Query_graph
+
+type result = {
+  rows : int;
+  work : int;
+  runtime_ms : float;
+  timed_out : bool;
+  mins : Storage.Value.t list;
+}
+
+exception Timeout
+
+(* Row-major tuple store for intermediate results. *)
+type batch = {
+  rels : int array;
+  width : int;
+  mutable data : int array;
+  mutable nrows : int;
+}
+
+let batch_create rels =
+  let width = Array.length rels in
+  { rels; width; data = Array.make (max 16 (width * 16)) 0; nrows = 0 }
+
+let batch_reserve b extra_rows =
+  let needed = (b.nrows + extra_rows) * b.width in
+  if needed > Array.length b.data then begin
+    let capacity = max needed (2 * Array.length b.data) in
+    let bigger = Array.make capacity 0 in
+    Array.blit b.data 0 bigger 0 (b.nrows * b.width);
+    b.data <- bigger
+  end
+
+let slot_of b rel =
+  let rec go i =
+    if i >= b.width then invalid_arg "Executor: relation not in batch"
+    else if b.rels.(i) = rel then i
+    else go (i + 1)
+  in
+  go 0
+
+let null = Storage.Value.null_code
+
+let run ~db ~graph ~config ~size_est ?(projections = []) plan =
+  let work = ref 0 in
+  let limit = config.Engine_config.work_limit in
+  let row_limit = config.Engine_config.row_limit in
+  let spend n =
+    work := !work + n;
+    if !work > limit then raise Timeout
+  in
+  (* The work_mem stand-in: one intermediate result outgrowing the row
+     budget counts as a timeout. *)
+  let check_rows (b : batch) = if b.nrows > row_limit then raise Timeout in
+  let column_data rel col =
+    (Storage.Table.column (QG.relation graph rel).QG.table col).Storage.Column.data
+  in
+  (* (slot, column data) accessors for each join edge, per side. *)
+  let key_columns batch side edges =
+    Array.of_list
+      (List.map
+         (fun (e : QG.edge) ->
+           match side with
+           | `Outer -> (slot_of batch e.QG.left, column_data e.QG.left e.QG.left_col)
+           | `Inner -> (slot_of batch e.QG.right, column_data e.QG.right e.QG.right_col))
+         edges)
+  in
+  (* Composite hash of a tuple's join-key columns; None if any is NULL. *)
+  let tuple_key batch cols i =
+    let h = ref 0 in
+    let ok = ref true in
+    Array.iter
+      (fun (slot, data) ->
+        let v = data.(batch.data.((i * batch.width) + slot)) in
+        if v = null then ok := false else h := Join_table.combine !h v)
+      cols;
+    if !ok then Some !h else None
+  in
+  let keys_equal outer ocols i inner icols j =
+    let eq = ref true in
+    Array.iteri
+      (fun k (oslot, odata) ->
+        let islot, idata = icols.(k) in
+        let ov = odata.(outer.data.((i * outer.width) + oslot)) in
+        let iv = idata.(inner.data.((j * inner.width) + islot)) in
+        if ov <> iv || ov = null then eq := false)
+      ocols;
+    !eq
+  in
+  let emit_joined out outer i inner j =
+    batch_reserve out 1;
+    let base = out.nrows * out.width in
+    Array.blit outer.data (i * outer.width) out.data base outer.width;
+    Array.blit inner.data (j * inner.width) out.data (base + outer.width)
+      inner.width;
+    out.nrows <- out.nrows + 1;
+    check_rows out
+  in
+
+  let scan rel =
+    let relation = QG.relation graph rel in
+    let table = relation.QG.table in
+    let pred = Query.Predicate.compile table relation.QG.preds in
+    let out = batch_create [| rel |] in
+    let n = Storage.Table.row_count table in
+    let chunk = 4096 in
+    let row = ref 0 in
+    while !row < n do
+      let stop = min n (!row + chunk) in
+      spend (stop - !row);
+      for r = !row to stop - 1 do
+        if pred r then begin
+          batch_reserve out 1;
+          out.data.(out.nrows) <- r;
+          out.nrows <- out.nrows + 1
+        end
+      done;
+      row := stop
+    done;
+    out
+  in
+
+  (* Hash-based matching shared by hash join and the nested-loop
+     shortcut: returns the joined batch; [charge_hash] selects whether
+     hash build/probe work is charged (the NL shortcut charges the
+     quadratic pair count instead). Emitted rows are always charged, so
+     materialized intermediates can never outgrow the work budget. *)
+  let emit_cost = 2 in
+  let hash_match ~oset ~iset ~charge_hash ~table_size outer inner =
+    let edges = QG.edges_between graph oset iset in
+    if edges = [] then invalid_arg "Executor: cross product";
+    let ocols = key_columns outer `Outer edges in
+    let icols = key_columns inner `Inner edges in
+    let jt =
+      Join_table.create ~bucket_floor:config.Engine_config.hash_bucket_floor
+        ~estimated_rows:table_size
+        ~resizable:config.Engine_config.resize_hash_tables ()
+    in
+    for j = 0 to inner.nrows - 1 do
+      match tuple_key inner icols j with
+      | Some h ->
+          let w = Join_table.insert jt ~hash:h ~payload:j in
+          if charge_hash then spend w
+      | None -> if charge_hash then spend 1
+    done;
+    let out = batch_create (Array.append outer.rels inner.rels) in
+    for i = 0 to outer.nrows - 1 do
+      match tuple_key outer ocols i with
+      | Some h ->
+          let w =
+            Join_table.probe jt ~hash:h ~f:(fun j ->
+                if keys_equal outer ocols i inner icols j then begin
+                  emit_joined out outer i inner j;
+                  spend emit_cost
+                end)
+          in
+          if charge_hash then spend w
+      | None -> if charge_hash then spend 1
+    done;
+    out
+  in
+
+  (* Sort-merge join: sort both inputs' tuple indexes by composite key
+     hash (equal keys share a hash; real equality re-checked on match),
+     then merge runs pairwise. Sorting is charged n log2 n comparisons. *)
+  let merge_join ~oset ~iset outer inner =
+    let edges = QG.edges_between graph oset iset in
+    if edges = [] then invalid_arg "Executor: cross product";
+    let ocols = key_columns outer `Outer edges in
+    let icols = key_columns inner `Inner edges in
+    let sort_side batch cols =
+      let keyed = ref [] in
+      for i = batch.nrows - 1 downto 0 do
+        match tuple_key batch cols i with
+        | Some h -> keyed := (h, i) :: !keyed
+        | None -> ()
+      done;
+      let arr = Array.of_list !keyed in
+      Array.sort compare arr;
+      let n = float_of_int (Array.length arr) in
+      let comparisons =
+        if n <= 2.0 then n else n *. (Float.log n /. Float.log 2.0)
+      in
+      spend (int_of_float comparisons);
+      arr
+    in
+    let os = sort_side outer ocols in
+    let is = sort_side inner icols in
+    let out = batch_create (Array.append outer.rels inner.rels) in
+    let no = Array.length os and ni = Array.length is in
+    let i = ref 0 and j = ref 0 in
+    while !i < no && !j < ni do
+      spend 1;
+      let oh, _ = os.(!i) and ih, _ = is.(!j) in
+      if oh < ih then incr i
+      else if oh > ih then incr j
+      else begin
+        (* Matching run: find the extent of equal hashes on both sides. *)
+        let i_end = ref !i and j_end = ref !j in
+        while !i_end < no && fst os.(!i_end) = oh do
+          incr i_end
+        done;
+        while !j_end < ni && fst is.(!j_end) = ih do
+          incr j_end
+        done;
+        for a = !i to !i_end - 1 do
+          for b = !j to !j_end - 1 do
+            spend 1;
+            let _, oi = os.(a) and _, ij = is.(b) in
+            if keys_equal outer ocols oi inner icols ij then begin
+              emit_joined out outer oi inner ij;
+              spend emit_cost
+            end
+          done
+        done;
+        i := !i_end;
+        j := !j_end
+      end
+    done;
+    out
+  in
+
+  let rec eval (p : Plan.t) : batch =
+    match p.Plan.op with
+    | Plan.Scan rel -> scan rel
+    | Plan.Join { algo = Plan.Merge_join; outer = op; inner = ip } ->
+        let ob = eval op in
+        let ib = eval ip in
+        merge_join ~oset:op.Plan.set ~iset:ip.Plan.set ob ib
+    | Plan.Join { algo = Plan.Hash_join; outer = op; inner = ip } ->
+        let ob = eval op in
+        let ib = eval ip in
+        (* The hash table is sized from the optimizer's estimate of the
+           build (inner) side — the 9.4 pathology under underestimates. *)
+        hash_match ~oset:op.Plan.set ~iset:ip.Plan.set ~charge_hash:true
+          ~table_size:(size_est ip.Plan.set) ob ib
+    | Plan.Join { algo = Plan.Nl_join; outer = op; inner = ip } ->
+        if not config.Engine_config.allow_nl_join then
+          invalid_arg "Executor: nested-loop join disabled in this configuration";
+        let ob = eval op in
+        let ib = eval ip in
+        (* Charge the quadratic pair count up front; compute the (equal)
+           result hash-based so answers stay exact. *)
+        spend (ob.nrows * ib.nrows);
+        hash_match ~oset:op.Plan.set ~iset:ip.Plan.set ~charge_hash:false
+          ~table_size:(float_of_int (max 16 ib.nrows))
+          ob ib
+    | Plan.Join { algo = Plan.Index_nl_join; outer = op; inner = ip } -> (
+        match ip.Plan.op with
+        | Plan.Join _ -> invalid_arg "Executor: index-NL inner must be base"
+        | Plan.Scan inner_rel ->
+            let ob = eval op in
+            index_nl_join ~oset:op.Plan.set ob inner_rel)
+
+  and index_nl_join ~oset ob inner_rel =
+    let relation = QG.relation graph inner_rel in
+    let table = relation.QG.table in
+    let table_name = Storage.Table.name table in
+    let pred = Query.Predicate.compile table relation.QG.preds in
+    let edges = QG.edges_between graph oset (Bitset.singleton inner_rel) in
+    (* Pick an indexed edge for the lookup; remaining edges are
+       post-filters. *)
+    let indexed_edge, index =
+      let rec find = function
+        | [] -> invalid_arg "Executor: index-NL join without an available index"
+        | (e : QG.edge) :: rest -> (
+            match Storage.Database.index db ~table:table_name ~col:e.QG.right_col with
+            | Some idx -> (e, idx)
+            | None -> find rest)
+      in
+      find edges
+    in
+    let other_edges = List.filter (fun e -> e != indexed_edge) edges in
+    let outer_key_slot = slot_of ob indexed_edge.QG.left in
+    let outer_key_data = column_data indexed_edge.QG.left indexed_edge.QG.left_col in
+    let filters =
+      List.map
+        (fun (e : QG.edge) ->
+          let oslot = slot_of ob e.QG.left in
+          let odata = column_data e.QG.left e.QG.left_col in
+          let idata = column_data e.QG.right e.QG.right_col in
+          fun i inner_row ->
+            let ov = odata.(ob.data.((i * ob.width) + oslot)) in
+            let iv = idata.(inner_row) in
+            ov <> null && ov = iv)
+        other_edges
+    in
+    let out = batch_create (Array.append ob.rels [| inner_rel |]) in
+    for i = 0 to ob.nrows - 1 do
+      spend 4; (* index descent: random access *)
+      let key = outer_key_data.(ob.data.((i * ob.width) + outer_key_slot)) in
+      if key <> null then begin
+        let matches = Storage.Index.lookup index key in
+        spend (Array.length matches);
+        Array.iter
+          (fun inner_row ->
+            if pred inner_row && List.for_all (fun f -> f i inner_row) filters
+            then begin
+              batch_reserve out 1;
+              let base = out.nrows * out.width in
+              Array.blit ob.data (i * ob.width) out.data base ob.width;
+              out.data.(base + ob.width) <- inner_row;
+              out.nrows <- out.nrows + 1;
+              check_rows out;
+              spend 1
+            end)
+          matches
+      end
+    done;
+    out
+  in
+
+  let finish batch =
+    let mins =
+      List.map
+        (fun (rel, col) ->
+          let slot = slot_of batch rel in
+          let column = Storage.Table.column (QG.relation graph rel).QG.table col in
+          let best = ref None in
+          for i = 0 to batch.nrows - 1 do
+            let row = batch.data.((i * batch.width) + slot) in
+            let v = column.Storage.Column.data.(row) in
+            if v <> null then
+              match !best with
+              | Some b when b <= v -> ()
+              | _ -> best := Some v
+          done;
+          match !best with
+          | None -> Storage.Value.Null
+          | Some code -> (
+              match column.Storage.Column.dict with
+              | None -> Storage.Value.Int code
+              | Some dict -> Storage.Value.Str (Storage.Dict.get dict code)))
+        projections
+    in
+    {
+      rows = batch.nrows;
+      work = !work;
+      runtime_ms = float_of_int !work /. Engine_config.work_units_per_ms;
+      timed_out = false;
+      mins;
+    }
+  in
+  try finish (eval plan)
+  with Timeout ->
+    {
+      rows = 0;
+      work = limit;
+      runtime_ms = float_of_int limit /. Engine_config.work_units_per_ms;
+      timed_out = true;
+      mins = [];
+    }

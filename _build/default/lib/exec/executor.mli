@@ -1,0 +1,42 @@
+(** Volcano-inspired plan executor with deterministic work accounting.
+
+    The executor is this reproduction's stand-in for the paper's
+    PostgreSQL instance: it really evaluates the plan (every reported row
+    count is exact), while "runtime" is a deterministic count of work
+    units — rows scanned, hash-table entries built and chains walked,
+    index lookups performed, nested-loop pairs considered — converted to
+    milliseconds at {!Engine_config.work_units_per_ms}.
+
+    Two estimate-sensitive behaviours are modeled physically:
+    - hash tables are sized from the {e optimizer's} estimate of the
+      build side ([size_est]); in non-resizing mode an underestimate
+      yields long collision chains whose traversal is charged;
+    - non-index nested-loop joins charge [|outer| * |inner|] work units
+      (the result itself is computed hash-based, so answers stay exact
+      even for plans that would take hours for real).
+
+    A query that exceeds the configuration's work limit — or whose
+    intermediate result outgrows its row limit, the work_mem stand-in —
+    raises no exception: it returns a result with [timed_out = true] and
+    the limit as its work. *)
+
+type result = {
+  rows : int;  (** Exact result cardinality (0 when timed out). *)
+  work : int;
+  runtime_ms : float;
+  timed_out : bool;
+  mins : Storage.Value.t list;
+      (** MIN() of each requested projection, when the query finished. *)
+}
+
+val run :
+  db:Storage.Database.t ->
+  graph:Query.Query_graph.t ->
+  config:Engine_config.t ->
+  size_est:(Util.Bitset.t -> float) ->
+  ?projections:(int * int) list ->
+  Plan.t ->
+  result
+(** Raises [Invalid_argument] when the plan needs an index the current
+    physical design does not provide, or uses a nested-loop join under a
+    configuration that forbids it. *)

@@ -1,0 +1,34 @@
+(** The executor's hash table for hash joins, with explicit bucket
+    management so that the paper's undersized-hash-table pathology
+    (Section 4.1 / Figure 6) is physically reproduced.
+
+    In fixed mode the bucket count is chosen once from the optimizer's
+    cardinality estimate — underestimates produce long collision chains
+    whose traversal is charged to the query. In resizing mode (the 9.5
+    patch) the table doubles when the load factor exceeds 1, and the
+    rehash work is charged instead. *)
+
+type t
+
+val create : ?bucket_floor:int -> estimated_rows:float -> resizable:bool -> unit -> t
+(** [bucket_floor] defaults to 1024, PostgreSQL's effective minimum. *)
+
+val bucket_count : t -> int
+
+val entry_count : t -> int
+
+val insert : t -> hash:int -> payload:int -> int
+(** Add an entry; returns the work units spent (1, plus amortized rehash
+    work when a resize triggers). *)
+
+val probe : t -> hash:int -> f:(int -> unit) -> int
+(** Visit the payloads of every entry in the hash's chain (callers
+    re-check real key equality); returns the work units spent
+    (1 + chain length). *)
+
+val mix : int -> int
+(** Finalizer-style integer hash (SplitMix64 mixing), used to build entry
+    hashes from key values. *)
+
+val combine : int -> int -> int
+(** Mix a second key column into a composite hash. *)

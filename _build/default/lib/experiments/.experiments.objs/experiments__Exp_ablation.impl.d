@@ -1,0 +1,1 @@
+lib/experiments/exp_ablation.ml: Array Cardest Cost Dbstats Exec Float Harness List Planner Printf Query Sqlfront Storage String Util

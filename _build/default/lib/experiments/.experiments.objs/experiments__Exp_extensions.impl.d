@@ -1,0 +1,1 @@
+lib/experiments/exp_extensions.ml: Array Cardest Core Cost Exec Float Harness List Printf Query Storage Util

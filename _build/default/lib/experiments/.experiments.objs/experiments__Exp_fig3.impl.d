@@ -1,0 +1,1 @@
+lib/experiments/exp_fig3.ml: Array Buffer Cardest Float Harness List Printf Query Util

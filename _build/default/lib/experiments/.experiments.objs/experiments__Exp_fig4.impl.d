@@ -1,0 +1,1 @@
+lib/experiments/exp_fig4.ml: Array Buffer Cardest Datagen Dbstats Exp_fig3 Float Harness List Printf Query Sqlfront Util Workload

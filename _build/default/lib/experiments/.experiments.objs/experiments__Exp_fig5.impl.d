@@ -1,0 +1,1 @@
+lib/experiments/exp_fig5.ml: Array Buffer Exp_fig3 Harness List Option Printf String Util

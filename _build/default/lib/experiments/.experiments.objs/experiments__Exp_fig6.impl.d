@@ -1,0 +1,1 @@
+lib/experiments/exp_fig6.ml: Array Buffer Cost Exec Harness List Storage Util

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig7.ml: Array Buffer Cost Exec Exp_fig6 Harness List Storage Util

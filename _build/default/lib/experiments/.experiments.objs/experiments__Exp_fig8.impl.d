@@ -1,0 +1,1 @@
+lib/experiments/exp_fig8.ml: Array Cardest Cost Exec Float Harness List Printf Storage String Util

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig9.ml: Array Buffer Cardest Cost Float Harness List Planner Printf Storage Util

@@ -1,0 +1,1 @@
+lib/experiments/exp_sec41.ml: Array Cardest Cost Exec Harness List Storage Util

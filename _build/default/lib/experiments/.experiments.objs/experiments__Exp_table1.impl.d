@@ -1,0 +1,1 @@
+lib/experiments/exp_table1.ml: Array Cardest Float Harness List Printf Query Util

@@ -1,0 +1,1 @@
+lib/experiments/exp_table3.ml: Array Cardest Cost Float Harness List Planner Storage Util

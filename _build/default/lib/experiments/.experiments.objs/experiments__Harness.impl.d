@@ -1,0 +1,1 @@
+lib/experiments/harness.ml: Array Cardest Cost Datagen Dbstats Exec Float Fun Lazy List Planner Query Sqlfront Storage String Workload

@@ -1,0 +1,1 @@
+lib/experiments/harness.mli: Cardest Cost Dbstats Exec Lazy Plan Planner Query Storage Util Workload

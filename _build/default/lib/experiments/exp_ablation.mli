@@ -1,0 +1,29 @@
+(** Ablation studies of the design choices DESIGN.md calls out — not in
+    the paper's evaluation, but direct follow-ups to its analysis:
+
+    - {b statistics knobs}: PostgreSQL-style base estimation with the MCV
+      list and/or histograms removed (how much of Table 1's quality comes
+      from which statistic);
+    - {b damping sweep}: DBMS A's join-selectivity damping exponent swept
+      from 1.0 (pure independence) toward 0.5, showing the
+      under/over-estimation trade-off the paper speculates about;
+    - {b hash-table bucket floor}: the executor's PostgreSQL-style
+      1024-bucket floor removed/enlarged, quantifying how much engine
+      robustness it alone provides (Section 4.1's theme);
+    - {b syntactic order sensitivity}: the paper's footnote-6 anecdote —
+      the same query estimated after permuting the FROM clause yields
+      different numbers, because intermediate clamping interacts with the
+      (order-dependent) decomposition. *)
+
+val statistics_knobs : Harness.t -> string
+
+val damping_sweep : Harness.t -> string
+
+val bucket_floor : Harness.t -> string
+
+val syntactic_order : Harness.t -> string
+
+val join_algorithms : Harness.t -> string
+
+val render : Harness.t -> string
+(** All five, concatenated. *)

@@ -1,0 +1,26 @@
+(** The paper's two future-work routes, implemented and measured
+    (Section 8: better estimation algorithms from the literature, and
+    more interaction between runtime and optimizer).
+
+    Extension 1 — {b join sampling} ({!Cardest.Join_sample}): exact
+    counting on a sampled sub-database, scaled by the inverse sampling
+    rates. Compared against PostgreSQL's estimator per join count,
+    Figure-3 style: the sample sees join-crossing correlations, so its
+    medians stay near 1 where the per-attribute estimators have
+    collapsed.
+
+    Extension 2 — {b adaptive re-optimization} ({!Core.Adaptive}): probe
+    the plan's bottom-most joins, inject the observed cardinalities, and
+    re-plan (bounded rounds). Measured as the Section-4.1 slowdown
+    distribution, stock engine, against the same optimizer without
+    probing. *)
+
+val join_sampling : Harness.t -> string
+
+val adaptive : Harness.t -> string
+
+val qerror_bound : Harness.t -> string
+(** Empirical validation of the q^4 plan-quality guarantee of the
+    paper's reference [30] ({!Cardest.Qbound}). *)
+
+val render : Harness.t -> string

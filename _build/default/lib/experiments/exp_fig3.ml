@@ -1,0 +1,81 @@
+module QG = Query.Query_graph
+module Bitset = Util.Bitset
+
+type cell = {
+  joins : int;
+  count : int;
+  box : Util.Stat.boxplot;
+  frac_wrong_10x : float;
+}
+
+let floored x = Float.max 1.0 x
+
+let signed_errors_for (_h : Harness.t) (q : Harness.qctx) est ~max_joins =
+  let tc = Harness.truth q in
+  let subsets = QG.connected_subsets q.Harness.graph in
+  Array.to_list subsets
+  |> List.filter_map (fun s ->
+         let joins = Bitset.cardinal s - 1 in
+         if joins > max_joins then None
+         else
+           let estimate = floored (est.Cardest.Estimator.subset s) in
+           let truth = floored (Cardest.True_card.card tc s) in
+           Some (joins, Util.Stat.signed_error ~estimate ~truth))
+
+let measure (h : Harness.t) ~max_joins =
+  List.map
+    (fun system ->
+      let by_joins = Array.make (max_joins + 1) [] in
+      Array.iter
+        (fun q ->
+          let est = Harness.estimator h q system in
+          List.iter
+            (fun (joins, err) -> by_joins.(joins) <- err :: by_joins.(joins))
+            (signed_errors_for h q est ~max_joins))
+        h.Harness.queries;
+      let cells =
+        List.init (max_joins + 1) (fun joins ->
+            let errs = Array.of_list by_joins.(joins) in
+            let wrong =
+              Array.fold_left
+                (fun acc e -> if e >= 10.0 || e <= 0.1 then acc + 1 else acc)
+                0 errs
+            in
+            {
+              joins;
+              count = Array.length errs;
+              box = Util.Stat.boxplot errs;
+              frac_wrong_10x = Util.Stat.fraction wrong (Array.length errs);
+            })
+      in
+      (system, cells))
+    Cardest.Systems.names
+
+let render h =
+  let data = measure h ~max_joins:6 in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    "Figure 3: quality of cardinality estimates for multi-join queries\n";
+  Buffer.add_string buf
+    "(signed error estimate/true; <1 means underestimation; one row per join count)\n\n";
+  List.iter
+    (fun (system, cells) ->
+      Buffer.add_string buf
+        (Util.Render.log_boxplot_rows ~title:system ~lo:1e-8 ~hi:1e4
+           (List.map
+              (fun c -> (Printf.sprintf "%d joins" c.joins, Some c.box))
+              cells));
+      Buffer.add_string buf
+        (Util.Render.table ~header:[ "joins"; "n"; "median"; "frac off >=10x" ]
+           (List.map
+              (fun c ->
+                [
+                  string_of_int c.joins;
+                  string_of_int c.count;
+                  Util.Render.float_cell c.box.Util.Stat.p50;
+                  Util.Render.percent_cell c.frac_wrong_10x;
+                ])
+              cells));
+      Buffer.add_char buf '\n')
+    data;
+  Buffer.contents buf

@@ -1,0 +1,26 @@
+(** Figure 3: distribution of join cardinality estimation errors by
+    number of joins, for all five systems.
+
+    For every connected subexpression of every workload query (up to 6
+    joins, as in the figure) the signed error [estimate / truth] is
+    computed; a value below 1 is underestimation. One boxplot (5/25/50/
+    75/95th percentiles) per (system, join count). *)
+
+type cell = {
+  joins : int;
+  count : int;
+  box : Util.Stat.boxplot;  (** Over signed errors, log-scale friendly. *)
+  frac_wrong_10x : float;
+      (** Fraction of estimates off by 10x or more (the paper's 16% /
+          32% / 52% numbers for PostgreSQL). *)
+}
+
+val measure : Harness.t -> max_joins:int -> (string * cell list) list
+
+val signed_errors_for :
+  Harness.t -> Harness.qctx -> Cardest.Estimator.t -> max_joins:int ->
+  (int * float) list
+(** (join count, signed error) for each connected subexpression of one
+    query — reused by Figures 4 and 5. *)
+
+val render : Harness.t -> string

@@ -1,0 +1,79 @@
+module QG = Query.Query_graph
+module Bitset = Util.Bitset
+
+let job_query_names = [ "6a"; "16d"; "17b"; "25c" ]
+let tpch_query_names = [ "TPC-H 5"; "TPC-H 8"; "TPC-H 10" ]
+
+let max_joins = 6
+
+let boxes_of_errors errors =
+  List.init (max_joins + 1) (fun joins ->
+      let errs =
+        List.filter_map (fun (j, e) -> if j = joins then Some e else None) errors
+      in
+      let box =
+        if errs = [] then None else Some (Util.Stat.boxplot (Array.of_list errs))
+      in
+      (joins, box))
+
+let floored x = Float.max 1.0 x
+
+(* Signed errors for a stand-alone query graph (used for TPC-H, which
+   lives outside the IMDB harness). *)
+let errors_of_graph analyze db graph =
+  let ctx = { Cardest.Systems.db; graph } in
+  let est = Cardest.Systems.postgres analyze ctx in
+  let tc = Cardest.True_card.compute graph in
+  Array.to_list (QG.connected_subsets graph)
+  |> List.filter_map (fun s ->
+         let joins = Bitset.cardinal s - 1 in
+         if joins > max_joins then None
+         else
+           Some
+             ( joins,
+               Util.Stat.signed_error
+                 ~estimate:(floored (est.Cardest.Estimator.subset s))
+                 ~truth:(floored (Cardest.True_card.card tc s)) ))
+
+let measure (h : Harness.t) =
+  let job_rows =
+    List.map
+      (fun name ->
+        let q = Harness.find h name in
+        let est = Harness.estimator h q "PostgreSQL" in
+        let errors = Exp_fig3.signed_errors_for h q est ~max_joins in
+        ("JOB " ^ name, boxes_of_errors errors))
+      job_query_names
+  in
+  let tpch_db = Datagen.Tpch_gen.generate () in
+  let tpch_analyze = Dbstats.Analyze.create tpch_db in
+  let tpch_rows =
+    List.map
+      (fun name ->
+        let q = Workload.Tpch_queries.find name in
+        let bound =
+          Sqlfront.Binder.bind_sql tpch_db ~name q.Workload.Tpch_queries.sql
+        in
+        let graph = bound.Sqlfront.Binder.graph in
+        (name, boxes_of_errors (errors_of_graph tpch_analyze tpch_db graph)))
+      tpch_query_names
+  in
+  job_rows @ tpch_rows
+
+let render h =
+  let data = measure h in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    "Figure 4: PostgreSQL estimates for 4 JOB queries and 3 TPC-H queries\n";
+  Buffer.add_string buf
+    "(signed error estimate/true per join count; TPC-H stays near 1)\n\n";
+  List.iter
+    (fun (name, rows) ->
+      Buffer.add_string buf
+        (Util.Render.log_boxplot_rows ~title:name ~lo:1e-6 ~hi:1e3
+           (List.map
+              (fun (joins, box) -> (Printf.sprintf "%d joins" joins, box))
+              rows));
+      Buffer.add_char buf '\n')
+    data;
+  Buffer.contents buf

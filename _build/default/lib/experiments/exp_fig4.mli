@@ -1,0 +1,17 @@
+(** Figure 4: PostgreSQL estimation errors for individual JOB queries
+    versus TPC-H queries.
+
+    The four hard JOB queries (6a, 16d, 17b, 25c) show errors that grow
+    with the join count, while the three TPC-H analogues — uniform,
+    independent data — stay near 1 across all join counts: synthetic
+    benchmarks do not stress cardinality estimation. *)
+
+val job_query_names : string list
+val tpch_query_names : string list
+
+val measure :
+  Harness.t -> (string * (int * Util.Stat.boxplot option) list) list
+(** Per query: (join count, boxplot of signed errors) rows. The TPC-H
+    side builds its own database and statistics internally. *)
+
+val render : Harness.t -> string

@@ -1,0 +1,49 @@
+let max_joins = 6
+
+let collect (h : Harness.t) system =
+  let errors = ref [] in
+  Array.iter
+    (fun q ->
+      let est = Harness.estimator h q system in
+      errors := Exp_fig3.signed_errors_for h q est ~max_joins @ !errors)
+    h.Harness.queries;
+  List.init (max_joins + 1) (fun joins ->
+      let errs =
+        List.filter_map (fun (j, e) -> if j = joins then Some e else None) !errors
+      in
+      ( joins,
+        if errs = [] then None else Some (Util.Stat.boxplot (Array.of_list errs)) ))
+
+let measure h =
+  [
+    ("PostgreSQL", collect h "PostgreSQL");
+    ("PostgreSQL (true distinct)", collect h "PostgreSQL (true distinct)");
+  ]
+
+let render h =
+  let data = measure h in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    "Figure 5: PostgreSQL estimates with default vs true distinct counts\n";
+  Buffer.add_string buf
+    "(medians drop further below 1: better statistics worsen the underestimation)\n\n";
+  List.iter
+    (fun (name, rows) ->
+      Buffer.add_string buf
+        (Util.Render.log_boxplot_rows ~title:name ~lo:1e-8 ~hi:1e2
+           (List.map
+              (fun (joins, box) -> (Printf.sprintf "%d joins" joins, box))
+              rows));
+      let medians =
+        List.filter_map
+          (fun (j, box) ->
+            Option.map
+              (fun (b : Util.Stat.boxplot) ->
+                Printf.sprintf "%d:%s" j (Util.Render.float_cell b.Util.Stat.p50))
+              box)
+          rows
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "medians by joins: %s\n\n" (String.concat "  " medians)))
+    data;
+  Buffer.contents buf

@@ -1,0 +1,15 @@
+(** Figure 5: PostgreSQL estimates with its sampled distinct-value counts
+    versus exact distinct counts.
+
+    The paper's counter-intuitive finding: fixing the distinct counts
+    slightly reduces error variance but makes systematic underestimation
+    {e worse}, because the too-low distinct estimates inflated join
+    selectivities in a direction that accidentally compensated for the
+    independence assumption ("two wrongs make a right"). *)
+
+val measure :
+  Harness.t -> (string * (int * Util.Stat.boxplot option) list) list
+(** Two entries — default statistics and true distinct counts — each with
+    per-join-count boxplots of signed errors. *)
+
+val render : Harness.t -> string

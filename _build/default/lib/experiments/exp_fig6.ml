@@ -1,0 +1,48 @@
+let variants =
+  [
+    ("(a) default", Exec.Engine_config.default_9_4);
+    ("(b) + no nested-loop join", Exec.Engine_config.no_nl);
+    ("(c) + rehashing", Exec.Engine_config.robust);
+  ]
+
+let bucket_edges = [| 0.9; 1.1; 2.0; 10.0; 100.0 |]
+
+let bucket_labels =
+  [ "[0.3,0.9)"; "[0.9,1.1)"; "[1.1,2)"; "[2,10)"; "[10,100)"; ">100" ]
+
+let measure (h : Harness.t) =
+  Harness.with_index_config h Storage.Database.Pk_only (fun () ->
+      List.map
+        (fun (label, engine) ->
+          let slowdowns =
+            Array.to_list h.Harness.queries
+            |> List.map (fun q ->
+                   let est = Harness.estimator h q "PostgreSQL" in
+                   Harness.slowdown_vs_optimal h q ~est
+                     ~model:Cost.Cost_model.postgres ~engine)
+          in
+          let counts =
+            Util.Stat.bucketize ~edges:bucket_edges
+              (Array.of_list
+                 (List.map (fun v -> if v = infinity then 1e9 else v) slowdowns))
+          in
+          let total = List.length slowdowns in
+          ( label,
+            Array.to_list (Array.map (fun c -> Util.Stat.fraction c total) counts)
+          ))
+        variants)
+
+let render h =
+  let rows = measure h in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    "Figure 6: slowdown of queries using PostgreSQL estimates w.r.t. true\n\
+     cardinalities (primary key indexes only)\n\n";
+  List.iter
+    (fun (label, fracs) ->
+      Buffer.add_string buf
+        (Util.Render.bar_chart ~title:label ~width:40
+           (List.map2 (fun l f -> (l, f *. 100.0)) bucket_labels fracs));
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf

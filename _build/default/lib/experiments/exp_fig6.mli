@@ -1,0 +1,18 @@
+(** Figure 6: how engine robustness tames bad estimates.
+
+    PostgreSQL's own estimates, PK-only indexes, three engine variants:
+    (a) stock 9.4 (nested-loop joins + fixed hash tables) — some queries
+    time out; (b) nested-loop joins disabled — timeouts disappear;
+    (c) plus runtime hash-table resizing — nearly all queries within 2x
+    of the true-cardinality plan. *)
+
+val variants : (string * Exec.Engine_config.t) list
+
+val bucket_edges : float array
+val bucket_labels : string list
+
+val measure : Harness.t -> (string * float list) list
+(** Per engine variant: fraction of queries per slowdown bucket
+    ([\[0.3,0.9) .. >100]). *)
+
+val render : Harness.t -> string

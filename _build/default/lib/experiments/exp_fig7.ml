@@ -1,0 +1,45 @@
+let configs =
+  [
+    ("(a) PK indexes", Storage.Database.Pk_only);
+    ("(b) PK + FK indexes", Storage.Database.Pk_fk);
+  ]
+
+let measure (h : Harness.t) =
+  List.map
+    (fun (label, config) ->
+      Harness.with_index_config h config (fun () ->
+          let slowdowns =
+            Array.to_list h.Harness.queries
+            |> List.map (fun q ->
+                   let est = Harness.estimator h q "PostgreSQL" in
+                   Harness.slowdown_vs_optimal h q ~est
+                     ~model:Cost.Cost_model.postgres
+                     ~engine:Exec.Engine_config.robust)
+          in
+          let counts =
+            Util.Stat.bucketize ~edges:Exp_fig6.bucket_edges
+              (Array.of_list
+                 (List.map (fun v -> if v = infinity then 1e9 else v) slowdowns))
+          in
+          let total = List.length slowdowns in
+          ( label,
+            Array.to_list (Array.map (fun c -> Util.Stat.fraction c total) counts)
+          )))
+    configs
+
+let render h =
+  let rows = measure h in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    "Figure 7: slowdown of queries using PostgreSQL estimates w.r.t. true\n\
+     cardinalities (different index configurations, robust engine)\n\n";
+  List.iter
+    (fun (label, fracs) ->
+      Buffer.add_string buf
+        (Util.Render.bar_chart ~title:label ~width:40
+           (List.map2
+              (fun l f -> (l, f *. 100.0))
+              Exp_fig6.bucket_labels fracs));
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf

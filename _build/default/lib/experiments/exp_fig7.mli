@@ -1,0 +1,12 @@
+(** Figure 7: the same slowdown histogram under two physical designs —
+    primary-key indexes only versus primary + foreign-key indexes.
+
+    With FK indexes the plan space contains far better and far worse
+    plans; misestimates now push a large fraction of queries beyond 2x
+    of the optimum, even with the robust engine of Figure 6c. *)
+
+val configs : (string * Storage.Database.index_config) list
+
+val measure : Harness.t -> (string * float list) list
+
+val render : Harness.t -> string

@@ -1,0 +1,106 @@
+type cell = {
+  model : string;
+  cards : string;
+  r2 : float;
+  median_error : float;
+  geomean_runtime_ms : float;
+  timeouts : int;
+}
+
+let models =
+  [
+    ("standard cost model", Cost.Cost_model.postgres);
+    ("tuned cost model", Cost.Cost_model.tuned);
+    ("simple cost model (Cmm)", Cost.Cost_model.cmm);
+  ]
+
+let card_sources = [ ("PostgreSQL estimates", "PostgreSQL"); ("true cardinalities", "true") ]
+
+let measure (h : Harness.t) =
+  Harness.with_index_config h Storage.Database.Pk_fk (fun () ->
+      List.concat_map
+        (fun (model_name, model) ->
+          List.map
+            (fun (cards_label, system) ->
+              let points = ref [] in
+              let runtimes = ref [] in
+              let timeouts = ref 0 in
+              Array.iter
+                (fun q ->
+                  let est = Harness.estimator h q system in
+                  let plan, cost =
+                    Harness.plan_with h q ~est ~model ()
+                  in
+                  let result =
+                    Harness.execute h q ~plan
+                      ~size_est:est.Cardest.Estimator.subset
+                      ~engine:Exec.Engine_config.robust
+                  in
+                  if result.Exec.Executor.timed_out then incr timeouts
+                  else begin
+                    points := (cost, result.Exec.Executor.runtime_ms) :: !points;
+                    runtimes :=
+                      Float.max 0.01 result.Exec.Executor.runtime_ms :: !runtimes
+                  end)
+                h.Harness.queries;
+              let points = Array.of_list !points in
+              let fit = Util.Stat.linear_regression points in
+              let errors =
+                Array.map
+                  (fun (c, t) ->
+                    let predicted =
+                      (fit.Util.Stat.slope *. c) +. fit.Util.Stat.intercept
+                    in
+                    Float.abs (t -. predicted) /. Float.max 0.01 t)
+                  points
+              in
+              {
+                model = model_name;
+                cards = cards_label;
+                r2 = fit.Util.Stat.r2;
+                median_error = Util.Stat.median errors;
+                geomean_runtime_ms =
+                  Util.Stat.geometric_mean (Array.of_list !runtimes);
+                timeouts = !timeouts;
+              })
+            card_sources)
+        models)
+
+let render h =
+  let cells = measure h in
+  let table =
+    Util.Render.table
+      ~title:
+        "Figure 8 / Section 5: cost model predictive power and plan quality\n\
+         (PK+FK indexes; linear fit of cost vs measured runtime per panel)"
+      ~header:
+        [ "cost model"; "cardinalities"; "r^2"; "median eps"; "geomean runtime";
+          "timeouts" ]
+      (List.map
+         (fun c ->
+           [
+             c.model;
+             c.cards;
+             Printf.sprintf "%.3f" c.r2;
+             Util.Render.percent_cell c.median_error;
+             Printf.sprintf "%s ms" (Util.Render.float_cell c.geomean_runtime_ms);
+             string_of_int c.timeouts;
+           ])
+         cells)
+  in
+  (* Geomean improvements relative to the standard model, true cards. *)
+  let geomean model =
+    List.find
+      (fun c -> String.equal c.model model && String.equal c.cards "true cardinalities")
+      cells
+  in
+  let base = (geomean "standard cost model").geomean_runtime_ms in
+  let improvement cell =
+    (base -. cell.geomean_runtime_ms) /. base *. 100.0
+  in
+  table
+  ^ Printf.sprintf
+      "\nWith true cardinalities: tuned model %.0f%% faster, simple Cmm %.0f%% \
+       faster than the standard model (geometric mean).\n"
+      (improvement (geomean "tuned cost model"))
+      (improvement (geomean "simple cost model (Cmm)"))

@@ -1,0 +1,25 @@
+(** Figure 8 / Section 5: predicted cost versus actual runtime for the
+    three cost models, with PostgreSQL estimates and with true
+    cardinalities (PK+FK indexes, robust engine).
+
+    Reported per (cost model, cardinality source):
+    - r² of a linear cost→runtime regression (the scatter's tightness);
+    - the median absolute percentage prediction error ε of that linear
+      model (the paper: 38% for the standard model with true
+      cardinalities, 30% after tuning);
+    - the geometric-mean runtime of the plans the model picks, and its
+      improvement over the standard model under true cardinalities (the
+      paper: tuned −41%, simple C_mm −34%). *)
+
+type cell = {
+  model : string;
+  cards : string;  (** "PostgreSQL estimates" or "true cardinalities" *)
+  r2 : float;
+  median_error : float;
+  geomean_runtime_ms : float;
+  timeouts : int;
+}
+
+val measure : Harness.t -> cell list
+
+val render : Harness.t -> string

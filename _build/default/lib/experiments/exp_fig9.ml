@@ -1,0 +1,93 @@
+let query_names = [ "6a"; "13a"; "16d"; "17b"; "25c" ]
+
+let index_configs =
+  [ Storage.Database.No_indexes; Storage.Database.Pk_only; Storage.Database.Pk_fk ]
+
+type summary = {
+  config : Storage.Database.index_config;
+  frac_within_1_5 : float;
+  avg_width : float;
+}
+
+let search (h : Harness.t) (q : Harness.qctx) =
+  Planner.Search.create ~model:Cost.Cost_model.cmm ~graph:q.Harness.graph
+    ~db:h.Harness.db
+    ~card:(Cardest.True_card.card (Harness.truth q))
+    ()
+
+(* Normalizer: cost of the optimal bushy plan with FK indexes. *)
+let optimal_fk_cost h q =
+  Harness.with_index_config h Storage.Database.Pk_fk (fun () ->
+      snd (Planner.Dp.optimize (search h q)))
+
+let measure_query (h : Harness.t) q ~attempts =
+  let norm = optimal_fk_cost h q in
+  List.map
+    (fun config ->
+      Harness.with_index_config h config (fun () ->
+          let prng = Util.Prng.create 4242 in
+          let costs = Planner.Quickpick.sample_costs (search h q) prng ~attempts in
+          (config, Array.map (fun c -> c /. norm) costs)))
+    index_configs
+
+let summarize (h : Harness.t) ~attempts =
+  List.map
+    (fun config ->
+      Harness.with_index_config h config (fun () ->
+          let within = ref 0 and total = ref 0 in
+          let widths = ref [] in
+          Array.iter
+            (fun q ->
+              let s = search h q in
+              let optimal = snd (Planner.Dp.optimize s) in
+              let prng = Util.Prng.create 777 in
+              let costs = Planner.Quickpick.sample_costs s prng ~attempts in
+              Array.iter
+                (fun c ->
+                  incr total;
+                  if c <= 1.5 *. optimal then incr within)
+                costs;
+              let worst = Util.Stat.maximum costs
+              and best = Float.max 1e-9 (Util.Stat.minimum costs) in
+              widths := (worst /. best) :: !widths)
+            h.Harness.queries;
+          {
+            config;
+            frac_within_1_5 = Util.Stat.fraction !within !total;
+            avg_width = Util.Stat.geometric_mean (Array.of_list !widths);
+          }))
+    index_configs
+
+let render h =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    "Figure 9: cost distribution of 10,000 random (Quickpick) join orders,\n\
+     normalized by the optimal PK+FK plan (true cardinalities, Cmm)\n\n";
+  List.iter
+    (fun name ->
+      let q = Harness.find h name in
+      let per_config = measure_query h q ~attempts:10_000 in
+      Buffer.add_string buf
+        (Util.Render.log_boxplot_rows ~title:(Printf.sprintf "JOB %s" name)
+           ~lo:1.0 ~hi:1e6
+           (List.map
+              (fun (config, samples) ->
+                ( Storage.Database.index_config_to_string config,
+                  Some (Util.Stat.boxplot samples) ))
+              per_config));
+      Buffer.add_char buf '\n')
+    query_names;
+  let summaries = summarize h ~attempts:300 in
+  Buffer.add_string buf
+    (Util.Render.table
+       ~title:"Workload summary (300 random plans per query)"
+       ~header:[ "index config"; "plans within 1.5x of optimal"; "avg worst/best" ]
+       (List.map
+          (fun s ->
+            [
+              Storage.Database.index_config_to_string s.config;
+              Util.Render.percent_cell s.frac_within_1_5;
+              Printf.sprintf "%sx" (Util.Render.float_cell s.avg_width);
+            ])
+          summaries));
+  Buffer.contents buf

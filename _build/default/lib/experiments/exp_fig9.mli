@@ -1,0 +1,26 @@
+(** Figure 9 / Section 6.1: the cost distribution of random join orders.
+
+    10,000 Quickpick samples per query (true cardinalities, C_mm cost)
+    under three physical designs; costs are normalized by the optimal
+    PK+FK plan. Also reproduces the paper's workload-level summary: the
+    percentage of random plans within 1.5x of the optimum per design,
+    and the average worst/best plan ratio ("width" of the distribution). *)
+
+val query_names : string list
+(** 6a, 13a, 16d, 17b, 25c — the figure's five representative queries. *)
+
+type summary = {
+  config : Storage.Database.index_config;
+  frac_within_1_5 : float;
+  avg_width : float;  (** Geometric mean over queries of worst/best. *)
+}
+
+val measure_query :
+  Harness.t -> Harness.qctx -> attempts:int ->
+  (Storage.Database.index_config * float array) list
+(** Normalized cost samples per index configuration. *)
+
+val summarize : Harness.t -> attempts:int -> summary list
+(** Whole-workload summary (fewer samples per query for tractability). *)
+
+val render : Harness.t -> string

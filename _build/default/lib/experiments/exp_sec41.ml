@@ -1,0 +1,38 @@
+let buckets = [| 0.9; 1.1; 2.0; 10.0; 100.0 |]
+
+let bucket_labels =
+  [ "<0.9"; "[0.9,1.1)"; "[1.1,2)"; "[2,10)"; "[10,100)"; ">100" ]
+
+let slowdowns (h : Harness.t) system ~engine =
+  Harness.with_index_config h Storage.Database.Pk_only (fun () ->
+      Array.to_list h.Harness.queries
+      |> List.map (fun q ->
+             let est = Harness.estimator h q system in
+             Harness.slowdown_vs_optimal h q ~est
+               ~model:Cost.Cost_model.postgres ~engine))
+
+let fractions values =
+  let counts =
+    Util.Stat.bucketize ~edges:buckets
+      (Array.of_list (List.map (fun v -> if v = infinity then 1e9 else v) values))
+  in
+  let total = List.length values in
+  Array.to_list (Array.map (fun c -> Util.Stat.fraction c total) counts)
+
+let measure h =
+  List.map
+    (fun system ->
+      (system, fractions (slowdowns h system ~engine:Exec.Engine_config.default_9_4)))
+    Cardest.Systems.names
+
+let render h =
+  let rows = measure h in
+  Util.Render.table
+    ~title:
+      "Section 4.1: slowdown of injected estimates vs true cardinalities\n\
+       (PK indexes, stock engine: NL joins on, fixed-size hash tables)"
+    ~header:("system" :: bucket_labels)
+    (List.map
+       (fun (system, fracs) ->
+         system :: List.map Util.Render.percent_cell fracs)
+       rows)

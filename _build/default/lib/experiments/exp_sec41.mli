@@ -1,0 +1,16 @@
+(** Section 4.1's slowdown table: each system's estimates are injected
+    into the optimizer, the resulting plans are executed, and runtimes
+    are grouped by their slowdown relative to the true-cardinality plan.
+
+    Runs under the paper's initial conditions: primary-key indexes only,
+    stock engine (nested-loop joins enabled, fixed-size hash tables). *)
+
+val buckets : float array
+(** Bucket edges 0.9 / 1.1 / 2 / 10 / 100; six groups as in the paper. *)
+
+val bucket_labels : string list
+
+val measure : Harness.t -> (string * float list) list
+(** Per system: fraction of queries per slowdown group. *)
+
+val render : Harness.t -> string

@@ -1,0 +1,63 @@
+module QG = Query.Query_graph
+
+type row = {
+  system : string;
+  median : float;
+  p90 : float;
+  p95 : float;
+  max : float;
+  selections : int;
+}
+
+(* Cardinalities are floored at one row before computing q-errors so that
+   deliberately empty selections stay finite (the paper's truths were
+   tiny but non-zero). *)
+let floored x = Float.max 1.0 x
+
+let measure (h : Harness.t) =
+  List.map
+    (fun system ->
+      let errors = ref [] in
+      Array.iter
+        (fun (q : Harness.qctx) ->
+          let est = Harness.estimator h q system in
+          let tc = Harness.truth q in
+          Array.iter
+            (fun (r : QG.relation) ->
+              if r.QG.preds <> [] then begin
+                let estimate = floored (est.Cardest.Estimator.base r.QG.idx) in
+                let truth = floored (Cardest.True_card.base tc r.QG.idx) in
+                errors := Util.Stat.q_error ~estimate ~truth :: !errors
+              end)
+            (QG.relations q.Harness.graph))
+        h.Harness.queries;
+      let errors = Array.of_list !errors in
+      {
+        system;
+        median = Util.Stat.median errors;
+        p90 = Util.Stat.percentile errors 0.90;
+        p95 = Util.Stat.percentile errors 0.95;
+        max = Util.Stat.maximum errors;
+        selections = Array.length errors;
+      })
+    Cardest.Systems.names
+
+let render h =
+  let rows = measure h in
+  let selections = match rows with r :: _ -> r.selections | [] -> 0 in
+  Util.Render.table
+    ~title:
+      (Printf.sprintf
+         "Table 1: q-errors for the %d base table selections of the workload"
+         selections)
+    ~header:[ "system"; "median"; "90th"; "95th"; "max" ]
+    (List.map
+       (fun r ->
+         [
+           r.system;
+           Util.Render.float_cell r.median;
+           Util.Render.float_cell r.p90;
+           Util.Render.float_cell r.p95;
+           Util.Render.float_cell r.max;
+         ])
+       rows)

@@ -1,0 +1,16 @@
+(** Table 1: q-error percentiles (median / 90th / 95th / max) of the
+    base-table selection estimates of all five systems, over every
+    selection in the JOB workload. *)
+
+type row = {
+  system : string;
+  median : float;
+  p90 : float;
+  p95 : float;
+  max : float;
+  selections : int;
+}
+
+val measure : Harness.t -> row list
+
+val render : Harness.t -> string

@@ -1,0 +1,70 @@
+type row = {
+  shape : string;
+  config : Storage.Database.index_config;
+  median : float;
+  p95 : float;
+  max : float;
+}
+
+let shapes =
+  [
+    ("zig-zag", Planner.Search.Only_zig_zag);
+    ("left-deep", Planner.Search.Only_left_deep);
+    ("right-deep", Planner.Search.Only_right_deep);
+  ]
+
+let configs = [ Storage.Database.Pk_only; Storage.Database.Pk_fk ]
+
+let measure (h : Harness.t) =
+  List.concat_map
+    (fun config ->
+      Harness.with_index_config h config (fun () ->
+          let per_query =
+            Array.to_list h.Harness.queries
+            |> List.map (fun q ->
+                   let oracle = Cardest.True_card.estimator (Harness.truth q) in
+                   let _, bushy =
+                     Harness.plan_with h q ~est:oracle ~model:Cost.Cost_model.cmm ()
+                   in
+                   List.map
+                     (fun (name, shape) ->
+                       let _, cost =
+                         Harness.plan_with h q ~est:oracle
+                           ~model:Cost.Cost_model.cmm ~shape ()
+                       in
+                       (name, cost /. Float.max 1e-9 bushy))
+                     shapes)
+          in
+          List.map
+            (fun (name, _) ->
+              let slowdowns =
+                Array.of_list
+                  (List.map (fun per -> List.assoc name per) per_query)
+              in
+              {
+                shape = name;
+                config;
+                median = Util.Stat.median slowdowns;
+                p95 = Util.Stat.percentile slowdowns 0.95;
+                max = Util.Stat.maximum slowdowns;
+              })
+            shapes))
+    configs
+
+let render h =
+  let rows = measure h in
+  Util.Render.table
+    ~title:
+      "Table 2: slowdown for restricted tree shapes vs the optimal (bushy)\n\
+       plan, true cardinalities"
+    ~header:[ "shape"; "index config"; "median"; "95%"; "max" ]
+    (List.map
+       (fun r ->
+         [
+           r.shape;
+           Storage.Database.index_config_to_string r.config;
+           Util.Render.float_cell r.median;
+           Util.Render.float_cell r.p95;
+           Util.Render.float_cell r.max;
+         ])
+       rows)

@@ -1,0 +1,20 @@
+(** Table 2 / Section 6.2: how much performance is lost by restricting
+    the tree shape to zig-zag, left-deep or right-deep, relative to the
+    optimal bushy plan (true cardinalities, C_mm cost), under PK-only
+    and PK+FK physical designs.
+
+    Expected shape (the paper's): zig-zag ≈ left-deep ≪ right-deep, and
+    the right-deep penalty explodes under FK indexes because only its
+    bottom-most join can use an index lookup. *)
+
+type row = {
+  shape : string;
+  config : Storage.Database.index_config;
+  median : float;
+  p95 : float;
+  max : float;
+}
+
+val measure : Harness.t -> row list
+
+val render : Harness.t -> string

@@ -1,0 +1,23 @@
+(** Table 3 / Section 6.3: exhaustive dynamic programming versus the
+    Quickpick-1000 and Greedy Operator Ordering heuristics, with
+    PostgreSQL estimates and with true cardinalities, under PK-only and
+    PK+FK designs.
+
+    Each algorithm plans with the given cardinalities; the resulting
+    plan's cost is then recomputed with the {e true} cardinalities and
+    normalized by the optimal plan of that index configuration — the
+    paper's methodology for comparing enumeration quality without
+    executing every plan. *)
+
+type row = {
+  algorithm : string;
+  cards : string;
+  config : Storage.Database.index_config;
+  median : float;
+  p95 : float;
+  max : float;
+}
+
+val measure : Harness.t -> row list
+
+val render : Harness.t -> string

@@ -1,0 +1,98 @@
+module QG = Query.Query_graph
+
+type qctx = {
+  query : Workload.Job.query;
+  graph : QG.t;
+  projections : (int * int) list;
+  truth : Cardest.True_card.t Lazy.t;
+}
+
+type t = {
+  db : Storage.Database.t;
+  analyze : Dbstats.Analyze.t;
+  coarse : Dbstats.Analyze.t;
+  queries : qctx array;
+}
+
+let create ?(seed = 42) ?(scale = 1.0) ?(queries = Workload.Job.all) () =
+  let db = Datagen.Imdb_gen.generate ~seed ~scale () in
+  let analyze = Dbstats.Analyze.create db in
+  let coarse = Cardest.Systems.coarse_analyze db in
+  let queries =
+    Array.of_list
+      (List.map
+         (fun (q : Workload.Job.query) ->
+           let bound = Sqlfront.Binder.bind_sql db ~name:q.name q.sql in
+           let graph = bound.Sqlfront.Binder.graph in
+           {
+             query = q;
+             graph;
+             projections = bound.Sqlfront.Binder.projections;
+             truth = lazy (Cardest.True_card.compute graph);
+           })
+         queries)
+  in
+  { db; analyze; coarse; queries }
+
+let find t name =
+  match
+    Array.to_list t.queries
+    |> List.find_opt (fun q -> String.equal q.query.Workload.Job.name name)
+  with
+  | Some q -> q
+  | None -> raise Not_found
+
+let truth qctx = Lazy.force qctx.truth
+
+let estimator t qctx name =
+  let ctx = { Cardest.Systems.db = t.db; graph = qctx.graph } in
+  match name with
+  | "true" -> Cardest.True_card.estimator (truth qctx)
+  | "PostgreSQL (true distinct)" ->
+      Cardest.Systems.postgres ~true_distinct:true t.analyze ctx
+  | "DBMS B" -> Cardest.Systems.dbms_b t.coarse ctx
+  | other -> Cardest.Systems.by_name t.analyze ctx other
+
+let with_index_config t config f =
+  let saved = Storage.Database.index_config t.db in
+  Storage.Database.set_index_config t.db config;
+  Fun.protect ~finally:(fun () -> Storage.Database.set_index_config t.db saved) f
+
+let plan_with t qctx ~est ~model ?(allow_nl = false)
+    ?(shape = Planner.Search.Any_shape) () =
+  let search =
+    Planner.Search.create ~allow_nl ~shape ~model ~graph:qctx.graph ~db:t.db
+      ~card:est.Cardest.Estimator.subset ()
+  in
+  Planner.Dp.optimize search
+
+let execute t qctx ~plan ~size_est ~engine =
+  Exec.Executor.run ~db:t.db ~graph:qctx.graph ~config:engine ~size_est
+    ~projections:qctx.projections plan
+
+let true_cost t qctx plan =
+  let env =
+    {
+      Cost.Cost_model.graph = qctx.graph;
+      db = t.db;
+      card = Cardest.True_card.card (truth qctx);
+    }
+  in
+  Cost.Cost_model.plan_cost Cost.Cost_model.cmm env plan
+
+let slowdown_vs_optimal t qctx ~est ~model ~engine =
+  let allow_nl = engine.Exec.Engine_config.allow_nl_join in
+  let plan, _ = plan_with t qctx ~est ~model ~allow_nl () in
+  let oracle = Cardest.True_card.estimator (truth qctx) in
+  let optimal_plan, _ = plan_with t qctx ~est:oracle ~model ~allow_nl () in
+  let run plan size_est = execute t qctx ~plan ~size_est ~engine in
+  let actual = run plan est.Cardest.Estimator.subset in
+  let baseline = run optimal_plan oracle.Cardest.Estimator.subset in
+  if actual.Exec.Executor.timed_out then
+    (* Lower bound: the plan ran for at least the limit. *)
+    float_of_int engine.Exec.Engine_config.work_limit
+    /. Exec.Engine_config.work_units_per_ms
+    /. Float.max 0.001 baseline.Exec.Executor.runtime_ms
+  else
+    actual.Exec.Executor.runtime_ms
+    /. Float.max 0.001 baseline.Exec.Executor.runtime_ms

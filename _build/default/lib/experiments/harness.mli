@@ -1,0 +1,74 @@
+(** Shared experimental setup: one generated database, its statistics,
+    the bound workload, and lazily-computed exact cardinalities.
+
+    Every experiment module takes a {!t}; building one [t] per benchmark
+    run amortizes the expensive pieces (data generation, ANALYZE, the
+    exact-cardinality DP per query) across all tables and figures. *)
+
+type qctx = {
+  query : Workload.Job.query;
+  graph : Query.Query_graph.t;
+  projections : (int * int) list;
+  truth : Cardest.True_card.t Lazy.t;
+}
+
+type t = {
+  db : Storage.Database.t;
+  analyze : Dbstats.Analyze.t;  (** Default-settings ANALYZE. *)
+  coarse : Dbstats.Analyze.t;  (** DBMS B's degraded statistics. *)
+  queries : qctx array;  (** The bound JOB workload. *)
+}
+
+val create :
+  ?seed:int -> ?scale:float -> ?queries:Workload.Job.query list -> unit -> t
+(** Defaults: seed 42, scale 1.0, the full 113-query workload. *)
+
+val find : t -> string -> qctx
+(** Query context by JOB name (e.g. ["16d"]); raises [Not_found]. *)
+
+val estimator : t -> qctx -> string -> Cardest.Estimator.t
+(** System estimator by display name ("PostgreSQL", "DBMS A", ...,
+    "HyPer"), plus "PostgreSQL (true distinct)" and "true". *)
+
+val truth : qctx -> Cardest.True_card.t
+
+val with_index_config :
+  t -> Storage.Database.index_config -> (unit -> 'a) -> 'a
+(** Run a thunk under a physical design, restoring the previous one. *)
+
+val plan_with :
+  t ->
+  qctx ->
+  est:Cardest.Estimator.t ->
+  model:Cost.Cost_model.t ->
+  ?allow_nl:bool ->
+  ?shape:Planner.Search.shape_limit ->
+  unit ->
+  Plan.t * float
+(** DP-optimize the query under the given estimator/cost model and the
+    database's current index configuration. *)
+
+val execute :
+  t ->
+  qctx ->
+  plan:Plan.t ->
+  size_est:(Util.Bitset.t -> float) ->
+  engine:Exec.Engine_config.t ->
+  Exec.Executor.result
+
+val true_cost : t -> qctx -> Plan.t -> float
+(** Cmm cost of a plan under the exact cardinalities — the paper's proxy
+    for runtime in the plan-space experiments (Section 6). *)
+
+val slowdown_vs_optimal :
+  t ->
+  qctx ->
+  est:Cardest.Estimator.t ->
+  model:Cost.Cost_model.t ->
+  engine:Exec.Engine_config.t ->
+  float
+(** End-to-end Section-4 measurement: optimize with [est], execute, and
+    divide by the runtime of the true-cardinality plan. A timed-out query
+    reports the lower bound [work_limit / baseline]. Nested-loop joins
+    are offered to the optimizer exactly when the engine configuration
+    executes them. *)

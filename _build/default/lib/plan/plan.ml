@@ -1,0 +1,144 @@
+module Bitset = Util.Bitset
+
+type join_algo = Hash_join | Index_nl_join | Merge_join | Nl_join
+
+type t = { op : op; set : Bitset.t }
+
+and op =
+  | Scan of int
+  | Join of { algo : join_algo; outer : t; inner : t }
+
+type shape = Left_deep | Right_deep | Zig_zag | Bushy
+
+let scan rel = { op = Scan rel; set = Bitset.singleton rel }
+
+let is_base t = match t.op with Scan _ -> true | Join _ -> false
+
+let base_rel t = match t.op with Scan r -> Some r | Join _ -> None
+
+let join algo ~outer ~inner =
+  if not (Bitset.disjoint outer.set inner.set) then
+    invalid_arg "Plan.join: overlapping children";
+  if algo = Index_nl_join && not (is_base inner) then
+    invalid_arg "Plan.join: index-NL inner must be a base relation";
+  { op = Join { algo; outer; inner }; set = Bitset.union outer.set inner.set }
+
+let rec join_count t =
+  match t.op with
+  | Scan _ -> 0
+  | Join { outer; inner; _ } -> 1 + join_count outer + join_count inner
+
+let shape t =
+  let rec walk t (left_ok, right_ok, zig_ok) =
+    match t.op with
+    | Scan _ -> (left_ok, right_ok, zig_ok)
+    | Join { outer; inner; _ } ->
+        let left_ok = left_ok && is_base inner in
+        let right_ok = right_ok && is_base outer in
+        let zig_ok = zig_ok && (is_base inner || is_base outer) in
+        walk inner (walk outer (left_ok, right_ok, zig_ok))
+  in
+  match walk t (true, true, true) with
+  | true, true, _ -> Left_deep (* single join: both classes; report left-deep *)
+  | true, false, _ -> Left_deep
+  | false, true, _ -> Right_deep
+  | false, false, true -> Zig_zag
+  | false, false, false -> Bushy
+
+let shape_to_string = function
+  | Left_deep -> "left-deep"
+  | Right_deep -> "right-deep"
+  | Zig_zag -> "zig-zag"
+  | Bushy -> "bushy"
+
+let algo_to_string = function
+  | Hash_join -> "hash join"
+  | Index_nl_join -> "index-NL join"
+  | Merge_join -> "sort-merge join"
+  | Nl_join -> "NL join"
+
+let rec fold f acc t =
+  let acc = f acc t in
+  match t.op with
+  | Scan _ -> acc
+  | Join { outer; inner; _ } -> fold f (fold f acc outer) inner
+
+let subsets_on_path t = List.rev (fold (fun acc node -> node.set :: acc) [] t)
+
+let validate graph t =
+  let n = Query.Query_graph.n_relations graph in
+  let seen = Array.make n 0 in
+  let problems = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  let rec walk t =
+    match t.op with
+    | Scan r ->
+        if r < 0 || r >= n then add "scan of unknown relation %d" r
+        else seen.(r) <- seen.(r) + 1
+    | Join { algo; outer; inner } ->
+        if not (Bitset.disjoint outer.set inner.set) then
+          add "join children overlap";
+        if Query.Query_graph.edges_between graph outer.set inner.set = [] then
+          add "cross product between %s and %s"
+            (Format.asprintf "%a" Bitset.pp outer.set)
+            (Format.asprintf "%a" Bitset.pp inner.set);
+        (if algo = Index_nl_join then
+           match inner.op with
+           | Scan _ -> ()
+           | Join _ -> add "index-NL inner is not a base relation");
+        walk outer;
+        walk inner
+  in
+  walk t;
+  if t.set <> Bitset.full n then add "plan does not cover all relations";
+  Array.iteri (fun r c -> if c > 1 then add "relation %d appears %d times" r c) seen;
+  match !problems with
+  | [] -> Ok ()
+  | ps -> Error (String.concat "; " (List.rev ps))
+
+let to_dot ?(annot = fun _ -> "") graph t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "digraph plan {\n  node [shape=box, fontname=\"monospace\"];\n";
+  let next = ref 0 in
+  let rec walk t =
+    let id = !next in
+    incr next;
+    let label =
+      match t.op with
+      | Scan r ->
+          let rel = Query.Query_graph.relation graph r in
+          Printf.sprintf "scan %s\\n(%s)%s" rel.Query.Query_graph.alias
+            (Storage.Table.name rel.Query.Query_graph.table)
+            (annot t)
+      | Join { algo; _ } -> Printf.sprintf "%s%s" (algo_to_string algo) (annot t)
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "  n%d [label=\"%s\"];\n" id (String.concat "\\\"" (String.split_on_char '"' label)));
+    (match t.op with
+    | Scan _ -> ()
+    | Join { outer; inner; _ } ->
+        let o = walk outer in
+        let i = walk inner in
+        Buffer.add_string buf (Printf.sprintf "  n%d -> n%d [label=\"outer\"];\n" id o);
+        Buffer.add_string buf (Printf.sprintf "  n%d -> n%d [label=\"inner\"];\n" id i));
+    id
+  in
+  ignore (walk t);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let pp ?(annot = fun _ -> "") graph fmt t =
+  let rec go indent t =
+    let pad = String.make indent ' ' in
+    match t.op with
+    | Scan r ->
+        let rel = Query.Query_graph.relation graph r in
+        Format.fprintf fmt "%sscan %s (%s)%s@." pad rel.Query.Query_graph.alias
+          (Storage.Table.name rel.Query.Query_graph.table)
+          (annot t)
+    | Join { algo; outer; inner } ->
+        Format.fprintf fmt "%s%s%s@." pad (algo_to_string algo) (annot t);
+        go (indent + 2) outer;
+        go (indent + 2) inner
+  in
+  go 0 t

@@ -1,0 +1,67 @@
+(** Physical join plans.
+
+    Conventions, following the paper (Section 6.2):
+    - a hash join builds its table on the {e inner} (right) child and
+      probes with the outer (left) child;
+    - an index-nested-loop join reads tuples from the outer (left) child
+      and looks each up in an index on the inner child, which must be a
+      base-table scan;
+    - a sort-merge join sorts both children on the join keys and merges
+      (PostgreSQL's third join algorithm, Section 2.3 — in a
+      main-memory setting it loses to hashing, which is exactly the
+      paper's work_mem observation in Section 2.5);
+    - a (non-index) nested-loop join scans the inner for every outer
+      tuple — the "risky" operator of Section 4.1.
+
+    Tree shapes: left-deep = every inner child is a base relation,
+    right-deep = every outer child is one, zig-zag = every join has at
+    least one base child, bushy = unrestricted. *)
+
+type join_algo = Hash_join | Index_nl_join | Merge_join | Nl_join
+
+type t = { op : op; set : Util.Bitset.t }
+
+and op =
+  | Scan of int  (** base relation index in the query graph *)
+  | Join of { algo : join_algo; outer : t; inner : t }
+
+type shape = Left_deep | Right_deep | Zig_zag | Bushy
+
+val scan : int -> t
+
+val join : join_algo -> outer:t -> inner:t -> t
+(** Checks set disjointness; checks the INL inner-is-base invariant. *)
+
+val is_base : t -> bool
+
+val base_rel : t -> int option
+(** The relation index when the plan is a single scan. *)
+
+val join_count : t -> int
+
+val shape : t -> shape
+(** Most restrictive shape class the tree belongs to. *)
+
+val shape_to_string : shape -> string
+
+val algo_to_string : join_algo -> string
+
+val fold : ('a -> t -> 'a) -> 'a -> t -> 'a
+(** Pre-order fold over all nodes. *)
+
+val subsets_on_path : t -> Util.Bitset.t list
+(** The set of every node in the tree (each intermediate result the plan
+    materializes or streams). *)
+
+val validate : Query.Query_graph.t -> t -> (unit, string) result
+(** Full structural check: covers all relations exactly once, every join
+    has at least one connecting edge, INL inners are base scans. *)
+
+val pp :
+  ?annot:(t -> string) -> Query.Query_graph.t -> Format.formatter -> t -> unit
+(** Indented tree rendering; [annot] can attach per-node text (e.g.
+    cardinalities or costs). *)
+
+val to_dot :
+  ?annot:(t -> string) -> Query.Query_graph.t -> t -> string
+(** GraphViz rendering of the operator tree ([dot -Tsvg ...]). *)

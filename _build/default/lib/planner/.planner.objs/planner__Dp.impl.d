@@ -1,0 +1,1 @@
+lib/planner/dp.ml: Array Cost Hashtbl Plan Printf Query Search Util

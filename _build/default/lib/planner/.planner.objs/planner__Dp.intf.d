@@ -1,0 +1,1 @@
+lib/planner/dp.mli: Hashtbl Plan Search Util

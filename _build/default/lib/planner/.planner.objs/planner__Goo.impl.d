@@ -1,0 +1,1 @@
+lib/planner/goo.ml: Cost List Plan Query Search Util

@@ -1,0 +1,1 @@
+lib/planner/goo.mli: Plan Search

@@ -1,0 +1,1 @@
+lib/planner/quickpick.ml: Array Cost Option Plan Query Search Util

@@ -1,0 +1,1 @@
+lib/planner/quickpick.mli: Plan Search Util

@@ -1,0 +1,1 @@
+lib/planner/search.ml: Cost List Plan Query Storage Util

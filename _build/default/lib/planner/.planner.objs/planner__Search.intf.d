@@ -1,0 +1,1 @@
+lib/planner/search.mli: Cost Plan Query Storage Util

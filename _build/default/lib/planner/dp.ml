@@ -1,0 +1,47 @@
+module Bitset = Util.Bitset
+module QG = Query.Query_graph
+
+let build_table (t : Search.t) =
+  let graph = t.Search.env.Cost.Cost_model.graph in
+  let n = QG.n_relations graph in
+  let table : (Bitset.t, Plan.t * float) Hashtbl.t = Hashtbl.create 1024 in
+  for r = 0 to n - 1 do
+    Hashtbl.add table (Bitset.singleton r) (Search.scan_entry t r)
+  done;
+  let subsets = QG.connected_subsets graph in
+  Array.iter
+    (fun s ->
+      if Bitset.cardinal s >= 2 then begin
+        let best = ref None in
+        Bitset.subsets_iter s (fun s1 ->
+            let s2 = Bitset.diff s s1 in
+            match (Hashtbl.find_opt table s1, Hashtbl.find_opt table s2) with
+            | Some outer, Some inner ->
+                (* Both connected; require at least one join edge across. *)
+                if not (Bitset.disjoint (QG.neighbors graph s1) s2) then begin
+                  match Search.best_join t ~outer ~inner with
+                  | Some ((_, cost) as cand) -> (
+                      match !best with
+                      | Some (_, bc) when bc <= cost -> ()
+                      | _ -> best := Some cand)
+                  | None -> ()
+                end
+            | _ -> ())
+          ;
+        match !best with
+        | Some entry -> Hashtbl.add table s entry
+        | None -> ()
+      end)
+    subsets;
+  table
+
+let optimize t =
+  let graph = t.Search.env.Cost.Cost_model.graph in
+  let table = build_table t in
+  match Hashtbl.find_opt table (QG.full_set graph) with
+  | Some entry -> entry
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Dp.optimize: no plan found for query %s" (QG.name graph))
+
+let optimize_all_subsets = build_table

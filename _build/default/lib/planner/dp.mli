@@ -1,0 +1,13 @@
+(** Exhaustive join-order optimization by dynamic programming over
+    connected subgraphs — bushy trees, no cross products, exactly
+    PostgreSQL's enumeration (Section 2.3 of the paper). Shape limits in
+    the search context turn the same machinery into the left-deep /
+    right-deep / zig-zag enumerators of Section 6.2. *)
+
+val optimize : Search.t -> Plan.t * float
+(** Optimal plan and its estimated cost for the full relation set.
+    Raises [Invalid_argument] if no plan exists (cannot happen for
+    connected graphs with hash joins enabled). *)
+
+val optimize_all_subsets : Search.t -> (Util.Bitset.t, Plan.t * float) Hashtbl.t
+(** The full DP table, for experiments that inspect sub-plans. *)

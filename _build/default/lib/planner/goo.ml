@@ -1,0 +1,42 @@
+module Bitset = Util.Bitset
+module QG = Query.Query_graph
+
+let optimize (t : Search.t) =
+  let graph = t.Search.env.Cost.Cost_model.graph in
+  let card = t.Search.env.Cost.Cost_model.card in
+  let n = QG.n_relations graph in
+  let forest = ref (List.init n (fun r -> Search.scan_entry t r)) in
+  let connected (a : Plan.t * float) (b : Plan.t * float) =
+    not (Bitset.disjoint (QG.neighbors graph (fst a).Plan.set) (fst b).Plan.set)
+  in
+  while List.length !forest > 1 do
+    (* Choose the connected pair with the smallest estimated output. *)
+    let best = ref None in
+    let rec pairs = function
+      | [] -> ()
+      | a :: rest ->
+          List.iter
+            (fun b ->
+              if connected a b then begin
+                let out = card (Bitset.union (fst a).Plan.set (fst b).Plan.set) in
+                match !best with
+                | Some (_, _, bo) when bo <= out -> ()
+                | _ -> best := Some (a, b, out)
+              end)
+            rest;
+          pairs rest
+    in
+    pairs !forest;
+    match !best with
+    | None -> invalid_arg "Goo.optimize: graph not connected"
+    | Some (a, b, _) -> (
+        match Search.best_join_any_orientation t a b with
+        | None -> invalid_arg "Goo.optimize: no legal join method"
+        | Some entry ->
+            forest :=
+              entry
+              :: List.filter (fun (p, _) -> p != fst a && p != fst b) !forest)
+  done;
+  match !forest with
+  | [ entry ] -> entry
+  | _ -> assert false

@@ -1,0 +1,11 @@
+(** Greedy Operator Ordering (Fegaras) — the deterministic greedy
+    heuristic of Table 3.
+
+    GOO maintains a forest of join trees, initially one per base
+    relation, and repeatedly merges the pair of connected trees whose
+    join produces the smallest (estimated) intermediate result. It can
+    produce bushy trees but explores only a sliver of the search space,
+    and — as the paper notes — it is not index-aware: the merge choice
+    looks at cardinalities only, the join method is picked afterwards. *)
+
+val optimize : Search.t -> Plan.t * float

@@ -1,0 +1,48 @@
+module Bitset = Util.Bitset
+module QG = Query.Query_graph
+
+let sample (t : Search.t) prng =
+  let graph = t.Search.env.Cost.Cost_model.graph in
+  let n = QG.n_relations graph in
+  let edges = Array.of_list (QG.edges graph) in
+  (* Partial plans, keyed by a component representative. *)
+  let component = Array.init n (fun i -> i) in
+  let rec find i = if component.(i) = i then i else find component.(i) in
+  let entries : (Plan.t * float) option array =
+    Array.init n (fun r -> Some (Search.scan_entry t r))
+  in
+  let order = Array.init (Array.length edges) (fun i -> i) in
+  Util.Prng.shuffle prng order;
+  let remaining = ref n in
+  Array.iter
+    (fun ei ->
+      if !remaining > 1 then begin
+        let e = edges.(ei) in
+        let ra = find e.QG.left and rb = find e.QG.right in
+        if ra <> rb then begin
+          let a = Option.get entries.(ra) and b = Option.get entries.(rb) in
+          match Search.best_join_any_orientation t a b with
+          | Some entry ->
+              (* Merge rb into ra. *)
+              component.(rb) <- ra;
+              entries.(ra) <- Some entry;
+              entries.(rb) <- None;
+              decr remaining
+          | None -> ()
+        end
+      end)
+    order;
+  if !remaining <> 1 then invalid_arg "Quickpick.sample: graph not connected";
+  Option.get entries.(find 0)
+
+let sample_costs t prng ~attempts =
+  Array.init attempts (fun _ -> snd (sample t prng))
+
+let best_of t prng ~attempts =
+  assert (attempts > 0);
+  let best = ref (sample t prng) in
+  for _ = 2 to attempts do
+    let cand = sample t prng in
+    if snd cand < snd !best then best := cand
+  done;
+  !best

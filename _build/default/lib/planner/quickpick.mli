@@ -1,0 +1,21 @@
+(** Quickpick randomized plan enumeration (Waas & Pellenkoft), used two
+    ways by the paper: 10,000 raw samples visualize the cost distribution
+    of random join orders (Figure 9), and "Quickpick-1000" — the best of
+    1000 samples — serves as a randomized optimization heuristic
+    (Table 3).
+
+    One sample picks join-graph edges uniformly at random; an edge whose
+    endpoints lie in different partial plans merges them (with the
+    cheapest legal join method and orientation), until a single plan
+    covers all relations. *)
+
+val sample : Search.t -> Util.Prng.t -> Plan.t * float
+(** One random (valid) plan and its estimated cost. *)
+
+val sample_costs : Search.t -> Util.Prng.t -> attempts:int -> float array
+(** Costs of [attempts] independent random plans (Figure 9's raw
+    material). *)
+
+val best_of : Search.t -> Util.Prng.t -> attempts:int -> Plan.t * float
+(** Quickpick-N: cheapest of N random plans under the search context's
+    cost model and cardinality estimates. *)

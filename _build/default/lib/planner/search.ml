@@ -1,0 +1,72 @@
+module Bitset = Util.Bitset
+module QG = Query.Query_graph
+
+type shape_limit = Any_shape | Only_left_deep | Only_right_deep | Only_zig_zag
+
+type t = {
+  env : Cost.Cost_model.env;
+  model : Cost.Cost_model.t;
+  allow_nl : bool;
+  allow_hash : bool;
+  shape : shape_limit;
+}
+
+let create ?(allow_nl = false) ?(allow_hash = true) ?(shape = Any_shape) ~model
+    ~graph ~db ~card () =
+  { env = { Cost.Cost_model.graph; db; card }; model; allow_nl; allow_hash; shape }
+
+let inl_possible t ~outer ~inner =
+  match Plan.base_rel inner with
+  | None -> false
+  | Some r ->
+      let relation = QG.relation t.env.Cost.Cost_model.graph r in
+      let table = Storage.Table.name relation.QG.table in
+      List.exists
+        (fun (e : QG.edge) ->
+          (* edges_between orients left into the outer set *)
+          Storage.Database.index t.env.Cost.Cost_model.db ~table ~col:e.QG.right_col
+          <> None)
+        (QG.edges_between t.env.Cost.Cost_model.graph outer.Plan.set inner.Plan.set)
+
+let shape_allows t ~outer ~inner =
+  match t.shape with
+  | Any_shape -> true
+  | Only_left_deep -> Plan.is_base inner
+  | Only_right_deep -> Plan.is_base outer
+  | Only_zig_zag -> Plan.is_base inner || Plan.is_base outer
+
+let best_join t ~outer:(outer, outer_cost) ~inner:(inner, inner_cost) =
+  if not (shape_allows t ~outer ~inner) then None
+  else begin
+    let candidates = ref [] in
+    let consider algo =
+      let cost =
+        t.model.Cost.Cost_model.join_cost t.env algo ~outer ~inner ~outer_cost
+          ~inner_cost
+      in
+      candidates := (Plan.join algo ~outer ~inner, cost) :: !candidates
+    in
+    if t.allow_hash then consider Plan.Hash_join;
+    consider Plan.Merge_join;
+    if inl_possible t ~outer ~inner then consider Plan.Index_nl_join;
+    if t.allow_nl then consider Plan.Nl_join;
+    match !candidates with
+    | [] -> None
+    | first :: rest ->
+        Some
+          (List.fold_left
+             (fun ((_, bc) as best) ((_, c) as cand) ->
+               if c < bc then cand else best)
+             first rest)
+  end
+
+let best_join_any_orientation t a b =
+  let forward = best_join t ~outer:a ~inner:b in
+  let backward = best_join t ~outer:b ~inner:a in
+  match (forward, backward) with
+  | None, r | r, None -> r
+  | Some ((_, cf) as f), Some ((_, cb) as b) -> Some (if cf <= cb then f else b)
+
+let scan_entry t r =
+  let plan = Plan.scan r in
+  (plan, t.model.Cost.Cost_model.scan_cost t.env r)

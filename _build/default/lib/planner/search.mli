@@ -1,0 +1,43 @@
+(** Shared plan-search context: which join methods are legal, and how a
+    candidate join is costed.
+
+    The index-nested-loop option exists only when the database's current
+    physical design provides a hash index on the inner base relation's
+    join column — this is how the paper's "no / PK / PK+FK indexes"
+    configurations reshape the search space. The (non-index) nested-loop
+    option is the "risky" operator; Section 4.1 disables it. *)
+
+type shape_limit = Any_shape | Only_left_deep | Only_right_deep | Only_zig_zag
+
+type t = {
+  env : Cost.Cost_model.env;
+  model : Cost.Cost_model.t;
+  allow_nl : bool;
+  allow_hash : bool;  (** PostgreSQL's [enable_hashjoin]; sort-merge steps in when off. *)
+  shape : shape_limit;
+}
+
+val create :
+  ?allow_nl:bool ->
+  ?allow_hash:bool ->
+  ?shape:shape_limit ->
+  model:Cost.Cost_model.t ->
+  graph:Query.Query_graph.t ->
+  db:Storage.Database.t ->
+  card:(Util.Bitset.t -> float) ->
+  unit ->
+  t
+
+val inl_possible : t -> outer:Plan.t -> inner:Plan.t -> bool
+(** Inner is a base scan and an index exists on one of the join edges'
+    inner columns. *)
+
+val best_join : t -> outer:Plan.t * float -> inner:Plan.t * float -> (Plan.t * float) option
+(** Cheapest legal join of [outer] with [inner] (in this orientation), or
+    [None] when no join method is legal. Shape limits are enforced. *)
+
+val best_join_any_orientation :
+  t -> Plan.t * float -> Plan.t * float -> (Plan.t * float) option
+(** Tries both orientations. *)
+
+val scan_entry : t -> int -> Plan.t * float

@@ -1,0 +1,1 @@
+lib/query/like_match.ml: Hashtbl String

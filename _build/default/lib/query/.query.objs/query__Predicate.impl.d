@@ -1,0 +1,1 @@
+lib/query/predicate.ml: Array Format Hashtbl Int Like_match List Printf Storage String

@@ -1,0 +1,1 @@
+lib/query/query_graph.ml: Array Format Hashtbl List Option Predicate Printf Storage Util

@@ -1,0 +1,1 @@
+lib/query/query_graph.mli: Format Predicate Storage Util

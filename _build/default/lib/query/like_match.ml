@@ -1,0 +1,33 @@
+let matches ~pattern s =
+  let np = String.length pattern and ns = String.length s in
+  (* Memoized recursion over (pattern index, string index). *)
+  let memo = Hashtbl.create 64 in
+  let rec go pi si =
+    if pi = np then si = ns
+    else
+      match Hashtbl.find_opt memo (pi, si) with
+      | Some r -> r
+      | None ->
+          let r =
+            match pattern.[pi] with
+            | '%' ->
+                (* Skip runs of % then either consume nothing or one char. *)
+                let rec after_pct j = if j < np && pattern.[j] = '%' then after_pct (j + 1) else j in
+                let pj = after_pct pi in
+                if pj = np then true
+                else
+                  let rec try_from k = k <= ns && (go pj k || try_from (k + 1)) in
+                  try_from si
+            | '_' -> si < ns && go (pi + 1) (si + 1)
+            | c -> si < ns && s.[si] = c && go (pi + 1) (si + 1)
+          in
+          Hashtbl.add memo (pi, si) r;
+          r
+  in
+  go 0 0
+
+let is_prefix_pattern pattern =
+  let n = String.length pattern in
+  n > 1
+  && pattern.[n - 1] = '%'
+  && not (String.exists (fun c -> c = '%' || c = '_') (String.sub pattern 0 (n - 1)))

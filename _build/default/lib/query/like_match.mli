@@ -1,0 +1,12 @@
+(** SQL [LIKE] pattern matching.
+
+    Supports the two standard wildcards: ['%'] (any sequence, including
+    empty) and ['_'] (any single character). Matching is case-sensitive,
+    as in PostgreSQL. *)
+
+val matches : pattern:string -> string -> bool
+
+val is_prefix_pattern : string -> bool
+(** True when the pattern is of the form ["abc%"] — the only LIKE form
+    PostgreSQL can range-estimate from a histogram; everything else gets a
+    magic constant. The estimators use this distinction. *)

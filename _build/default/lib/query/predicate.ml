@@ -1,0 +1,143 @@
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type atom =
+  | Cmp of { col : int; op : cmp; code : int }
+  | In of { col : int; codes : int list }
+  | Str_cmp of { col : int; op : cmp; value : string }
+  | Like of { col : int; pattern : string; negated : bool }
+  | Is_null of { col : int; negated : bool }
+  | Between of { col : int; lo : int; hi : int }
+  | Or of atom list
+  | Const_false
+
+type t = atom list
+
+let cmp_to_string = function
+  | Eq -> "="
+  | Ne -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let rec atom_column = function
+  | Cmp { col; _ } | In { col; _ } | Like { col; _ } | Is_null { col; _ }
+  | Between { col; _ } | Str_cmp { col; _ } ->
+      Some col
+  | Const_false -> None
+  | Or atoms -> (
+      match List.filter_map atom_column atoms with
+      | [] -> None
+      | c :: rest -> if List.for_all (Int.equal c) rest then Some c else None)
+
+let eval_cmp op lhs rhs =
+  match op with
+  | Eq -> lhs = rhs
+  | Ne -> lhs <> rhs
+  | Lt -> lhs < rhs
+  | Le -> lhs <= rhs
+  | Gt -> lhs > rhs
+  | Ge -> lhs >= rhs
+
+let rec compile_atom table atom =
+  let data col = (Storage.Table.column table col).Storage.Column.data in
+  let null = Storage.Value.null_code in
+  match atom with
+  | Const_false -> fun _ -> false
+  | Cmp { col; op; code } ->
+      let d = data col in
+      fun row ->
+        let v = d.(row) in
+        v <> null && eval_cmp op v code
+  | In { col; codes } ->
+      let d = data col in
+      let set = Hashtbl.create (List.length codes) in
+      List.iter (fun c -> Hashtbl.replace set c ()) codes;
+      fun row ->
+        let v = d.(row) in
+        v <> null && Hashtbl.mem set v
+  | Between { col; lo; hi } ->
+      let d = data col in
+      fun row ->
+        let v = d.(row) in
+        v <> null && v >= lo && v <= hi
+  | Is_null { col; negated } ->
+      let d = data col in
+      fun row -> if negated then d.(row) <> null else d.(row) = null
+  | Str_cmp { col; op; value } -> (
+      let column = Storage.Table.column table col in
+      let d = column.Storage.Column.data in
+      match column.Storage.Column.dict with
+      | None -> invalid_arg "Predicate.compile: string comparison on an integer column"
+      | Some dict ->
+          let bitmap =
+            Storage.Dict.matching_codes dict (fun s ->
+                eval_cmp op (String.compare s value) 0)
+          in
+          fun row ->
+            let v = d.(row) in
+            v <> null && bitmap.(v))
+  | Like { col; pattern; negated } -> (
+      let column = Storage.Table.column table col in
+      let d = column.Storage.Column.data in
+      match column.Storage.Column.dict with
+      | None -> invalid_arg "Predicate.compile: LIKE on an integer column"
+      | Some dict ->
+          let bitmap =
+            Storage.Dict.matching_codes dict (fun s -> Like_match.matches ~pattern s)
+          in
+          fun row ->
+            let v = d.(row) in
+            v <> null && bitmap.(v) <> negated)
+  | Or atoms ->
+      let fns = List.map (compile_atom table) atoms in
+      fun row -> List.exists (fun f -> f row) fns
+
+let compile table preds =
+  let fns = List.map (compile_atom table) preds in
+  match fns with
+  | [] -> fun _ -> true
+  | [ f ] -> f
+  | fns -> fun row -> List.for_all (fun f -> f row) fns
+
+let column_name table col =
+  (Storage.Table.column table col).Storage.Column.name
+
+let const_str table col code =
+  let column = Storage.Table.column table col in
+  match column.Storage.Column.dict with
+  | None -> string_of_int code
+  | Some dict -> Printf.sprintf "'%s'" (Storage.Dict.get dict code)
+
+let rec pp_atom table fmt = function
+  | Const_false -> Format.pp_print_string fmt "FALSE"
+  | Cmp { col; op; code } ->
+      Format.fprintf fmt "%s %s %s" (column_name table col) (cmp_to_string op)
+        (const_str table col code)
+  | In { col; codes } ->
+      Format.fprintf fmt "%s IN (%s)" (column_name table col)
+        (String.concat ", " (List.map (const_str table col) codes))
+  | Str_cmp { col; op; value } ->
+      Format.fprintf fmt "%s %s '%s'" (column_name table col) (cmp_to_string op)
+        value
+  | Like { col; pattern; negated } ->
+      Format.fprintf fmt "%s %sLIKE '%s'" (column_name table col)
+        (if negated then "NOT " else "")
+        pattern
+  | Is_null { col; negated } ->
+      Format.fprintf fmt "%s IS %sNULL" (column_name table col)
+        (if negated then "NOT " else "")
+  | Between { col; lo; hi } ->
+      Format.fprintf fmt "%s BETWEEN %d AND %d" (column_name table col) lo hi
+  | Or atoms ->
+      Format.fprintf fmt "(%s)"
+        (String.concat " OR "
+           (List.map (Format.asprintf "%a" (pp_atom table)) atoms))
+
+let pp table fmt preds =
+  match preds with
+  | [] -> Format.pp_print_string fmt "TRUE"
+  | _ ->
+      Format.pp_print_string fmt
+        (String.concat " AND "
+           (List.map (Format.asprintf "%a" (pp_atom table)) preds))

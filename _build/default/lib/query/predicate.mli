@@ -1,0 +1,46 @@
+(** Bound base-table predicates.
+
+    A predicate is a conjunction of atoms over a single relation. Atoms
+    keep their logical structure (the estimators inspect it) and compile
+    to a fast row-level closure for execution. Constants are already
+    encoded into the column's physical representation: integer values
+    directly, string values as dictionary codes. *)
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type atom =
+  | Cmp of { col : int; op : cmp; code : int }
+      (** Comparison against an encoded constant. Order comparisons are
+          only meaningful on integer columns. *)
+  | In of { col : int; codes : int list }
+      (** Equality with any of the encoded constants. *)
+  | Str_cmp of { col : int; op : cmp; value : string }
+      (** Lexicographic comparison on a string column (JOB compares rating
+          strings this way). Compiled to a dictionary-code bitmap. *)
+  | Like of { col : int; pattern : string; negated : bool }
+  | Is_null of { col : int; negated : bool }
+  | Between of { col : int; lo : int; hi : int }  (** Inclusive bounds. *)
+  | Or of atom list
+  | Const_false
+      (** E.g. equality with a string absent from the dictionary. *)
+
+type t = atom list
+(** Conjunction; the empty list is TRUE. *)
+
+val cmp_to_string : cmp -> string
+
+val atom_column : atom -> int option
+(** Column an atom constrains, or [None] for [Const_false] / multi-column
+    [Or]s (ours are single-column, so [Or] reports its column when all
+    branches agree). *)
+
+val compile : Storage.Table.t -> t -> int -> bool
+(** [compile table preds] returns a row predicate. LIKE atoms are
+    pre-resolved into code bitmaps over the column dictionary, so the
+    per-row test is O(atoms). *)
+
+val compile_atom : Storage.Table.t -> atom -> int -> bool
+
+val pp_atom : Storage.Table.t -> Format.formatter -> atom -> unit
+
+val pp : Storage.Table.t -> Format.formatter -> t -> unit

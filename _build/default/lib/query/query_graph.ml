@@ -1,0 +1,172 @@
+module Bitset = Util.Bitset
+
+type relation = {
+  idx : int;
+  alias : string;
+  table : Storage.Table.t;
+  preds : Predicate.t;
+}
+
+type edge = {
+  left : int;
+  left_col : int;
+  right : int;
+  right_col : int;
+  pk_side : [ `Left | `Right ] option;
+}
+
+type t = {
+  name : string;
+  relations : relation array;
+  edges : edge list;
+  adjacency : Bitset.t array;
+  by_alias : (string, int) Hashtbl.t;
+}
+
+let create ~name relations edges =
+  let n = Array.length relations in
+  if n = 0 then invalid_arg "Query_graph.create: no relations";
+  if n > 62 then invalid_arg "Query_graph.create: too many relations";
+  Array.iteri
+    (fun i r ->
+      if r.idx <> i then invalid_arg "Query_graph.create: relation idx mismatch")
+    relations;
+  let adjacency = Array.make n Bitset.empty in
+  List.iter
+    (fun e ->
+      if e.left < 0 || e.left >= n || e.right < 0 || e.right >= n || e.left = e.right
+      then invalid_arg "Query_graph.create: bad edge endpoints";
+      adjacency.(e.left) <- Bitset.add e.right adjacency.(e.left);
+      adjacency.(e.right) <- Bitset.add e.left adjacency.(e.right))
+    edges;
+  let by_alias = Hashtbl.create n in
+  Array.iter
+    (fun r ->
+      if Hashtbl.mem by_alias r.alias then
+        invalid_arg (Printf.sprintf "Query_graph.create: duplicate alias %s" r.alias);
+      Hashtbl.add by_alias r.alias r.idx)
+    relations;
+  let graph = { name; relations; edges; adjacency; by_alias } in
+  (* Reject disconnected graphs: they would force cross products. *)
+  let reached = ref (Bitset.singleton 0) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Bitset.iter
+      (fun r ->
+        let grown = Bitset.union !reached adjacency.(r) in
+        if grown <> !reached then begin
+          reached := grown;
+          changed := true
+        end)
+      !reached
+  done;
+  if !reached <> Bitset.full n then
+    invalid_arg (Printf.sprintf "Query_graph.create: query %s is disconnected" name);
+  graph
+
+let name t = t.name
+let n_relations t = Array.length t.relations
+let relations t = t.relations
+let relation t i = t.relations.(i)
+let edges t = t.edges
+let n_edges t = List.length t.edges
+
+let relation_by_alias t alias =
+  Option.map (fun i -> t.relations.(i)) (Hashtbl.find_opt t.by_alias alias)
+
+let adjacency t i = t.adjacency.(i)
+
+let neighbors t s =
+  Bitset.diff (Bitset.fold (fun r acc -> Bitset.union acc t.adjacency.(r)) s Bitset.empty) s
+
+let is_connected t s =
+  if Bitset.is_empty s then false
+  else begin
+    let frontier = ref (Bitset.lowest_bit s) in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      let grown =
+        Bitset.fold
+          (fun r acc -> Bitset.union acc (Bitset.inter t.adjacency.(r) s))
+          !frontier !frontier
+      in
+      if grown <> !frontier then begin
+        frontier := grown;
+        changed := true
+      end
+    done;
+    !frontier = s
+  end
+
+let edges_between t s1 s2 =
+  assert (Bitset.disjoint s1 s2);
+  List.filter_map
+    (fun e ->
+      if Bitset.mem e.left s1 && Bitset.mem e.right s2 then Some e
+      else if Bitset.mem e.left s2 && Bitset.mem e.right s1 then
+        Some
+          {
+            left = e.right;
+            left_col = e.right_col;
+            right = e.left;
+            right_col = e.left_col;
+            pk_side =
+              (match e.pk_side with
+              | Some `Left -> Some `Right
+              | Some `Right -> Some `Left
+              | None -> None);
+          }
+      else None)
+    t.edges
+
+let connected_subsets t =
+  let n = n_relations t in
+  let out = ref [] in
+  for mask = 1 to Bitset.full n do
+    if is_connected t mask then out := mask :: !out
+  done;
+  let arr = Array.of_list (List.rev !out) in
+  Array.sort
+    (fun a b ->
+      let c = compare (Bitset.cardinal a) (Bitset.cardinal b) in
+      if c <> 0 then c else compare a b)
+    arr;
+  arr
+
+let join_columns t i =
+  let cols =
+    List.concat_map
+      (fun e ->
+        (if e.left = i then [ e.left_col ] else [])
+        @ if e.right = i then [ e.right_col ] else [])
+      t.edges
+  in
+  List.sort_uniq compare cols
+
+let full_set t = Bitset.full (n_relations t)
+
+let pp fmt t =
+  Format.fprintf fmt "query %s (%d relations, %d join predicates)@." t.name
+    (n_relations t) (n_edges t);
+  Array.iter
+    (fun r ->
+      Format.fprintf fmt "  %s AS %s WHERE %a@."
+        (Storage.Table.name r.table)
+        r.alias
+        (Predicate.pp r.table)
+        r.preds)
+    t.relations;
+  List.iter
+    (fun e ->
+      let rel i = t.relations.(i) in
+      let col r c = (Storage.Table.column (rel r).table c).Storage.Column.name in
+      Format.fprintf fmt "  %s.%s = %s.%s%s@." (rel e.left).alias
+        (col e.left e.left_col) (rel e.right).alias
+        (col e.right e.right_col)
+        (match e.pk_side with
+        | Some `Left -> "  [PK left]"
+        | Some `Right -> "  [PK right]"
+        | None -> "  [FK/FK]"))
+    t.edges

@@ -1,0 +1,63 @@
+(** The bound query graph: the optimizer's view of one JOB query.
+
+    Relations are indexed 0..n-1; subsets of relations are
+    {!Util.Bitset.t} values. Edges are equality join predicates between
+    two relation columns; [fk_side] records which side references the
+    other's primary key (both [None] for the FK/FK "dotted" edges of the
+    paper's Figure 2). *)
+
+type relation = {
+  idx : int;
+  alias : string;
+  table : Storage.Table.t;
+  preds : Predicate.t;
+}
+
+type edge = {
+  left : int;  (** relation index *)
+  left_col : int;
+  right : int;  (** relation index *)
+  right_col : int;
+  pk_side : [ `Left | `Right ] option;
+      (** Which side is a primary key, if either (key/foreign-key edge). *)
+}
+
+type t
+
+val create : name:string -> relation array -> edge list -> t
+(** Validates indices and that the graph is connected. *)
+
+val name : t -> string
+val n_relations : t -> int
+val relations : t -> relation array
+val relation : t -> int -> relation
+val edges : t -> edge list
+val n_edges : t -> int
+
+val relation_by_alias : t -> string -> relation option
+
+val adjacency : t -> int -> Util.Bitset.t
+(** Neighbor mask of one relation. *)
+
+val neighbors : t -> Util.Bitset.t -> Util.Bitset.t
+(** Union of neighbors of a subset, minus the subset itself. *)
+
+val is_connected : t -> Util.Bitset.t -> bool
+(** O(|S|) BFS with bit tricks; true for singletons, false for empty. *)
+
+val edges_between : t -> Util.Bitset.t -> Util.Bitset.t -> edge list
+(** Join edges with one endpoint in each (disjoint) subset, oriented so
+    that [left] lies in the first subset. *)
+
+val connected_subsets : t -> Util.Bitset.t array
+(** All connected non-empty subsets, sorted by cardinality then value.
+    For our capped queries this is at most a few thousand masks. *)
+
+val join_columns : t -> int -> int list
+(** Columns of a relation that participate in any join edge (sorted,
+    deduplicated). *)
+
+val full_set : t -> Util.Bitset.t
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable dump: relations with predicates, then edges. *)

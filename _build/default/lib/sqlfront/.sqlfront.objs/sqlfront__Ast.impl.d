@@ -1,0 +1,1 @@
+lib/sqlfront/ast.ml: Format List Printf String

@@ -1,0 +1,1 @@
+lib/sqlfront/binder.ml: Array Ast Hashtbl List Parser Printf Query Storage

@@ -1,0 +1,1 @@
+lib/sqlfront/parser.ml: Ast Lexer List Option Printf String

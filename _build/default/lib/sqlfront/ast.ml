@@ -1,0 +1,78 @@
+type colref = { alias : string; column : string }
+
+type const = Cint of int | Cstr of string
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type atom =
+  | A_cmp of colref * cmp * const
+  | A_between of colref * int * int
+  | A_in of colref * const list
+  | A_like of colref * string * bool
+  | A_null of colref * bool
+  | A_or of atom list
+
+type where_item =
+  | W_join of colref * colref
+  | W_atom of atom
+
+type projection = { expr : colref; label : string option }
+
+type select = {
+  projections : projection list;
+  from : (string * string) list;
+  where : where_item list;
+}
+
+let pp_colref fmt { alias; column } = Format.fprintf fmt "%s.%s" alias column
+
+let cmp_str = function
+  | Eq -> "="
+  | Ne -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let const_str = function
+  | Cint i -> string_of_int i
+  | Cstr s -> Printf.sprintf "'%s'" s
+
+let rec atom_str = function
+  | A_cmp (c, op, v) ->
+      Printf.sprintf "%s.%s %s %s" c.alias c.column (cmp_str op) (const_str v)
+  | A_between (c, lo, hi) ->
+      Printf.sprintf "%s.%s BETWEEN %d AND %d" c.alias c.column lo hi
+  | A_in (c, vs) ->
+      Printf.sprintf "%s.%s IN (%s)" c.alias c.column
+        (String.concat ", " (List.map const_str vs))
+  | A_like (c, p, neg) ->
+      Printf.sprintf "%s.%s %sLIKE '%s'" c.alias c.column
+        (if neg then "NOT " else "") p
+  | A_null (c, neg) ->
+      Printf.sprintf "%s.%s IS %sNULL" c.alias c.column (if neg then "NOT " else "")
+  | A_or atoms -> Printf.sprintf "(%s)" (String.concat " OR " (List.map atom_str atoms))
+
+let pp_select fmt s =
+  let projections =
+    String.concat ", "
+      (List.map
+         (fun p ->
+           Printf.sprintf "MIN(%s.%s)%s" p.expr.alias p.expr.column
+             (match p.label with Some l -> " AS " ^ l | None -> ""))
+         s.projections)
+  in
+  let from =
+    String.concat ", "
+      (List.map (fun (t, a) -> Printf.sprintf "%s AS %s" t a) s.from)
+  in
+  let where =
+    String.concat " AND "
+      (List.map
+         (function
+           | W_join (a, b) ->
+               Printf.sprintf "%s.%s = %s.%s" a.alias a.column b.alias b.column
+           | W_atom a -> atom_str a)
+         s.where)
+  in
+  Format.fprintf fmt "SELECT %s FROM %s WHERE %s" projections from where

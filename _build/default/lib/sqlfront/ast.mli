@@ -1,0 +1,35 @@
+(** Abstract syntax of the JOB SQL subset.
+
+    One select-project-join block: [SELECT MIN(a.c) ... FROM t AS a, ...
+    WHERE conj]. The WHERE clause is a conjunction of join predicates
+    (column = column) and single-column filter atoms, optionally wrapped
+    in OR groups — exactly the shape of the 113 JOB queries. *)
+
+type colref = { alias : string; column : string }
+
+type const = Cint of int | Cstr of string
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type atom =
+  | A_cmp of colref * cmp * const
+  | A_between of colref * int * int
+  | A_in of colref * const list
+  | A_like of colref * string * bool  (** pattern, negated *)
+  | A_null of colref * bool  (** negated = IS NOT NULL *)
+  | A_or of atom list
+
+type where_item =
+  | W_join of colref * colref
+  | W_atom of atom
+
+type projection = { expr : colref; label : string option }
+
+type select = {
+  projections : projection list;
+  from : (string * string) list;  (** (table, alias) *)
+  where : where_item list;
+}
+
+val pp_colref : Format.formatter -> colref -> unit
+val pp_select : Format.formatter -> select -> unit

@@ -1,0 +1,180 @@
+module QG = Query.Query_graph
+module P = Query.Predicate
+
+type bound = {
+  graph : QG.t;
+  projections : (int * int) list;
+}
+
+exception Bind_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Bind_error s)) fmt
+
+(* Sentinel code for string constants absent from a dictionary: no stored
+   code is negative, so Eq matches nothing and Ne matches every non-NULL
+   row — the correct SQL semantics. *)
+let missing_code = -1
+
+let cmp_of_ast : Ast.cmp -> P.cmp = function
+  | Ast.Eq -> P.Eq
+  | Ast.Ne -> P.Ne
+  | Ast.Lt -> P.Lt
+  | Ast.Le -> P.Le
+  | Ast.Gt -> P.Gt
+  | Ast.Ge -> P.Ge
+
+type rel_binding = {
+  idx : int;
+  table : Storage.Table.t;
+  mutable preds : P.atom list;
+}
+
+let resolve_column table (c : Ast.colref) =
+  try Storage.Table.column_index table c.column
+  with Invalid_argument _ ->
+    fail "column %s.%s does not exist in table %s" c.alias c.column
+      (Storage.Table.name table)
+
+let encode_const table col (c : Ast.colref) v =
+  let column = Storage.Table.column table col in
+  match (v, column.Storage.Column.ty) with
+  | Ast.Cint i, Storage.Value.Int_ty -> i
+  | Ast.Cstr s, Storage.Value.Str_ty -> (
+      match Storage.Column.encode column (Storage.Value.Str s) with
+      | Some code -> code
+      | None -> missing_code)
+  | Ast.Cint _, Storage.Value.Str_ty ->
+      fail "integer constant compared with string column %s.%s" c.alias c.column
+  | Ast.Cstr _, Storage.Value.Int_ty ->
+      fail "string constant compared with integer column %s.%s" c.alias c.column
+
+let rec bind_atom rels (atom : Ast.atom) : int * P.atom =
+  let rel_of (c : Ast.colref) =
+    match Hashtbl.find_opt rels c.alias with
+    | Some r -> r
+    | None -> fail "unknown alias %s" c.alias
+  in
+  match atom with
+  | Ast.A_cmp (c, op, v) -> (
+      let r = rel_of c in
+      let col = resolve_column r.table c in
+      let column = Storage.Table.column r.table col in
+      let op = cmp_of_ast op in
+      match (v, column.Storage.Column.ty, op) with
+      | Ast.Cstr s, Storage.Value.Str_ty, (P.Lt | P.Le | P.Gt | P.Ge) ->
+          (r.idx, P.Str_cmp { col; op; value = s })
+      | _ ->
+          let code = encode_const r.table col c v in
+          (r.idx, P.Cmp { col; op; code }))
+  | Ast.A_between (c, lo, hi) ->
+      let r = rel_of c in
+      let col = resolve_column r.table c in
+      let column = Storage.Table.column r.table col in
+      if column.Storage.Column.ty <> Storage.Value.Int_ty then
+        fail "BETWEEN requires an integer column (%s.%s)" c.alias c.column;
+      (r.idx, P.Between { col; lo; hi })
+  | Ast.A_in (c, vs) ->
+      let r = rel_of c in
+      let col = resolve_column r.table c in
+      let codes = List.map (encode_const r.table col c) vs in
+      (r.idx, P.In { col; codes })
+  | Ast.A_like (c, pattern, negated) ->
+      let r = rel_of c in
+      let col = resolve_column r.table c in
+      let column = Storage.Table.column r.table col in
+      if column.Storage.Column.ty <> Storage.Value.Str_ty then
+        fail "LIKE requires a string column (%s.%s)" c.alias c.column;
+      (r.idx, P.Like { col; pattern; negated })
+  | Ast.A_null (c, negated) ->
+      let r = rel_of c in
+      let col = resolve_column r.table c in
+      (r.idx, P.Is_null { col; negated })
+  | Ast.A_or atoms -> (
+      let bound = List.map (bind_atom rels) atoms in
+      match bound with
+      | [] -> fail "empty OR group"
+      | (first_rel, _) :: _ ->
+          List.iter
+            (fun (rel, _) ->
+              if rel <> first_rel then
+                fail "OR group spans multiple relations (unsupported)")
+            bound;
+          (first_rel, P.Or (List.map snd bound)))
+
+let bind db ~name (select : Ast.select) =
+  (* FROM clause: one relation binding per alias, in clause order. *)
+  let rels = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iteri
+    (fun idx (table_name, alias) ->
+      if Hashtbl.mem rels alias then fail "duplicate alias %s" alias;
+      let table =
+        try Storage.Database.find_table db table_name
+        with Invalid_argument _ -> fail "unknown table %s" table_name
+      in
+      let binding = { idx; table; preds = [] } in
+      Hashtbl.add rels alias binding;
+      order := (alias, binding) :: !order)
+    select.Ast.from;
+  let order = List.rev !order in
+
+  (* WHERE clause: join edges vs per-relation filters. *)
+  let edges = ref [] in
+  List.iter
+    (function
+      | Ast.W_join (a, b) ->
+          let ra =
+            match Hashtbl.find_opt rels a.Ast.alias with
+            | Some r -> r
+            | None -> fail "unknown alias %s" a.Ast.alias
+          and rb =
+            match Hashtbl.find_opt rels b.Ast.alias with
+            | Some r -> r
+            | None -> fail "unknown alias %s" b.Ast.alias
+          in
+          if ra.idx = rb.idx then fail "self-join predicate within one alias";
+          let ca = resolve_column ra.table a and cb = resolve_column rb.table b in
+          let pk_side =
+            if Storage.Table.pk ra.table = Some ca then Some `Left
+            else if Storage.Table.pk rb.table = Some cb then Some `Right
+            else None
+          in
+          edges :=
+            {
+              QG.left = ra.idx;
+              left_col = ca;
+              right = rb.idx;
+              right_col = cb;
+              pk_side;
+            }
+            :: !edges
+      | Ast.W_atom atom ->
+          let rel, bound = bind_atom rels atom in
+          let binding = List.nth (List.map snd order) rel in
+          assert (binding.idx = rel);
+          binding.preds <- bound :: binding.preds)
+    select.Ast.where;
+
+  let relations =
+    Array.of_list
+      (List.map
+         (fun (alias, b) ->
+           { QG.idx = b.idx; alias; table = b.table; preds = List.rev b.preds })
+         order)
+  in
+  let graph = QG.create ~name relations (List.rev !edges) in
+
+  (* Projections. *)
+  let projections =
+    List.filter_map
+      (fun (p : Ast.projection) ->
+        if p.expr.Ast.alias = "*" then None
+        else
+          match Hashtbl.find_opt rels p.expr.Ast.alias with
+          | None -> fail "unknown alias %s in SELECT" p.expr.Ast.alias
+          | Some r -> Some (r.idx, resolve_column r.table p.expr))
+      select.Ast.projections
+  in
+  { graph; projections }
+
+let bind_sql db ~name sql = bind db ~name (Parser.parse sql)

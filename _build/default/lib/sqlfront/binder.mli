@@ -1,0 +1,23 @@
+(** Name resolution and constant encoding: AST -> query graph.
+
+    Binding resolves table aliases against the catalog, translates
+    constants into each column's physical representation (dictionary
+    codes for strings — a string constant that is absent from the
+    dictionary binds to a sentinel code that matches nothing, which is
+    precisely the "selectivity 10^-6 predicate" case the paper's Section
+    3.1 highlights), and classifies each equality between columns as a
+    PK/FK or FK/FK join edge. *)
+
+type bound = {
+  graph : Query.Query_graph.t;
+  projections : (int * int) list;
+      (** (relation index, column index) per SELECT item; the ["*"]
+          projection binds to the empty list. *)
+}
+
+exception Bind_error of string
+
+val bind : Storage.Database.t -> name:string -> Ast.select -> bound
+
+val bind_sql : Storage.Database.t -> name:string -> string -> bound
+(** Parse then bind. *)

@@ -1,0 +1,115 @@
+type token =
+  | IDENT of string
+  | INT of int
+  | STRING of string
+  | COMMA
+  | DOT
+  | LPAREN
+  | RPAREN
+  | STAR
+  | OP_EQ
+  | OP_NE
+  | OP_LT
+  | OP_LE
+  | OP_GT
+  | OP_GE
+  | SEMI
+  | EOF
+
+exception Lex_error of string
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let emit t = tokens := t :: !tokens in
+  let i = ref 0 in
+  let peek () = if !i < n then Some input.[!i] else None in
+  let advance () = incr i in
+  while !i < n do
+    match input.[!i] with
+    | ' ' | '\t' | '\n' | '\r' -> advance ()
+    | '-' when !i + 1 < n && input.[!i + 1] = '-' ->
+        (* Line comment. *)
+        while !i < n && input.[!i] <> '\n' do
+          advance ()
+        done
+    | ',' -> emit COMMA; advance ()
+    | '.' -> emit DOT; advance ()
+    | '(' -> emit LPAREN; advance ()
+    | ')' -> emit RPAREN; advance ()
+    | '*' -> emit STAR; advance ()
+    | ';' -> emit SEMI; advance ()
+    | '=' -> emit OP_EQ; advance ()
+    | '!' ->
+        advance ();
+        if peek () = Some '=' then begin emit OP_NE; advance () end
+        else raise (Lex_error "expected '=' after '!'")
+    | '<' ->
+        advance ();
+        (match peek () with
+        | Some '=' -> emit OP_LE; advance ()
+        | Some '>' -> emit OP_NE; advance ()
+        | _ -> emit OP_LT)
+    | '>' ->
+        advance ();
+        (match peek () with
+        | Some '=' -> emit OP_GE; advance ()
+        | _ -> emit OP_GT)
+    | '\'' ->
+        advance ();
+        let buf = Buffer.create 16 in
+        let finished = ref false in
+        while not !finished do
+          match peek () with
+          | None -> raise (Lex_error "unterminated string literal")
+          | Some '\'' ->
+              advance ();
+              if peek () = Some '\'' then begin
+                Buffer.add_char buf '\'';
+                advance ()
+              end
+              else finished := true
+          | Some c ->
+              Buffer.add_char buf c;
+              advance ()
+        done;
+        emit (STRING (Buffer.contents buf))
+    | c when is_digit c ->
+        let start = !i in
+        while !i < n && is_digit input.[!i] do
+          advance ()
+        done;
+        emit (INT (int_of_string (String.sub input start (!i - start))))
+    | c when is_ident_start c ->
+        let start = !i in
+        while !i < n && is_ident_char input.[!i] do
+          advance ()
+        done;
+        emit (IDENT (String.lowercase_ascii (String.sub input start (!i - start))))
+    | c -> raise (Lex_error (Printf.sprintf "unexpected character %C at offset %d" c !i))
+  done;
+  List.rev (EOF :: !tokens)
+
+let token_to_string = function
+  | IDENT s -> s
+  | INT i -> string_of_int i
+  | STRING s -> Printf.sprintf "'%s'" s
+  | COMMA -> ","
+  | DOT -> "."
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | STAR -> "*"
+  | OP_EQ -> "="
+  | OP_NE -> "<>"
+  | OP_LT -> "<"
+  | OP_LE -> "<="
+  | OP_GT -> ">"
+  | OP_GE -> ">="
+  | SEMI -> ";"
+  | EOF -> "<eof>"

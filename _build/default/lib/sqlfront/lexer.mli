@@ -1,0 +1,29 @@
+(** Hand-written SQL tokenizer for the JOB subset. *)
+
+type token =
+  | IDENT of string  (** lowercased identifier or keyword *)
+  | INT of int
+  | STRING of string  (** contents of a single-quoted literal *)
+  | COMMA
+  | DOT
+  | LPAREN
+  | RPAREN
+  | STAR
+  | OP_EQ
+  | OP_NE
+  | OP_LT
+  | OP_LE
+  | OP_GT
+  | OP_GE
+  | SEMI
+  | EOF
+
+exception Lex_error of string
+
+val tokenize : string -> token list
+(** Raises {!Lex_error} on malformed input (unterminated string, stray
+    character). Identifiers and keywords come out lowercased; quoted
+    string contents are preserved verbatim (with [''] unescaped to [']).
+    SQL comments ([-- ...]) are skipped. *)
+
+val token_to_string : token -> string

@@ -1,0 +1,232 @@
+exception Parse_error of string
+
+type state = { mutable tokens : Lexer.token list }
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let peek st = match st.tokens with [] -> Lexer.EOF | t :: _ -> t
+
+let peek2 st = match st.tokens with _ :: t :: _ -> t | _ -> Lexer.EOF
+
+let advance st =
+  match st.tokens with [] -> () | _ :: rest -> st.tokens <- rest
+
+let expect st token what =
+  if peek st = token then advance st
+  else fail "expected %s, found %s" what (Lexer.token_to_string (peek st))
+
+let keyword st kw =
+  match peek st with
+  | Lexer.IDENT s when String.equal s kw -> true
+  | _ -> false
+
+let expect_keyword st kw =
+  if keyword st kw then advance st
+  else fail "expected %s, found %s" (String.uppercase_ascii kw)
+      (Lexer.token_to_string (peek st))
+
+let ident st =
+  match peek st with
+  | Lexer.IDENT s ->
+      advance st;
+      s
+  | t -> fail "expected identifier, found %s" (Lexer.token_to_string t)
+
+let colref st =
+  let alias = ident st in
+  expect st Lexer.DOT ".";
+  let column = ident st in
+  { Ast.alias; column }
+
+let const st =
+  match peek st with
+  | Lexer.INT i ->
+      advance st;
+      Ast.Cint i
+  | Lexer.STRING s ->
+      advance st;
+      Ast.Cstr s
+  | t -> fail "expected constant, found %s" (Lexer.token_to_string t)
+
+let int_const st =
+  match peek st with
+  | Lexer.INT i ->
+      advance st;
+      i
+  | t -> fail "expected integer, found %s" (Lexer.token_to_string t)
+
+let cmp_of_token = function
+  | Lexer.OP_EQ -> Some Ast.Eq
+  | Lexer.OP_NE -> Some Ast.Ne
+  | Lexer.OP_LT -> Some Ast.Lt
+  | Lexer.OP_LE -> Some Ast.Le
+  | Lexer.OP_GT -> Some Ast.Gt
+  | Lexer.OP_GE -> Some Ast.Ge
+  | _ -> None
+
+(* An atom or a join predicate, starting at a column reference. *)
+let where_leaf st =
+  let lhs = colref st in
+  match peek st with
+  | t when cmp_of_token t <> None -> (
+      let op = Option.get (cmp_of_token t) in
+      advance st;
+      match peek st with
+      | Lexer.IDENT _ when peek2 st = Lexer.DOT ->
+          let rhs = colref st in
+          if op <> Ast.Eq then fail "only equality join predicates are supported";
+          Ast.W_join (lhs, rhs)
+      | _ -> Ast.W_atom (Ast.A_cmp (lhs, op, const st)))
+  | Lexer.IDENT kw -> (
+      match kw with
+      | "between" ->
+          advance st;
+          let lo = int_const st in
+          expect_keyword st "and";
+          let hi = int_const st in
+          Ast.W_atom (Ast.A_between (lhs, lo, hi))
+      | "in" ->
+          advance st;
+          expect st Lexer.LPAREN "(";
+          let rec items acc =
+            let c = const st in
+            if peek st = Lexer.COMMA then begin
+              advance st;
+              items (c :: acc)
+            end
+            else List.rev (c :: acc)
+          in
+          let cs = items [] in
+          expect st Lexer.RPAREN ")";
+          Ast.W_atom (Ast.A_in (lhs, cs))
+      | "like" ->
+          advance st;
+          (match const st with
+          | Ast.Cstr p -> Ast.W_atom (Ast.A_like (lhs, p, false))
+          | Ast.Cint _ -> fail "LIKE pattern must be a string")
+      | "not" -> (
+          advance st;
+          match peek st with
+          | Lexer.IDENT "like" ->
+              advance st;
+              (match const st with
+              | Ast.Cstr p -> Ast.W_atom (Ast.A_like (lhs, p, true))
+              | Ast.Cint _ -> fail "LIKE pattern must be a string")
+          | Lexer.IDENT "in" ->
+              fail "NOT IN is not part of the JOB subset"
+          | t -> fail "expected LIKE after NOT, found %s" (Lexer.token_to_string t))
+      | "is" -> (
+          advance st;
+          match peek st with
+          | Lexer.IDENT "null" ->
+              advance st;
+              Ast.W_atom (Ast.A_null (lhs, false))
+          | Lexer.IDENT "not" ->
+              advance st;
+              expect_keyword st "null";
+              Ast.W_atom (Ast.A_null (lhs, true))
+          | t -> fail "expected NULL after IS, found %s" (Lexer.token_to_string t))
+      | other -> fail "unexpected keyword %s in predicate" other)
+  | t -> fail "unexpected token %s in predicate" (Lexer.token_to_string t)
+
+let atom_of_leaf = function
+  | Ast.W_atom a -> a
+  | Ast.W_join _ -> fail "join predicates cannot appear inside OR groups"
+
+let where_item st =
+  if peek st = Lexer.LPAREN then begin
+    advance st;
+    let first = atom_of_leaf (where_leaf st) in
+    let rec more acc =
+      if keyword st "or" then begin
+        advance st;
+        more (atom_of_leaf (where_leaf st) :: acc)
+      end
+      else List.rev acc
+    in
+    let rest = more [] in
+    expect st Lexer.RPAREN ")";
+    match rest with
+    | [] -> Ast.W_atom first
+    | _ -> Ast.W_atom (Ast.A_or (first :: rest))
+  end
+  else where_leaf st
+
+let projection st =
+  if keyword st "min" then begin
+    advance st;
+    expect st Lexer.LPAREN "(";
+    let expr = colref st in
+    expect st Lexer.RPAREN ")";
+    let label =
+      if keyword st "as" then begin
+        advance st;
+        Some (ident st)
+      end
+      else None
+    in
+    { Ast.expr; label }
+  end
+  else if peek st = Lexer.STAR then begin
+    advance st;
+    { Ast.expr = { Ast.alias = "*"; column = "*" }; label = None }
+  end
+  else begin
+    let expr = colref st in
+    let label =
+      if keyword st "as" then begin
+        advance st;
+        Some (ident st)
+      end
+      else None
+    in
+    { Ast.expr; label }
+  end
+
+let from_item st =
+  let table = ident st in
+  match peek st with
+  | Lexer.IDENT "as" ->
+      advance st;
+      (table, ident st)
+  | Lexer.IDENT s when s <> "where" ->
+      advance st;
+      (table, s)
+  | _ -> (table, table)
+
+let parse input =
+  let st = { tokens = Lexer.tokenize input } in
+  expect_keyword st "select";
+  let rec projections acc =
+    let p = projection st in
+    if peek st = Lexer.COMMA then begin
+      advance st;
+      projections (p :: acc)
+    end
+    else List.rev (p :: acc)
+  in
+  let projections = projections [] in
+  expect_keyword st "from";
+  let rec from acc =
+    let f = from_item st in
+    if peek st = Lexer.COMMA then begin
+      advance st;
+      from (f :: acc)
+    end
+    else List.rev (f :: acc)
+  in
+  let from = from [] in
+  expect_keyword st "where";
+  let rec conj acc =
+    let item = where_item st in
+    if keyword st "and" then begin
+      advance st;
+      conj (item :: acc)
+    end
+    else List.rev (item :: acc)
+  in
+  let where = conj [] in
+  if peek st = Lexer.SEMI then advance st;
+  if peek st <> Lexer.EOF then
+    fail "trailing input: %s" (Lexer.token_to_string (peek st));
+  { Ast.projections; from; where }

@@ -1,0 +1,23 @@
+(** Recursive-descent parser for the JOB SQL subset.
+
+    Accepted grammar (case-insensitive keywords):
+
+    {v
+    select   ::= SELECT proj ("," proj)* FROM rel ("," rel)* WHERE conj [";"]
+    proj     ::= MIN "(" colref ")" [AS ident] | colref [AS ident] | "*"
+    rel      ::= ident [[AS] ident]
+    conj     ::= item (AND item)*
+    item     ::= "(" atom (OR atom)* ")" | atom
+    atom     ::= colref "=" colref            -- join predicate
+               | colref cmp const
+               | colref BETWEEN int AND int
+               | colref [NOT] IN "(" const ("," const)* ")"
+               | colref [NOT] LIKE string
+               | colref IS [NOT] NULL
+    colref   ::= ident "." ident
+    v} *)
+
+exception Parse_error of string
+
+val parse : string -> Ast.select
+(** Raises {!Parse_error} (or {!Lexer.Lex_error}) on malformed input. *)

@@ -1,0 +1,1 @@
+lib/storage/column.ml: Array Dict Hashtbl Printf Value

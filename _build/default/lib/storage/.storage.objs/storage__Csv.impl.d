@@ -1,0 +1,1 @@
+lib/storage/csv.ml: Array Buffer Column Database Filename Fun List Printf String Sys Table Value

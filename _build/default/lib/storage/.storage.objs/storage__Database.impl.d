@@ -1,0 +1,1 @@
+lib/storage/database.ml: Hashtbl Index List Option Printf Table

@@ -1,0 +1,1 @@
+lib/storage/index.ml: Array Hashtbl Table Value

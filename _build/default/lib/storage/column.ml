@@ -1,0 +1,49 @@
+type t = {
+  name : string;
+  ty : Value.ty;
+  data : int array;
+  dict : Dict.t option;
+}
+
+let of_ints ~name values =
+  let data =
+    Array.map (function Some v -> v | None -> Value.null_code) values
+  in
+  { name; ty = Value.Int_ty; data; dict = None }
+
+let of_strings ~name values =
+  let dict = Dict.create () in
+  let data =
+    Array.map
+      (function Some s -> Dict.intern dict s | None -> Value.null_code)
+      values
+  in
+  { name; ty = Value.Str_ty; data; dict = Some dict }
+
+let length t = Array.length t.data
+
+let value t row =
+  let code = t.data.(row) in
+  if code = Value.null_code then Value.Null
+  else
+    match t.dict with
+    | None -> Value.Int code
+    | Some dict -> Value.Str (Dict.get dict code)
+
+let is_null t row = t.data.(row) = Value.null_code
+
+let distinct_count t =
+  let seen = Hashtbl.create 256 in
+  Array.iter
+    (fun code -> if code <> Value.null_code then Hashtbl.replace seen code ())
+    t.data;
+  Hashtbl.length seen
+
+let encode t v =
+  match (v, t.dict) with
+  | Value.Null, _ -> Some Value.null_code
+  | Value.Int i, None -> Some i
+  | Value.Str s, Some dict -> Dict.find_opt dict s
+  | Value.Int _, Some _ | Value.Str _, None ->
+      invalid_arg
+        (Printf.sprintf "Column.encode: type mismatch on column %s" t.name)

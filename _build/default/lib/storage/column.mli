@@ -1,0 +1,32 @@
+(** A single materialized column.
+
+    Integer columns hold their values directly; string columns hold
+    dictionary codes. NULL is [Value.null_code] in either case. *)
+
+type t = {
+  name : string;
+  ty : Value.ty;
+  data : int array; (* values or dictionary codes; Value.null_code for NULL *)
+  dict : Dict.t option; (* Some for Str_ty columns *)
+}
+
+val of_ints : name:string -> int option array -> t
+(** Integer column; [None] becomes NULL. *)
+
+val of_strings : name:string -> string option array -> t
+(** Dictionary-encoded string column; [None] becomes NULL. *)
+
+val length : t -> int
+
+val value : t -> int -> Value.t
+(** Decoded value of a row. *)
+
+val is_null : t -> int -> bool
+
+val distinct_count : t -> int
+(** Exact number of distinct non-NULL values (computed on demand). *)
+
+val encode : t -> Value.t -> int option
+(** Physical code a value would have in this column, or [None] when a
+    string constant is absent from the dictionary (it then matches no
+    row). [Some Value.null_code] encodes NULL. *)

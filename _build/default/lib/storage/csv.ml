@@ -1,0 +1,196 @@
+type column_spec = { name : string; ty : Value.ty }
+
+exception Csv_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Csv_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Writing                                                             *)
+
+let needs_quoting s =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+  || String.length s = 0
+
+let quote s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let format_field = function
+  | Value.Null -> ""
+  | Value.Int i -> string_of_int i
+  | Value.Str s -> if needs_quoting s then quote s else s
+
+let export table ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let columns = Table.columns table in
+      output_string oc
+        (String.concat ","
+           (Array.to_list
+              (Array.map (fun (c : Column.t) -> c.Column.name) columns)));
+      output_char oc '\n';
+      for row = 0 to Table.row_count table - 1 do
+        let fields =
+          Array.to_list
+            (Array.map (fun c -> format_field (Column.value c row)) columns)
+        in
+        output_string oc (String.concat "," fields);
+        output_char oc '\n'
+      done)
+
+let export_database db ~dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  List.iter
+    (fun name ->
+      export (Database.find_table db name) ~path:(Filename.concat dir (name ^ ".csv")))
+    (Database.table_names db)
+
+(* ------------------------------------------------------------------ *)
+(* Reading                                                             *)
+
+(* Parse one record starting at [pos]; returns fields and the position
+   after the record. A quoted field may span newlines. *)
+let parse_line text pos =
+  let n = String.length text in
+  let fields = ref [] in
+  let buf = Buffer.create 32 in
+  let quoted_seen = ref false in
+  let i = ref pos in
+  let push () =
+    let s = Buffer.contents buf in
+    Buffer.clear buf;
+    (* Unquoted empty field = NULL; quoted anything = string. *)
+    let field = if (not !quoted_seen) && String.length s = 0 then None else Some s in
+    quoted_seen := false;
+    fields := field :: !fields
+  in
+  let rec field_start () =
+    if !i >= n then push ()
+    else
+      match text.[!i] with
+      | '"' ->
+          quoted_seen := true;
+          incr i;
+          in_quotes ()
+      | _ -> unquoted ()
+  and in_quotes () =
+    if !i >= n then fail "unterminated quoted field at end of input"
+    else
+      match text.[!i] with
+      | '"' ->
+          if !i + 1 < n && text.[!i + 1] = '"' then begin
+            Buffer.add_char buf '"';
+            i := !i + 2;
+            in_quotes ()
+          end
+          else begin
+            incr i;
+            after_quotes ()
+          end
+      | c ->
+          Buffer.add_char buf c;
+          incr i;
+          in_quotes ()
+  and after_quotes () =
+    if !i >= n then push ()
+    else
+      match text.[!i] with
+      | ',' ->
+          incr i;
+          push ();
+          field_start ()
+      | '\n' ->
+          incr i;
+          push ()
+      | '\r' when !i + 1 < n && text.[!i + 1] = '\n' ->
+          i := !i + 2;
+          push ()
+      | c -> fail "unexpected character %C after closing quote" c
+  and unquoted () =
+    if !i >= n then push ()
+    else
+      match text.[!i] with
+      | ',' ->
+          incr i;
+          push ();
+          field_start ()
+      | '\n' ->
+          incr i;
+          push ()
+      | '\r' when !i + 1 < n && text.[!i + 1] = '\n' ->
+          i := !i + 2;
+          push ()
+      | c ->
+          Buffer.add_char buf c;
+          incr i;
+          unquoted ()
+  in
+  field_start ();
+  (List.rev !fields, !i)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let import ~name ?pk ?fks ~columns ~path () =
+  let text = read_file path in
+  let n = String.length text in
+  (* Header. *)
+  let header, pos = parse_line text 0 in
+  let expected = List.map (fun c -> Some c.name) columns in
+  if header <> expected then
+    fail "header of %s does not match the declared schema (got: %s)" path
+      (String.concat ","
+         (List.map (function Some s -> s | None -> "<null>") header));
+  let width = List.length columns in
+  (* Records. *)
+  let rows = ref [] in
+  let count = ref 0 in
+  let pos = ref pos in
+  let line = ref 2 in
+  while !pos < n do
+    let fields, next = parse_line text !pos in
+    if fields = [ None ] && next >= n then pos := next (* trailing newline *)
+    else begin
+      if List.length fields <> width then
+        fail "%s line %d: %d fields, expected %d" path !line (List.length fields)
+          width;
+      rows := fields :: !rows;
+      incr count;
+      incr line;
+      pos := next
+    end
+  done;
+  let rows = Array.of_list (List.rev !rows) in
+  let column_values =
+    List.mapi
+      (fun col_idx spec ->
+        let cells = Array.map (fun fields -> List.nth fields col_idx) rows in
+        match spec.ty with
+        | Value.Str_ty -> Column.of_strings ~name:spec.name cells
+        | Value.Int_ty ->
+            Column.of_ints ~name:spec.name
+              (Array.mapi
+                 (fun row cell ->
+                   match cell with
+                   | None -> None
+                   | Some s -> (
+                       match int_of_string_opt (String.trim s) with
+                       | Some v -> Some v
+                       | None ->
+                           fail "%s line %d: %S is not an integer (column %s)"
+                             path (row + 2) s spec.name))
+                 cells))
+      columns
+  in
+  Table.create ~name ?pk ?fks (Array.of_list column_values)

@@ -1,0 +1,43 @@
+(** CSV import and export for tables and whole databases.
+
+    The paper's IMDB snapshot ships as CSV files; this module is the
+    bridge between such dumps and the engine's columnar storage. The
+    dialect is the common one: comma separator, double-quote quoting
+    with [""] escapes, quoted fields may contain separators and
+    newlines, an empty unquoted field is SQL NULL (a quoted empty string
+    [""] is the empty string). Exports write a header row; imports
+    validate it against the declared schema. *)
+
+type column_spec = { name : string; ty : Value.ty }
+
+exception Csv_error of string
+(** Malformed input: unterminated quote, wrong column count, type errors,
+    header mismatch — always with a line number. *)
+
+val export : Table.t -> path:string -> unit
+(** Write the table (with a header row) to [path]. *)
+
+val import :
+  name:string ->
+  ?pk:string ->
+  ?fks:string list ->
+  columns:column_spec list ->
+  path:string ->
+  unit ->
+  Table.t
+(** Read a CSV with a header row matching [columns] (same names, same
+    order). Integer columns accept decimal literals; empty fields load
+    as NULL. *)
+
+val export_database : Database.t -> dir:string -> unit
+(** One [<table>.csv] per table (directory created if missing). *)
+
+(* Low-level helpers, exposed for tests. *)
+
+val parse_line : string -> int -> string option list * int
+(** [parse_line text pos] parses one record starting at [pos]; returns
+    the fields ([None] = NULL) and the position after the record's
+    newline. Handles quoted newlines. *)
+
+val format_field : Value.t -> string
+(** CSV encoding of one value. *)

@@ -1,0 +1,57 @@
+type index_config = No_indexes | Pk_only | Pk_fk
+
+let index_config_to_string = function
+  | No_indexes -> "no indexes"
+  | Pk_only -> "PK indexes"
+  | Pk_fk -> "PK + FK indexes"
+
+type t = {
+  tables : (string, Table.t) Hashtbl.t;
+  index_cache : (string * int, Index.t) Hashtbl.t;
+  mutable config : index_config;
+}
+
+let create () =
+  { tables = Hashtbl.create 32; index_cache = Hashtbl.create 64; config = Pk_only }
+
+let add_table t table =
+  let table_name = Table.name table in
+  if Hashtbl.mem t.tables table_name then
+    invalid_arg (Printf.sprintf "Database.add_table: duplicate table %s" table_name);
+  Hashtbl.add t.tables table_name table
+
+let find_table t table_name =
+  match Hashtbl.find_opt t.tables table_name with
+  | Some table -> table
+  | None -> invalid_arg (Printf.sprintf "Database.find_table: unknown table %s" table_name)
+
+let table_names t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.tables [] |> List.sort compare
+
+let set_index_config t config = t.config <- config
+
+let index_config t = t.config
+
+let cached_index t ~table ~col =
+  match Hashtbl.find_opt t.index_cache (table, col) with
+  | Some idx -> idx
+  | None ->
+      let idx = Index.build (find_table t table) ~col in
+      Hashtbl.add t.index_cache (table, col) idx;
+      idx
+
+let configured_columns t table =
+  let tbl = find_table t table in
+  match t.config with
+  | No_indexes -> []
+  | Pk_only -> Option.to_list (Table.pk tbl)
+  | Pk_fk -> Option.to_list (Table.pk tbl) @ Table.fks tbl
+
+let index t ~table ~col =
+  if List.mem col (configured_columns t table) then Some (cached_index t ~table ~col)
+  else None
+
+let force_index t ~table ~col = cached_index t ~table ~col
+
+let total_rows t =
+  Hashtbl.fold (fun _ table acc -> acc + Table.row_count table) t.tables 0

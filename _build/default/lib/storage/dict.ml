@@ -1,0 +1,44 @@
+type t = {
+  mutable strings : string array;
+  mutable count : int;
+  index : (string, int) Hashtbl.t;
+}
+
+let create () = { strings = Array.make 16 ""; count = 0; index = Hashtbl.create 64 }
+
+let grow t =
+  let capacity = Array.length t.strings in
+  if t.count = capacity then begin
+    let bigger = Array.make (2 * capacity) "" in
+    Array.blit t.strings 0 bigger 0 capacity;
+    t.strings <- bigger
+  end
+
+let intern t s =
+  match Hashtbl.find_opt t.index s with
+  | Some code -> code
+  | None ->
+      grow t;
+      let code = t.count in
+      t.strings.(code) <- s;
+      t.count <- t.count + 1;
+      Hashtbl.add t.index s code;
+      code
+
+let find_opt t s = Hashtbl.find_opt t.index s
+
+let get t code =
+  if code < 0 || code >= t.count then invalid_arg "Dict.get: unknown code";
+  t.strings.(code)
+
+let size t = t.count
+
+let iter f t =
+  for code = 0 to t.count - 1 do
+    f code t.strings.(code)
+  done
+
+let matching_codes t p =
+  let bitmap = Array.make t.count false in
+  iter (fun code s -> if p s then bitmap.(code) <- true) t;
+  bitmap

@@ -1,0 +1,52 @@
+type t = {
+  table_name : string;
+  column : int;
+  buckets : (int, int array) Hashtbl.t;
+  indexed_rows : int;
+}
+
+let empty_rows : int array = [||]
+
+let build table ~col =
+  let data = (Table.column table col).data in
+  let counts = Hashtbl.create 1024 in
+  Array.iter
+    (fun code ->
+      if code <> Value.null_code then
+        match Hashtbl.find_opt counts code with
+        | Some n -> Hashtbl.replace counts code (n + 1)
+        | None -> Hashtbl.add counts code 1)
+    data;
+  let buckets = Hashtbl.create (Hashtbl.length counts) in
+  Hashtbl.iter (fun code n -> Hashtbl.add buckets code (Array.make n 0)) counts;
+  let fill = Hashtbl.create (Hashtbl.length counts) in
+  let indexed = ref 0 in
+  Array.iteri
+    (fun row code ->
+      if code <> Value.null_code then begin
+        let pos = match Hashtbl.find_opt fill code with Some p -> p | None -> 0 in
+        (Hashtbl.find buckets code).(pos) <- row;
+        Hashtbl.replace fill code (pos + 1);
+        incr indexed
+      end)
+    data;
+  { table_name = Table.name table; column = col; buckets; indexed_rows = !indexed }
+
+let table_name t = t.table_name
+let column t = t.column
+
+let lookup t code =
+  match Hashtbl.find_opt t.buckets code with
+  | Some rows -> rows
+  | None -> empty_rows
+
+let count t code =
+  match Hashtbl.find_opt t.buckets code with
+  | Some rows -> Array.length rows
+  | None -> 0
+
+let distinct_keys t = Hashtbl.length t.buckets
+
+let average_fanout t =
+  let keys = Hashtbl.length t.buckets in
+  if keys = 0 then 0.0 else float_of_int t.indexed_rows /. float_of_int keys

@@ -1,0 +1,55 @@
+type t = {
+  name : string;
+  columns : Column.t array;
+  by_name : (string, int) Hashtbl.t;
+  row_count : int;
+  pk : int option;
+  fks : int list;
+}
+
+let create ~name ?pk ?(fks = []) columns =
+  if Array.length columns = 0 then invalid_arg "Table.create: no columns";
+  let row_count = Column.length columns.(0) in
+  Array.iter
+    (fun (c : Column.t) ->
+      if Column.length c <> row_count then
+        invalid_arg
+          (Printf.sprintf "Table.create %s: column %s has %d rows, expected %d"
+             name c.name (Column.length c) row_count))
+    columns;
+  let by_name = Hashtbl.create (Array.length columns) in
+  Array.iteri
+    (fun i (c : Column.t) ->
+      if Hashtbl.mem by_name c.name then
+        invalid_arg (Printf.sprintf "Table.create %s: duplicate column %s" name c.name);
+      Hashtbl.add by_name c.name i)
+    columns;
+  let resolve what col_name =
+    match Hashtbl.find_opt by_name col_name with
+    | Some i -> i
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Table.create %s: %s column %s not found" name what col_name)
+  in
+  let pk = Option.map (resolve "pk") pk in
+  let fks = List.map (resolve "fk") fks in
+  { name; columns; by_name; row_count; pk; fks }
+
+let name t = t.name
+let row_count t = t.row_count
+let columns t = t.columns
+let column_count t = Array.length t.columns
+
+let column_index t col_name =
+  match Hashtbl.find_opt t.by_name col_name with
+  | Some i -> i
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Table.column_index: table %s has no column %s" t.name
+           col_name)
+
+let column t i = t.columns.(i)
+let find_column t col_name = t.columns.(column_index t col_name)
+let pk t = t.pk
+let fks t = t.fks
+let value t ~row ~col = Column.value t.columns.(col) row

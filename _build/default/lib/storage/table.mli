@@ -1,0 +1,32 @@
+(** A base table: a named bundle of equal-length columns plus key
+    metadata.
+
+    The key metadata ([pk], [fks]) is what the physical-design experiments
+    switch on: "PK indexes only" builds one index per [pk] column, "PK+FK"
+    additionally indexes every [fks] column. *)
+
+type t
+
+val create :
+  name:string -> ?pk:string -> ?fks:string list -> Column.t array -> t
+(** All columns must have the same length; [pk]/[fks] must name existing
+    columns. *)
+
+val name : t -> string
+val row_count : t -> int
+val columns : t -> Column.t array
+val column_count : t -> int
+
+val column_index : t -> string -> int
+(** Raises [Invalid_argument] with a helpful message if absent. *)
+
+val column : t -> int -> Column.t
+val find_column : t -> string -> Column.t
+
+val pk : t -> int option
+(** Column index of the primary key, if declared. *)
+
+val fks : t -> int list
+(** Column indexes of declared foreign keys. *)
+
+val value : t -> row:int -> col:int -> Value.t

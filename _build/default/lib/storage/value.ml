@@ -1,0 +1,21 @@
+type ty = Int_ty | Str_ty
+
+type t = Null | Int of int | Str of string
+
+let null_code = min_int
+
+let ty_to_string = function Int_ty -> "int" | Str_ty -> "text"
+
+let pp fmt = function
+  | Null -> Format.pp_print_string fmt "NULL"
+  | Int i -> Format.pp_print_int fmt i
+  | Str s -> Format.fprintf fmt "'%s'" s
+
+let to_string v = Format.asprintf "%a" pp v
+
+let equal a b =
+  match (a, b) with
+  | Null, Null -> true
+  | Int x, Int y -> x = y
+  | Str x, Str y -> String.equal x y
+  | (Null | Int _ | Str _), _ -> false

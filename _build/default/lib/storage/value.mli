@@ -1,0 +1,23 @@
+(** Scalar values and column types.
+
+    The engine is columnar: every column physically stores machine
+    integers. String columns are dictionary-encoded, so a [Str] value only
+    materializes at the storage boundary (loading, printing, LIKE
+    evaluation over the dictionary). *)
+
+type ty = Int_ty | Str_ty
+
+type t = Null | Int of int | Str of string
+
+val null_code : int
+(** Sentinel stored in column arrays for SQL NULL ([min_int]). *)
+
+val ty_to_string : ty -> string
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+val equal : t -> t -> bool
+(** SQL-style equality except that it is total: [Null] equals [Null] here
+    (predicate evaluation handles three-valued logic itself). *)

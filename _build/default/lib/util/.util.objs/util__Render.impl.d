@@ -1,0 +1,1 @@
+lib/util/render.ml: Array Buffer Bytes Float List Printf Stat String

@@ -1,0 +1,60 @@
+type t = int
+
+let empty = 0
+let is_empty s = s = 0
+let singleton i = 1 lsl i
+let mem i s = s land (1 lsl i) <> 0
+let add i s = s lor (1 lsl i)
+let remove i s = s land lnot (1 lsl i)
+let union a b = a lor b
+let inter a b = a land b
+let diff a b = a land lnot b
+let subset a b = a land b = a
+let disjoint a b = a land b = 0
+
+let cardinal s =
+  let rec go s acc = if s = 0 then acc else go (s land (s - 1)) (acc + 1) in
+  go s 0
+
+let lowest_bit s =
+  assert (s <> 0);
+  s land -s
+
+let lowest s =
+  assert (s <> 0);
+  let rec go bit i = if s land bit <> 0 then i else go (bit lsl 1) (i + 1) in
+  go 1 0
+
+let full n =
+  assert (n >= 0 && n <= 62);
+  (1 lsl n) - 1
+
+let iter f s =
+  let rec go s =
+    if s <> 0 then begin
+      f (lowest s);
+      go (s land (s - 1))
+    end
+  in
+  go s
+
+let fold f s init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) s;
+  !acc
+
+let to_list s = List.rev (fold (fun i acc -> i :: acc) s [])
+
+let of_list is = List.fold_left (fun acc i -> add i acc) empty is
+
+let subsets_iter s f =
+  (* Classic submask enumeration: visits each non-empty proper subset. *)
+  let sub = ref ((s - 1) land s) in
+  while !sub <> 0 do
+    f !sub;
+    sub := (!sub - 1) land s
+  done
+
+let pp fmt s =
+  Format.fprintf fmt "{%s}"
+    (String.concat "," (List.map string_of_int (to_list s)))

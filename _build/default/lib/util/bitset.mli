@@ -1,0 +1,48 @@
+(** Relation subsets as machine-word bitsets.
+
+    Plan enumeration manipulates sets of base relations; a query never has
+    more than 62 relations (ours cap at 14), so an OCaml [int] suffices and
+    keeps the dynamic-programming inner loops allocation-free. *)
+
+type t = int
+(** Bit [i] set means relation [i] is a member. *)
+
+val empty : t
+val is_empty : t -> bool
+val singleton : int -> t
+val mem : int -> t -> bool
+val add : int -> t -> t
+val remove : int -> t -> t
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val subset : t -> t -> bool
+(** [subset a b] is true when [a ⊆ b]. *)
+
+val disjoint : t -> t -> bool
+val cardinal : t -> int
+val lowest : t -> int
+(** Index of the least set bit. Requires a non-empty set. *)
+
+val lowest_bit : t -> t
+(** The least set bit as a singleton set. Requires a non-empty set. *)
+
+val full : int -> t
+(** [full n] is [{0, .., n-1}]. Requires [0 <= n <= 62]. *)
+
+val iter : (int -> unit) -> t -> unit
+(** Iterate members in increasing order. *)
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+
+val to_list : t -> int list
+(** Members in increasing order. *)
+
+val of_list : int list -> t
+
+val subsets_iter : t -> (t -> unit) -> unit
+(** Enumerate every non-empty proper subset of the given set (standard
+    submask walk). *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [{0,3,5}]. *)

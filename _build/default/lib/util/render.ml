@@ -1,0 +1,120 @@
+let pad width s =
+  let n = String.length s in
+  if n >= width then s else s ^ String.make (width - n) ' '
+
+let pad_left width s =
+  let n = String.length s in
+  if n >= width then s else String.make (width - n) ' ' ^ s
+
+let table ?title ~header rows =
+  let all = header :: rows in
+  let cols = List.fold_left (fun m r -> max m (List.length r)) 0 all in
+  let widths = Array.make cols 0 in
+  List.iter
+    (fun row ->
+      List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row)
+    all;
+  let render_row row =
+    let cells =
+      List.mapi
+        (fun i cell -> if i = 0 then pad widths.(i) cell else pad_left widths.(i) cell)
+        row
+    in
+    String.concat "  " cells
+  in
+  let sep =
+    String.concat "  " (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  let buf = Buffer.create 256 in
+  (match title with
+  | Some t ->
+      Buffer.add_string buf t;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  Buffer.add_string buf (render_row header);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf sep;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (render_row row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let bar_chart ?title ?(width = 50) entries =
+  let max_v = List.fold_left (fun m (_, v) -> Float.max m v) 0.0 entries in
+  let label_w = List.fold_left (fun m (l, _) -> max m (String.length l)) 0 entries in
+  let buf = Buffer.create 256 in
+  (match title with
+  | Some t ->
+      Buffer.add_string buf t;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  List.iter
+    (fun (label, v) ->
+      let n =
+        if max_v <= 0.0 then 0
+        else int_of_float (Float.round (v /. max_v *. float_of_int width))
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%s  %s %s\n" (pad label_w label) (String.make n '#')
+           (if Float.is_integer v then Printf.sprintf "%.0f" v
+            else Printf.sprintf "%.1f" v)))
+    entries;
+  Buffer.contents buf
+
+let log_boxplot_rows ?title ~lo ~hi ?(width = 72) rows =
+  assert (lo > 0.0 && hi > lo);
+  let llo = log10 lo and lhi = log10 hi in
+  let position v =
+    let v = Float.min (Float.max v lo) hi in
+    let frac = (log10 v -. llo) /. (lhi -. llo) in
+    int_of_float (Float.round (frac *. float_of_int (width - 1)))
+  in
+  let label_w = List.fold_left (fun m (l, _) -> max m (String.length l)) 0 rows in
+  let buf = Buffer.create 512 in
+  (match title with
+  | Some t ->
+      Buffer.add_string buf t;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  (* Axis line with tick marks at powers of ten. *)
+  let axis = Bytes.make width '.' in
+  let d = ref (Float.round llo) in
+  while !d <= lhi do
+    if !d >= llo then Bytes.set axis (position (10.0 ** !d)) '+';
+    d := !d +. 1.0
+  done;
+  Buffer.add_string buf
+    (Printf.sprintf "%s  %s  (log scale %g .. %g, +: powers of 10)\n"
+       (pad label_w "") (Bytes.to_string axis) lo hi);
+  List.iter
+    (fun (label, bp) ->
+      match bp with
+      | None -> Buffer.add_string buf (Printf.sprintf "%s  (no data)\n" (pad label_w label))
+      | Some (b : Stat.boxplot) ->
+          let line = Bytes.make width ' ' in
+          let a = position b.p5 and z = position b.p95 in
+          for i = a to z do
+            Bytes.set line i '-'
+          done;
+          let a = position b.p25 and z = position b.p75 in
+          for i = a to z do
+            Bytes.set line i '#'
+          done;
+          Bytes.set line (position b.p50) '|';
+          Buffer.add_string buf (Printf.sprintf "%s  %s\n" (pad label_w label) (Bytes.to_string line)))
+    rows;
+  Buffer.contents buf
+
+let float_cell v =
+  let a = Float.abs v in
+  if a >= 1e6 then Printf.sprintf "%.2e" v
+  else if a >= 100.0 then Printf.sprintf "%.0f" v
+  else if Float.is_integer v && a < 100.0 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.2f" v
+
+let percent_cell v =
+  let p = v *. 100.0 in
+  if p > 0.0 && p < 10.0 then Printf.sprintf "%.1f%%" p else Printf.sprintf "%.0f%%" p

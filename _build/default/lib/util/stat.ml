@@ -1,0 +1,111 @@
+let epsilon = 1e-9
+
+let q_error ~estimate ~truth =
+  let e = Float.max estimate epsilon in
+  let t = Float.max truth epsilon in
+  Float.max (e /. t) (t /. e)
+
+let signed_error ~estimate ~truth =
+  let e = Float.max estimate epsilon in
+  let t = Float.max truth epsilon in
+  e /. t
+
+let sorted_copy xs =
+  let ys = Array.copy xs in
+  Array.sort compare ys;
+  ys
+
+let percentile xs p =
+  if Array.length xs = 0 then invalid_arg "Stat.percentile: empty input";
+  let ys = sorted_copy xs in
+  let n = Array.length ys in
+  if n = 1 then ys.(0)
+  else begin
+    let rank = p *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    (ys.(lo) *. (1.0 -. frac)) +. (ys.(hi) *. frac)
+  end
+
+let median xs = percentile xs 0.5
+
+let mean xs =
+  if Array.length xs = 0 then invalid_arg "Stat.mean: empty input";
+  Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
+
+let geometric_mean xs =
+  if Array.length xs = 0 then invalid_arg "Stat.geometric_mean: empty input";
+  let log_sum =
+    Array.fold_left
+      (fun acc x ->
+        assert (x > 0.0);
+        acc +. log x)
+      0.0 xs
+  in
+  exp (log_sum /. float_of_int (Array.length xs))
+
+let minimum xs = Array.fold_left Float.min xs.(0) xs
+
+let maximum xs = Array.fold_left Float.max xs.(0) xs
+
+type boxplot = {
+  p5 : float;
+  p25 : float;
+  p50 : float;
+  p75 : float;
+  p95 : float;
+}
+
+let boxplot xs =
+  {
+    p5 = percentile xs 0.05;
+    p25 = percentile xs 0.25;
+    p50 = percentile xs 0.50;
+    p75 = percentile xs 0.75;
+    p95 = percentile xs 0.95;
+  }
+
+type linear_fit = { slope : float; intercept : float; r2 : float }
+
+let linear_regression points =
+  let n = Array.length points in
+  if n < 2 then invalid_arg "Stat.linear_regression: need at least 2 points";
+  let fn = float_of_int n in
+  let sx = ref 0.0 and sy = ref 0.0 and sxx = ref 0.0 and sxy = ref 0.0 in
+  Array.iter
+    (fun (x, y) ->
+      sx := !sx +. x;
+      sy := !sy +. y;
+      sxx := !sxx +. (x *. x);
+      sxy := !sxy +. (x *. y))
+    points;
+  let denom = (fn *. !sxx) -. (!sx *. !sx) in
+  if Float.abs denom < epsilon then
+    invalid_arg "Stat.linear_regression: x values are all equal";
+  let slope = ((fn *. !sxy) -. (!sx *. !sy)) /. denom in
+  let intercept = (!sy -. (slope *. !sx)) /. fn in
+  let y_bar = !sy /. fn in
+  let ss_tot = ref 0.0 and ss_res = ref 0.0 in
+  Array.iter
+    (fun (x, y) ->
+      let pred = (slope *. x) +. intercept in
+      ss_tot := !ss_tot +. ((y -. y_bar) ** 2.0);
+      ss_res := !ss_res +. ((y -. pred) ** 2.0))
+    points;
+  let r2 = if !ss_tot < epsilon then 1.0 else 1.0 -. (!ss_res /. !ss_tot) in
+  { slope; intercept; r2 }
+
+let bucketize ~edges xs =
+  let k = Array.length edges in
+  let counts = Array.make (k + 1) 0 in
+  Array.iter
+    (fun x ->
+      (* Index of the first edge strictly greater than x. *)
+      let rec go i = if i >= k || x < edges.(i) then i else go (i + 1) in
+      let bucket = go 0 in
+      counts.(bucket) <- counts.(bucket) + 1)
+    xs;
+  counts
+
+let fraction num den = if den = 0 then 0.0 else float_of_int num /. float_of_int den

@@ -1,0 +1,56 @@
+(** Order statistics and summary metrics used throughout the evaluation.
+
+    The paper reports q-errors (Table 1, Figures 3–5), percentile summaries
+    (Tables 2–3), geometric means (Section 5.4) and linear-regression
+    prediction errors (Figure 8); all of those primitives live here. *)
+
+val q_error : estimate:float -> truth:float -> float
+(** The factor by which an estimate differs from the truth:
+    [max (e /. t) (t /. e)], with both sides floored at a tiny epsilon so
+    zero estimates stay finite. Always [>= 1]. *)
+
+val signed_error : estimate:float -> truth:float -> float
+(** Ratio [estimate /. truth]: [> 1] means overestimation, [< 1]
+    underestimation. Used for the Figure 3 boxplots. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [\[0,1\]]: linear interpolation between
+    closest ranks on a sorted copy. Raises [Invalid_argument] on empty
+    input. *)
+
+val median : float array -> float
+
+val mean : float array -> float
+
+val geometric_mean : float array -> float
+(** Requires strictly positive inputs. *)
+
+val minimum : float array -> float
+
+val maximum : float array -> float
+
+type boxplot = {
+  p5 : float;
+  p25 : float;
+  p50 : float;
+  p75 : float;
+  p95 : float;
+}
+(** Five-number summary as drawn in Figure 3 of the paper. *)
+
+val boxplot : float array -> boxplot
+
+type linear_fit = { slope : float; intercept : float; r2 : float }
+
+val linear_regression : (float * float) array -> linear_fit
+(** Ordinary least squares over [(x, y)] pairs. Requires at least two
+    points with distinct [x]. *)
+
+val bucketize : edges:float array -> float array -> int array
+(** [bucketize ~edges xs] counts values per half-open interval
+    [\[edges.(i), edges.(i+1))], with the two open-ended extremes included
+    in the first and last bucket. Returns [Array.length edges + 1]
+    counts. Used for the slowdown histograms of Figures 6 and 7. *)
+
+val fraction : int -> int -> float
+(** [fraction num den] as a float, 0 when [den = 0]. *)

@@ -1,0 +1,41 @@
+type t = {
+  n : int;
+  theta : float;
+  cumulative : float array; (* cumulative.(i) = P(rank <= i) *)
+}
+
+let create ~n ~theta =
+  assert (n > 0);
+  assert (theta >= 0.0);
+  let raw = Array.init n (fun i -> 1.0 /. (float_of_int (i + 1) ** theta)) in
+  let total = Array.fold_left ( +. ) 0.0 raw in
+  let cumulative = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. (raw.(i) /. total);
+    cumulative.(i) <- !acc
+  done;
+  cumulative.(n - 1) <- 1.0;
+  { n; theta; cumulative }
+
+let n t = t.n
+
+let theta t = t.theta
+
+let sample t prng =
+  let u = Prng.float prng 1.0 in
+  (* Binary search for the first index with cumulative >= u. *)
+  let rec go lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if t.cumulative.(mid) >= u then go lo mid else go (mid + 1) hi
+  in
+  go 0 (t.n - 1)
+
+let pmf t rank =
+  assert (rank >= 0 && rank < t.n);
+  if rank = 0 then t.cumulative.(0)
+  else t.cumulative.(rank) -. t.cumulative.(rank - 1)
+
+let weights t = Array.init t.n (pmf t)

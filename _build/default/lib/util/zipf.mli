@@ -1,0 +1,28 @@
+(** Zipfian (power-law) samplers.
+
+    The IMDB data set is dominated by heavy-tailed distributions: a few
+    movies have thousands of cast entries while most have a handful. The
+    synthetic generator uses this module to plant the same skew, which is
+    what breaks the optimizers' uniformity assumption. *)
+
+type t
+(** A sampler over ranks [0 .. n-1] with probability proportional to
+    [1 / (rank+1)^theta]. *)
+
+val create : n:int -> theta:float -> t
+(** [create ~n ~theta] precomputes the cumulative distribution. [theta = 0]
+    degenerates to uniform; typical skew values are 0.5–1.2. Requires
+    [n > 0] and [theta >= 0]. *)
+
+val n : t -> int
+
+val theta : t -> float
+
+val sample : t -> Prng.t -> int
+(** Draw a rank in [\[0, n)]; rank 0 is the most popular. *)
+
+val pmf : t -> int -> float
+(** Probability mass of a rank. *)
+
+val weights : t -> float array
+(** Copy of the normalized probability masses, indexed by rank. *)

@@ -1,0 +1,802 @@
+type query = {
+  name : string;
+  family : int;
+  sql : string;
+}
+
+(* A query structure: fixed FROM clause, fixed join predicates, and one
+   selection-predicate list per variant (the JOB recipe: "33 query
+   structures, each with 2-6 variants that differ in their selections
+   only"). *)
+type structure = {
+  id : int;
+  projections : string list;
+  from : string list;
+  joins : string list;
+  variants : string list list;
+}
+
+let render s preds =
+  let select =
+    String.concat ", " (List.map (fun p -> Printf.sprintf "MIN(%s)" p) s.projections)
+  in
+  Printf.sprintf "SELECT %s FROM %s WHERE %s" select
+    (String.concat ", " s.from)
+    (String.concat " AND " (s.joins @ preds))
+
+(* Alias glossary (matching the original JOB):
+   t/t2 = title, mc = movie_companies, cn = company_name,
+   ct = company_type, mi = movie_info, it/it2 = info_type,
+   miidx = movie_info_idx, kt = kind_type, ci = cast_info, n = name,
+   rt = role_type, chn = char_name, mk = movie_keyword, k = keyword,
+   ml = movie_link, lt = link_type, cc = complete_cast,
+   cct1/cct2 = comp_cast_type, an = aka_name, at = aka_title,
+   pi = person_info. *)
+
+let structures =
+  [
+    {
+      id = 1;
+      projections = [ "cn.name"; "t.title" ];
+      from = [ "title AS t"; "movie_companies AS mc"; "company_name AS cn"; "company_type AS ct" ];
+      joins =
+        [ "t.id = mc.movie_id"; "mc.company_id = cn.id"; "mc.company_type_id = ct.id" ];
+      variants =
+        [
+          [ "ct.kind = 'production companies'"; "cn.country_code = '[de]'"; "t.production_year > 2005" ];
+          [ "ct.kind = 'distributors'"; "cn.country_code = '[us]'"; "t.production_year BETWEEN 1990 AND 2000" ];
+          [ "ct.kind = 'production companies'"; "cn.name LIKE '%Warner%'" ];
+        ];
+    };
+    {
+      id = 2;
+      projections = [ "t.title" ];
+      from = [ "title AS t"; "movie_keyword AS mk"; "keyword AS k"; "movie_companies AS mc" ];
+      joins =
+        [
+          "t.id = mk.movie_id"; "mk.keyword_id = k.id"; "t.id = mc.movie_id";
+          "mk.movie_id = mc.movie_id";
+        ];
+      variants =
+        [
+          [ "k.keyword = 'character-name-in-title'"; "t.production_year > 2000" ];
+          [ "k.keyword = 'sequel'" ];
+          [ "k.keyword IN ('murder', 'blood', 'violence')"; "mc.note IS NOT NULL" ];
+        ];
+    };
+    {
+      id = 3;
+      projections = [ "t.title"; "mi.info" ];
+      from = [ "title AS t"; "movie_info AS mi"; "info_type AS it"; "kind_type AS kt" ];
+      joins = [ "t.id = mi.movie_id"; "mi.info_type_id = it.id"; "t.kind_id = kt.id" ];
+      variants =
+        [
+          [ "it.info = 'genres'"; "mi.info = 'Drama'"; "kt.kind = 'movie'" ];
+          [ "it.info = 'countries'"; "mi.info IN ('Sweden', 'Norway', 'Denmark')"; "kt.kind = 'tv series'" ];
+          [ "it.info = 'release dates'"; "mi.info LIKE 'USA:%200%'"; "kt.kind = 'movie'"; "t.production_year > 2005" ];
+          [ "it.info = 'languages'"; "mi.info = 'German'"; "kt.kind = 'video movie'" ];
+        ];
+    };
+    {
+      id = 4;
+      projections = [ "miidx.info"; "t.title" ];
+      from =
+        [
+          "title AS t"; "movie_info_idx AS miidx"; "info_type AS it";
+          "movie_info AS mi"; "info_type AS it2";
+        ];
+      joins =
+        [
+          "t.id = miidx.movie_id"; "miidx.info_type_id = it.id"; "t.id = mi.movie_id";
+          "mi.info_type_id = it2.id"; "mi.movie_id = miidx.movie_id";
+        ];
+      variants =
+        [
+          [ "it.info = 'rating'"; "miidx.info > '8.0'"; "it2.info = 'genres'"; "mi.info = 'Horror'" ];
+          [ "it.info = 'rating'"; "miidx.info > '9.0'"; "it2.info = 'countries'"; "mi.info = 'USA'" ];
+          [ "it.info = 'votes'"; "it2.info = 'genres'"; "mi.info = 'Comedy'"; "t.production_year < 1995" ];
+        ];
+    };
+    {
+      id = 5;
+      projections = [ "t.title"; "cn.name" ];
+      from =
+        [
+          "title AS t"; "movie_companies AS mc"; "company_name AS cn";
+          "company_type AS ct"; "movie_info AS mi"; "info_type AS it";
+        ];
+      joins =
+        [
+          "t.id = mc.movie_id"; "mc.company_id = cn.id"; "mc.company_type_id = ct.id";
+          "t.id = mi.movie_id"; "mi.info_type_id = it.id"; "mc.movie_id = mi.movie_id";
+        ];
+      variants =
+        [
+          [ "ct.kind = 'production companies'"; "cn.country_code = '[fr]'"; "it.info = 'languages'"; "mi.info = 'French'" ];
+          [ "cn.country_code = '[us]'"; "it.info = 'genres'"; "mi.info = 'Action'"; "t.production_year > 2010" ];
+          [ "ct.kind = 'distributors'"; "it.info = 'runtimes'"; "cn.name LIKE '%Film%'" ];
+          [ "cn.country_code = '[it]'"; "it.info = 'countries'"; "mi.info = 'Italy'" ];
+        ];
+    };
+    {
+      id = 6;
+      projections = [ "t.title"; "n.name" ];
+      from =
+        [
+          "title AS t"; "cast_info AS ci"; "name AS n"; "movie_keyword AS mk";
+          "keyword AS k";
+        ];
+      joins =
+        [
+          "t.id = ci.movie_id"; "ci.person_id = n.id"; "t.id = mk.movie_id";
+          "mk.keyword_id = k.id"; "ci.movie_id = mk.movie_id";
+        ];
+      variants =
+        [
+          [ "k.keyword = 'marvel-cinematic-universe'"; "n.name LIKE '%Robert%'"; "t.production_year > 2008" ];
+          [ "k.keyword IN ('superhero', 'sequel')"; "t.production_year > 2000" ];
+          [ "k.keyword = 'murder'"; "n.gender = 'f'" ];
+        ];
+    };
+    {
+      id = 7;
+      projections = [ "n.name"; "t.title" ];
+      from =
+        [
+          "title AS t"; "cast_info AS ci"; "name AS n"; "aka_name AS an";
+          "person_info AS pi"; "info_type AS it";
+        ];
+      joins =
+        [
+          "t.id = ci.movie_id"; "ci.person_id = n.id"; "an.person_id = n.id";
+          "pi.person_id = n.id"; "pi.info_type_id = it.id";
+          "ci.person_id = an.person_id";
+        ];
+      variants =
+        [
+          [ "it.info = 'birth date'"; "n.name LIKE 'A%'"; "t.production_year BETWEEN 1980 AND 1995" ];
+          [ "it.info = 'biography'"; "n.gender = 'm'"; "pi.note = 'Volker Boehm'" ];
+          [ "it.info = 'height'"; "an.name LIKE '%James%'" ];
+        ];
+    };
+    {
+      id = 8;
+      projections = [ "n.name"; "cn.name" ];
+      from =
+        [
+          "title AS t"; "cast_info AS ci"; "name AS n"; "role_type AS rt";
+          "movie_companies AS mc"; "company_name AS cn"; "company_type AS ct";
+        ];
+      joins =
+        [
+          "t.id = ci.movie_id"; "ci.person_id = n.id"; "ci.role_id = rt.id";
+          "t.id = mc.movie_id"; "mc.company_id = cn.id"; "mc.company_type_id = ct.id";
+          "ci.movie_id = mc.movie_id";
+        ];
+      variants =
+        [
+          [ "rt.role = 'producer'"; "ci.note = '(producer)'"; "cn.country_code = '[us]'" ];
+          [ "rt.role = 'actress'"; "n.gender = 'f'"; "ct.kind = 'production companies'"; "t.production_year > 2005" ];
+          [ "rt.role = 'director'"; "cn.name LIKE '%Universal%'" ];
+          [ "rt.role = 'writer'"; "ci.note IN ('(writer)', '(story)', '(screenplay)')"; "ct.kind = 'distributors'" ];
+        ];
+    };
+    {
+      id = 9;
+      projections = [ "chn.name"; "t.title" ];
+      from =
+        [
+          "title AS t"; "cast_info AS ci"; "name AS n"; "char_name AS chn";
+          "movie_companies AS mc"; "company_name AS cn"; "kind_type AS kt";
+        ];
+      joins =
+        [
+          "ci.person_role_id = chn.id"; "t.id = ci.movie_id"; "ci.person_id = n.id";
+          "t.id = mc.movie_id"; "mc.company_id = cn.id"; "t.kind_id = kt.id";
+          "ci.movie_id = mc.movie_id";
+        ];
+      variants =
+        [
+          [ "chn.name = 'Tony Stark'"; "kt.kind = 'movie'" ];
+          [ "chn.name LIKE '%James%'"; "n.gender = 'f'"; "kt.kind = 'movie'"; "cn.country_code = '[us]'" ];
+          [ "chn.name = 'Queen'"; "t.production_year BETWEEN 1950 AND 2000" ];
+          [ "n.name LIKE 'B%'"; "kt.kind = 'tv series'"; "cn.country_code = '[gb]'" ];
+        ];
+    };
+    {
+      id = 10;
+      projections = [ "chn.name"; "t.title" ];
+      from =
+        [
+          "title AS t"; "cast_info AS ci"; "char_name AS chn"; "role_type AS rt";
+          "movie_companies AS mc"; "company_type AS ct";
+        ];
+      joins =
+        [
+          "t.id = ci.movie_id"; "ci.person_role_id = chn.id"; "ci.role_id = rt.id";
+          "t.id = mc.movie_id"; "mc.company_type_id = ct.id"; "ci.movie_id = mc.movie_id";
+        ];
+      variants =
+        [
+          [ "rt.role = 'actor'"; "ct.kind = 'production companies'"; "t.production_year > 2010" ];
+          [ "rt.role = 'actress'"; "ci.note = '(uncredited)'" ];
+          [ "rt.role = 'guest'"; "ct.kind = 'distributors'"; "t.production_year > 2000" ];
+        ];
+    };
+    {
+      id = 11;
+      projections = [ "t.title"; "cn.name" ];
+      from =
+        [
+          "title AS t"; "movie_companies AS mc"; "company_name AS cn";
+          "company_type AS ct"; "movie_link AS ml"; "link_type AS lt";
+          "movie_keyword AS mk"; "keyword AS k";
+        ];
+      joins =
+        [
+          "t.id = mc.movie_id"; "mc.company_id = cn.id"; "mc.company_type_id = ct.id";
+          "ml.movie_id = t.id"; "ml.link_type_id = lt.id"; "t.id = mk.movie_id";
+          "mk.keyword_id = k.id"; "mk.movie_id = mc.movie_id";
+        ];
+      variants =
+        [
+          [ "lt.link = 'follows'"; "k.keyword = 'sequel'"; "cn.country_code = '[us]'" ];
+          [ "lt.link IN ('follows', 'followed by')"; "k.keyword = 'character-name-in-title'"; "ct.kind = 'production companies'" ];
+          [ "lt.link = 'features'"; "cn.name LIKE '%Paramount%'" ];
+          [ "lt.link = 'remake of'"; "k.keyword = 'revenge'"; "t.production_year > 1990" ];
+        ];
+    };
+    {
+      id = 12;
+      projections = [ "cn.name"; "miidx.info" ];
+      from =
+        [
+          "title AS t"; "movie_companies AS mc"; "company_name AS cn";
+          "company_type AS ct"; "movie_info AS mi"; "info_type AS it";
+          "movie_info_idx AS miidx"; "info_type AS it2";
+        ];
+      joins =
+        [
+          "t.id = mc.movie_id"; "mc.company_id = cn.id"; "mc.company_type_id = ct.id";
+          "t.id = mi.movie_id"; "mi.info_type_id = it.id"; "t.id = miidx.movie_id";
+          "miidx.info_type_id = it2.id"; "mi.movie_id = miidx.movie_id";
+          "mc.movie_id = miidx.movie_id";
+        ];
+      variants =
+        [
+          [ "it.info = 'genres'"; "mi.info = 'Drama'"; "it2.info = 'rating'"; "miidx.info > '7.0'"; "cn.country_code = '[us]'" ];
+          [ "it.info = 'countries'"; "mi.info = 'Germany'"; "it2.info = 'rating'"; "miidx.info > '8.5'"; "ct.kind = 'production companies'" ];
+          [ "it.info = 'genres'"; "mi.info = 'Thriller'"; "it2.info = 'votes'"; "cn.name LIKE '%Metro%'" ];
+          [ "it.info = 'languages'"; "mi.info = 'English'"; "it2.info = 'top 250 rank'"; "t.production_year > 2005" ];
+        ];
+    };
+    {
+      id = 13;
+      projections = [ "cn.name"; "mi.info"; "miidx.info" ];
+      from =
+        [
+          "company_name AS cn"; "company_type AS ct"; "info_type AS it";
+          "info_type AS it2"; "title AS t"; "kind_type AS kt";
+          "movie_companies AS mc"; "movie_info AS mi"; "movie_info_idx AS miidx";
+        ];
+      joins =
+        [
+          "mc.company_id = cn.id"; "mc.company_type_id = ct.id"; "t.id = mc.movie_id";
+          "t.kind_id = kt.id"; "t.id = mi.movie_id"; "mi.info_type_id = it2.id";
+          "t.id = miidx.movie_id"; "miidx.info_type_id = it.id";
+          "mc.movie_id = mi.movie_id"; "mc.movie_id = miidx.movie_id";
+          "mi.movie_id = miidx.movie_id";
+        ];
+      variants =
+        [
+          [ "cn.country_code = '[de]'"; "ct.kind = 'production companies'"; "it.info = 'rating'"; "it2.info = 'release dates'"; "kt.kind = 'movie'" ];
+          [ "cn.country_code = '[gb]'"; "ct.kind = 'distributors'"; "it.info = 'votes'"; "it2.info = 'genres'"; "mi.info = 'Drama'"; "kt.kind = 'tv series'" ];
+          [ "cn.country_code = '[fr]'"; "ct.kind = 'production companies'"; "it.info = 'rating'"; "miidx.info < '3.5'"; "it2.info = 'release dates'"; "kt.kind = 'movie'" ];
+          (* The paper's running example: ratings and release dates of
+             movies produced by US companies. *)
+          [ "cn.country_code = '[us]'"; "ct.kind = 'production companies'"; "it.info = 'rating'"; "it2.info = 'release dates'"; "kt.kind = 'movie'" ];
+        ];
+    };
+    {
+      id = 14;
+      projections = [ "mi.info"; "t.title" ];
+      from =
+        [
+          "title AS t"; "movie_info AS mi"; "info_type AS it"; "kind_type AS kt";
+          "movie_info_idx AS miidx"; "info_type AS it2"; "movie_keyword AS mk";
+          "keyword AS k";
+        ];
+      joins =
+        [
+          "t.id = mi.movie_id"; "mi.info_type_id = it.id"; "t.kind_id = kt.id";
+          "t.id = miidx.movie_id"; "miidx.info_type_id = it2.id"; "t.id = mk.movie_id";
+          "mk.keyword_id = k.id"; "mi.movie_id = miidx.movie_id";
+          "mk.movie_id = mi.movie_id";
+        ];
+      variants =
+        [
+          [ "kt.kind = 'movie'"; "it.info = 'countries'"; "mi.info = 'USA'"; "it2.info = 'rating'"; "miidx.info > '8.0'"; "k.keyword = 'murder'" ];
+          [ "kt.kind = 'movie'"; "it.info = 'genres'"; "mi.info = 'Horror'"; "it2.info = 'rating'"; "miidx.info < '4.0'"; "k.keyword IN ('blood', 'gore')" ];
+          [ "kt.kind = 'episode'"; "it.info = 'languages'"; "mi.info = 'English'"; "it2.info = 'votes'"; "k.keyword = 'death'" ];
+          [ "kt.kind = 'movie'"; "it.info = 'release dates'"; "mi.info LIKE 'USA:%199%'"; "it2.info = 'rating'"; "k.keyword = 'love'"; "t.production_year BETWEEN 1990 AND 2000" ];
+        ];
+    };
+    {
+      id = 15;
+      projections = [ "t.title"; "at.title" ];
+      from =
+        [
+          "title AS t"; "movie_companies AS mc"; "company_name AS cn";
+          "movie_info AS mi"; "info_type AS it"; "company_type AS ct";
+          "aka_title AS at";
+        ];
+      joins =
+        [
+          "t.id = mc.movie_id"; "mc.company_id = cn.id"; "mc.company_type_id = ct.id";
+          "t.id = mi.movie_id"; "mi.info_type_id = it.id"; "at.movie_id = t.id";
+          "mc.movie_id = mi.movie_id"; "at.movie_id = mc.movie_id";
+        ];
+      variants =
+        [
+          [ "cn.country_code = '[us]'"; "it.info = 'release dates'"; "mi.info LIKE 'USA:%200%'"; "t.production_year > 2000" ];
+          [ "ct.kind = 'distributors'"; "it.info = 'genres'"; "mi.info = 'Documentary'"; "at.note IS NOT NULL" ];
+          [ "cn.name LIKE '%Fox%'"; "it.info = 'countries'"; "mi.info = 'USA'" ];
+        ];
+    };
+    {
+      id = 16;
+      projections = [ "an.name"; "t.title" ];
+      from =
+        [
+          "aka_name AS an"; "cast_info AS ci"; "movie_companies AS mc";
+          "company_name AS cn"; "keyword AS k"; "movie_keyword AS mk";
+          "name AS n"; "title AS t";
+        ];
+      joins =
+        [
+          "an.person_id = n.id"; "n.id = ci.person_id"; "ci.movie_id = t.id";
+          "t.id = mk.movie_id"; "mk.keyword_id = k.id"; "t.id = mc.movie_id";
+          "mc.company_id = cn.id"; "ci.movie_id = mc.movie_id";
+          "mk.movie_id = ci.movie_id";
+        ];
+      variants =
+        [
+          [ "k.keyword = 'character-name-in-title'"; "cn.country_code = '[us]'" ];
+          [ "k.keyword = 'based-on-novel'"; "n.name LIKE 'A%'"; "t.production_year BETWEEN 1980 AND 2000" ];
+          [ "k.keyword = 'sequel'"; "cn.name LIKE '%Entertainment%'" ];
+          [ "k.keyword = 'character-name-in-title'"; "n.name LIKE '%B%'"; "t.production_year > 1990" ];
+        ];
+    };
+    {
+      id = 17;
+      projections = [ "n.name"; "k.keyword" ];
+      from =
+        [
+          "cast_info AS ci"; "company_name AS cn"; "keyword AS k";
+          "movie_companies AS mc"; "movie_keyword AS mk"; "name AS n"; "title AS t";
+        ];
+      joins =
+        [
+          "ci.movie_id = t.id"; "ci.person_id = n.id"; "t.id = mk.movie_id";
+          "mk.keyword_id = k.id"; "t.id = mc.movie_id"; "mc.company_id = cn.id";
+          "ci.movie_id = mk.movie_id"; "mc.movie_id = mk.movie_id";
+        ];
+      variants =
+        [
+          [ "k.keyword = 'character-name-in-title'"; "n.name LIKE 'B%'" ];
+          (* 'Z%' matches no generated surname: the near-empty selection
+             that pushes estimators onto magic constants. *)
+          [ "k.keyword = 'character-name-in-title'"; "n.name LIKE 'Z%'" ];
+          [ "k.keyword IN ('murder', 'violence')"; "cn.country_code = '[de]'" ];
+        ];
+    };
+    {
+      id = 18;
+      projections = [ "n.name"; "pi.info" ];
+      from =
+        [
+          "title AS t"; "cast_info AS ci"; "name AS n"; "person_info AS pi";
+          "info_type AS it";
+        ];
+      joins =
+        [
+          "t.id = ci.movie_id"; "ci.person_id = n.id"; "pi.person_id = n.id";
+          "pi.info_type_id = it.id"; "ci.person_id = pi.person_id";
+        ];
+      variants =
+        [
+          [ "it.info = 'birth date'"; "n.gender = 'm'"; "t.production_year > 2005" ];
+          [ "it.info = 'spouse'"; "n.name LIKE '%Maria%'" ];
+          [ "it.info = 'death date'"; "t.production_year < 1980" ];
+        ];
+    };
+    {
+      id = 19;
+      projections = [ "n.name"; "t.title" ];
+      from =
+        [
+          "title AS t"; "cast_info AS ci"; "name AS n"; "aka_name AS an";
+          "movie_companies AS mc"; "company_name AS cn"; "movie_info AS mi";
+          "info_type AS it"; "role_type AS rt";
+        ];
+      joins =
+        [
+          "t.id = ci.movie_id"; "ci.person_id = n.id"; "an.person_id = n.id";
+          "t.id = mc.movie_id"; "mc.company_id = cn.id"; "t.id = mi.movie_id";
+          "mi.info_type_id = it.id"; "ci.role_id = rt.id"; "ci.movie_id = mc.movie_id";
+          "mi.movie_id = mc.movie_id";
+        ];
+      variants =
+        [
+          [ "rt.role = 'actress'"; "n.gender = 'f'"; "it.info = 'genres'"; "mi.info = 'Romance'"; "cn.country_code = '[us]'" ];
+          [ "rt.role = 'actor'"; "it.info = 'countries'"; "mi.info = 'Japan'"; "t.production_year > 2000" ];
+          [ "rt.role = 'producer'"; "ci.note = '(executive producer)'"; "it.info = 'genres'"; "mi.info = 'Action'" ];
+        ];
+    };
+    {
+      id = 20;
+      projections = [ "t.title"; "chn.name" ];
+      from =
+        [
+          "title AS t"; "complete_cast AS cc"; "comp_cast_type AS cct1";
+          "comp_cast_type AS cct2"; "cast_info AS ci"; "char_name AS chn";
+          "kind_type AS kt";
+        ];
+      joins =
+        [
+          "cc.movie_id = t.id"; "cc.subject_id = cct1.id"; "cc.status_id = cct2.id";
+          "ci.movie_id = t.id"; "ci.person_role_id = chn.id"; "t.kind_id = kt.id";
+          "cc.movie_id = ci.movie_id";
+        ];
+      variants =
+        [
+          [ "cct1.kind = 'cast'"; "cct2.kind = 'complete+verified'"; "chn.name LIKE '%Sherlock%'"; "kt.kind = 'movie'" ];
+          [ "cct1.kind = 'crew'"; "cct2.kind = 'complete'"; "kt.kind = 'tv series'" ];
+          [ "cct1.kind = 'cast'"; "cct2.kind = 'complete'"; "chn.name = 'Batman'"; "t.production_year > 1995" ];
+        ];
+    };
+    {
+      id = 21;
+      projections = [ "cn.name"; "mi.info" ];
+      from =
+        [
+          "title AS t"; "movie_companies AS mc"; "company_name AS cn";
+          "company_type AS ct"; "movie_link AS ml"; "link_type AS lt";
+          "movie_info AS mi"; "info_type AS it";
+        ];
+      joins =
+        [
+          "t.id = mc.movie_id"; "mc.company_id = cn.id"; "mc.company_type_id = ct.id";
+          "ml.movie_id = t.id"; "ml.link_type_id = lt.id"; "t.id = mi.movie_id";
+          "mi.info_type_id = it.id"; "mc.movie_id = mi.movie_id";
+          "ml.movie_id = mc.movie_id";
+        ];
+      variants =
+        [
+          [ "lt.link = 'follows'"; "cn.country_code = '[us]'"; "it.info = 'genres'"; "mi.info = 'Sci-Fi'" ];
+          [ "lt.link IN ('remake of', 'remade as')"; "ct.kind = 'production companies'"; "it.info = 'countries'"; "mi.info = 'UK'" ];
+          [ "lt.link = 'followed by'"; "it.info = 'runtimes'"; "cn.name LIKE '%Columbia%'" ];
+        ];
+    };
+    {
+      id = 22;
+      projections = [ "cn.name"; "k.keyword" ];
+      from =
+        [
+          "title AS t"; "movie_companies AS mc"; "company_name AS cn";
+          "company_type AS ct"; "movie_info AS mi"; "info_type AS it";
+          "movie_keyword AS mk"; "keyword AS k"; "kind_type AS kt";
+          "movie_info_idx AS miidx";
+        ];
+      joins =
+        [
+          "t.id = mc.movie_id"; "mc.company_id = cn.id"; "mc.company_type_id = ct.id";
+          "t.id = mi.movie_id"; "mi.info_type_id = it.id"; "t.id = mk.movie_id";
+          "mk.keyword_id = k.id"; "t.kind_id = kt.id"; "t.id = miidx.movie_id";
+          "mi.movie_id = miidx.movie_id"; "mk.movie_id = mi.movie_id";
+          "mc.movie_id = mk.movie_id";
+        ];
+      variants =
+        [
+          [ "kt.kind = 'movie'"; "k.keyword = 'murder'"; "it.info = 'genres'"; "mi.info = 'Thriller'"; "cn.country_code = '[us]'"; "miidx.info > '7.5'" ];
+          [ "kt.kind = 'movie'"; "k.keyword IN ('gore', 'blood')"; "it.info = 'genres'"; "mi.info = 'Horror'"; "ct.kind = 'production companies'" ];
+          [ "kt.kind = 'tv movie'"; "k.keyword = 'friendship'"; "it.info = 'languages'"; "mi.info = 'English'"; "cn.country_code = '[ca]'" ];
+          [ "kt.kind = 'movie'"; "k.keyword = 'police'"; "it.info = 'countries'"; "mi.info = 'France'"; "t.production_year BETWEEN 1995 AND 2005" ];
+        ];
+    };
+    {
+      id = 23;
+      projections = [ "t.title"; "mi.info" ];
+      from =
+        [
+          "title AS t"; "movie_info AS mi"; "info_type AS it"; "kind_type AS kt";
+          "complete_cast AS cc"; "comp_cast_type AS cct1"; "movie_companies AS mc";
+          "company_type AS ct"; "company_name AS cn";
+        ];
+      joins =
+        [
+          "t.id = mi.movie_id"; "mi.info_type_id = it.id"; "t.kind_id = kt.id";
+          "cc.movie_id = t.id"; "cc.subject_id = cct1.id"; "t.id = mc.movie_id";
+          "mc.company_type_id = ct.id"; "mc.company_id = cn.id";
+          "cc.movie_id = mc.movie_id"; "mi.movie_id = mc.movie_id";
+        ];
+      variants =
+        [
+          [ "kt.kind = 'movie'"; "cct1.kind = 'cast'"; "it.info = 'release dates'"; "mi.info LIKE 'USA:%199%'"; "cn.country_code = '[us]'" ];
+          [ "kt.kind = 'movie'"; "cct1.kind = 'crew'"; "it.info = 'genres'"; "mi.info = 'Mystery'"; "ct.kind = 'distributors'" ];
+          [ "kt.kind = 'episode'"; "cct1.kind = 'cast'"; "it.info = 'languages'"; "mi.info = 'Japanese'" ];
+        ];
+    };
+    {
+      id = 24;
+      projections = [ "chn.name"; "n.name" ];
+      from =
+        [
+          "title AS t"; "cast_info AS ci"; "name AS n"; "role_type AS rt";
+          "char_name AS chn"; "movie_keyword AS mk"; "keyword AS k";
+          "movie_info AS mi"; "info_type AS it"; "kind_type AS kt";
+        ];
+      joins =
+        [
+          "t.id = ci.movie_id"; "ci.person_id = n.id"; "ci.role_id = rt.id";
+          "ci.person_role_id = chn.id"; "t.id = mk.movie_id"; "mk.keyword_id = k.id";
+          "t.id = mi.movie_id"; "mi.info_type_id = it.id"; "t.kind_id = kt.id";
+          "ci.movie_id = mk.movie_id"; "mk.movie_id = mi.movie_id";
+          "ci.movie_id = mi.movie_id";
+        ];
+      variants =
+        [
+          [ "rt.role = 'actor'"; "k.keyword = 'superhero'"; "it.info = 'genres'"; "mi.info = 'Action'"; "kt.kind = 'movie'" ];
+          [ "rt.role = 'actress'"; "n.gender = 'f'"; "k.keyword = 'love'"; "it.info = 'genres'"; "mi.info = 'Romance'"; "kt.kind = 'movie'" ];
+          [ "rt.role = 'actor'"; "chn.name LIKE '%James%'"; "it.info = 'countries'"; "mi.info = 'UK'"; "k.keyword = 'london'"; "kt.kind = 'movie'" ];
+          [ "rt.role = 'guest'"; "k.keyword = 'new-york-city'"; "it.info = 'genres'"; "mi.info = 'Crime'"; "kt.kind = 'tv series'" ];
+        ];
+    };
+    {
+      id = 25;
+      projections = [ "mi.info"; "miidx.info"; "n.name" ];
+      from =
+        [
+          "cast_info AS ci"; "info_type AS it"; "keyword AS k"; "movie_info AS mi";
+          "movie_info_idx AS miidx"; "info_type AS it2"; "movie_keyword AS mk";
+          "name AS n"; "title AS t";
+        ];
+      joins =
+        [
+          "t.id = ci.movie_id"; "ci.person_id = n.id"; "t.id = mi.movie_id";
+          "mi.info_type_id = it.id"; "t.id = miidx.movie_id";
+          "miidx.info_type_id = it2.id"; "t.id = mk.movie_id"; "mk.keyword_id = k.id";
+          "mi.movie_id = miidx.movie_id"; "ci.movie_id = mi.movie_id";
+          "ci.movie_id = mk.movie_id";
+        ];
+      variants =
+        [
+          [ "k.keyword = 'murder'"; "it.info = 'genres'"; "mi.info = 'Horror'"; "it2.info = 'votes'"; "n.gender = 'm'" ];
+          [ "k.keyword IN ('murder', 'blood', 'gore')"; "it.info = 'genres'"; "mi.info = 'Horror'"; "it2.info = 'rating'"; "miidx.info < '5.0'"; "n.gender = 'm'" ];
+          [ "k.keyword IN ('murder', 'violence', 'blood', 'gore', 'revenge')"; "it.info = 'genres'"; "mi.info IN ('Horror', 'Thriller')"; "it2.info = 'votes'"; "n.gender = 'm'"; "t.production_year > 1990" ];
+        ];
+    };
+    {
+      id = 26;
+      projections = [ "chn.name"; "t.title" ];
+      from =
+        [
+          "title AS t"; "cast_info AS ci"; "char_name AS chn"; "name AS n";
+          "complete_cast AS cc"; "comp_cast_type AS cct1"; "keyword AS k";
+          "movie_keyword AS mk"; "kind_type AS kt";
+        ];
+      joins =
+        [
+          "t.id = ci.movie_id"; "ci.person_role_id = chn.id"; "ci.person_id = n.id";
+          "cc.movie_id = t.id"; "cc.subject_id = cct1.id"; "t.id = mk.movie_id";
+          "mk.keyword_id = k.id"; "t.kind_id = kt.id"; "cc.movie_id = ci.movie_id";
+          "mk.movie_id = ci.movie_id";
+        ];
+      variants =
+        [
+          [ "cct1.kind = 'cast'"; "k.keyword = 'character-name-in-title'"; "kt.kind = 'movie'"; "chn.name LIKE '%King%'" ];
+          (* comp_cast_type 'complete' never appears as a subject in the
+             generated data: a deliberately empty dimension selection. *)
+          [ "cct1.kind = 'complete'"; "kt.kind = 'movie'"; "k.keyword = 'based-on-comic'" ];
+          [ "cct1.kind = 'cast'"; "kt.kind = 'tv series'"; "k.keyword = 'friendship'"; "n.gender = 'f'" ];
+        ];
+    };
+    {
+      id = 27;
+      projections = [ "t.title"; "t2.title" ];
+      from =
+        [
+          "title AS t"; "title AS t2"; "movie_link AS ml"; "link_type AS lt";
+          "movie_companies AS mc"; "company_name AS cn";
+        ];
+      joins =
+        [
+          "ml.movie_id = t.id"; "ml.linked_movie_id = t2.id"; "ml.link_type_id = lt.id";
+          "t.id = mc.movie_id"; "mc.company_id = cn.id"; "mc.movie_id = ml.movie_id";
+        ];
+      variants =
+        [
+          [ "lt.link = 'follows'"; "cn.country_code = '[us]'"; "t2.production_year > 2000" ];
+          [ "lt.link = 'remake of'"; "t.production_year < 1990" ];
+          [ "lt.link IN ('spin off', 'spin off from')"; "cn.name LIKE '%Television%'" ];
+        ];
+    };
+    {
+      id = 28;
+      projections = [ "cn.name"; "mi.info"; "t.title" ];
+      from =
+        [
+          "title AS t"; "complete_cast AS cc"; "comp_cast_type AS cct1";
+          "comp_cast_type AS cct2"; "movie_keyword AS mk"; "keyword AS k";
+          "movie_info AS mi"; "info_type AS it"; "kind_type AS kt";
+          "movie_companies AS mc"; "company_type AS ct"; "company_name AS cn";
+        ];
+      joins =
+        [
+          "cc.movie_id = t.id"; "cc.subject_id = cct1.id"; "cc.status_id = cct2.id";
+          "t.id = mk.movie_id"; "mk.keyword_id = k.id"; "t.id = mi.movie_id";
+          "mi.info_type_id = it.id"; "t.kind_id = kt.id"; "t.id = mc.movie_id";
+          "mc.company_type_id = ct.id"; "mc.company_id = cn.id";
+          "mc.movie_id = mi.movie_id"; "mk.movie_id = mi.movie_id";
+          "cc.movie_id = mk.movie_id";
+        ];
+      variants =
+        [
+          [ "cct1.kind = 'cast'"; "cct2.kind = 'complete+verified'"; "k.keyword = 'murder'"; "it.info = 'genres'"; "mi.info = 'Thriller'"; "kt.kind = 'movie'"; "cn.country_code = '[us]'" ];
+          [ "cct1.kind = 'crew'"; "cct2.kind = 'complete'"; "k.keyword = 'sequel'"; "it.info = 'genres'"; "mi.info = 'Action'"; "kt.kind = 'movie'"; "ct.kind = 'production companies'" ];
+          [ "cct1.kind = 'cast'"; "cct2.kind = 'complete'"; "k.keyword IN ('love', 'friendship')"; "it.info = 'genres'"; "mi.info = 'Drama'"; "kt.kind = 'movie'"; "t.production_year > 2000" ];
+          [ "cct1.kind = 'cast'"; "cct2.kind = 'complete+verified'"; "k.keyword = 'independent-film'"; "it.info = 'countries'"; "mi.info = 'Canada'"; "kt.kind = 'movie'"; "cn.country_code = '[ca]'" ];
+        ];
+    };
+    {
+      id = 29;
+      projections = [ "n.name"; "chn.name" ];
+      from =
+        [
+          "title AS t"; "cast_info AS ci"; "name AS n"; "role_type AS rt";
+          "aka_name AS an"; "char_name AS chn"; "movie_info AS mi";
+          "info_type AS it"; "movie_keyword AS mk"; "keyword AS k";
+        ];
+      joins =
+        [
+          "t.id = ci.movie_id"; "ci.person_id = n.id"; "ci.role_id = rt.id";
+          "an.person_id = n.id"; "ci.person_role_id = chn.id"; "t.id = mi.movie_id";
+          "mi.info_type_id = it.id"; "t.id = mk.movie_id"; "mk.keyword_id = k.id";
+          "ci.movie_id = mi.movie_id"; "mk.movie_id = mi.movie_id";
+          "ci.movie_id = mk.movie_id";
+        ];
+      variants =
+        [
+          [ "rt.role = 'actress'"; "n.gender = 'f'"; "it.info = 'genres'"; "mi.info = 'Animation'"; "k.keyword = 'love'"; "ci.note = '(voice)'" ];
+          [ "rt.role = 'actor'"; "it.info = 'genres'"; "mi.info = 'Animation'"; "ci.note IN ('(voice)', '(voice: English version)')"; "k.keyword = 'superhero'" ];
+          [ "rt.role = 'director'"; "it.info = 'countries'"; "mi.info = 'Sweden'"; "k.keyword = 'death'"; "an.name LIKE '%John%'" ];
+        ];
+    };
+    {
+      id = 30;
+      projections = [ "mi.info"; "miidx.info"; "n.name" ];
+      from =
+        [
+          "title AS t"; "cast_info AS ci"; "name AS n"; "movie_info AS mi";
+          "info_type AS it"; "movie_info_idx AS miidx"; "info_type AS it2";
+          "movie_keyword AS mk"; "keyword AS k"; "role_type AS rt";
+        ];
+      joins =
+        [
+          "t.id = ci.movie_id"; "ci.person_id = n.id"; "ci.role_id = rt.id";
+          "t.id = mi.movie_id"; "mi.info_type_id = it.id"; "t.id = miidx.movie_id";
+          "miidx.info_type_id = it2.id"; "t.id = mk.movie_id"; "mk.keyword_id = k.id";
+          "ci.movie_id = mi.movie_id"; "mi.movie_id = miidx.movie_id";
+          "mk.movie_id = miidx.movie_id"; "ci.movie_id = mk.movie_id";
+        ];
+      variants =
+        [
+          [ "rt.role = 'actor'"; "it.info = 'genres'"; "mi.info = 'Horror'"; "it2.info = 'rating'"; "miidx.info > '7.0'"; "k.keyword IN ('murder', 'blood')"; "n.gender = 'm'" ];
+          [ "rt.role = 'actress'"; "it.info = 'genres'"; "mi.info = 'Sci-Fi'"; "it2.info = 'votes'"; "k.keyword = 'superhero'"; "n.gender = 'f'" ];
+          [ "rt.role = 'writer'"; "it.info = 'genres'"; "mi.info = 'Western'"; "it2.info = 'rating'"; "miidx.info > '8.0'"; "k.keyword = 'revenge'" ];
+          [ "rt.role = 'producer'"; "ci.note = '(producer)'"; "it.info = 'release dates'"; "mi.info LIKE 'USA:%200%'"; "it2.info = 'rating'"; "miidx.info > '6.5'"; "k.keyword = 'sequel'"; "t.production_year > 2000" ];
+        ];
+    };
+    {
+      id = 31;
+      projections = [ "mi.info"; "cn.name" ];
+      from =
+        [
+          "title AS t"; "cast_info AS ci"; "name AS n"; "movie_info AS mi";
+          "info_type AS it"; "movie_info_idx AS miidx"; "info_type AS it2";
+          "movie_companies AS mc"; "company_name AS cn"; "company_type AS ct";
+          "kind_type AS kt";
+        ];
+      joins =
+        [
+          "t.id = ci.movie_id"; "ci.person_id = n.id"; "t.id = mi.movie_id";
+          "mi.info_type_id = it.id"; "t.id = miidx.movie_id";
+          "miidx.info_type_id = it2.id"; "t.id = mc.movie_id"; "mc.company_id = cn.id";
+          "mc.company_type_id = ct.id"; "t.kind_id = kt.id";
+          "ci.movie_id = mi.movie_id"; "mi.movie_id = miidx.movie_id";
+          "mc.movie_id = miidx.movie_id"; "mc.movie_id = mi.movie_id";
+        ];
+      variants =
+        [
+          [ "kt.kind = 'movie'"; "cn.country_code = '[us]'"; "ct.kind = 'production companies'"; "it.info = 'genres'"; "mi.info = 'Drama'"; "it2.info = 'rating'"; "miidx.info > '8.0'"; "n.name LIKE 'A%'" ];
+          [ "kt.kind = 'movie'"; "cn.country_code = '[de]'"; "it.info = 'languages'"; "mi.info = 'German'"; "it2.info = 'rating'"; "miidx.info > '6.0'" ];
+          [ "kt.kind = 'tv movie'"; "ct.kind = 'distributors'"; "it.info = 'genres'"; "mi.info = 'Family'"; "it2.info = 'votes'"; "t.production_year > 2000" ];
+          [ "kt.kind = 'movie'"; "cn.name LIKE '%Pictures%'"; "it.info = 'countries'"; "mi.info = 'USA'"; "it2.info = 'rating'"; "miidx.info > '9.0'"; "n.gender = 'f'" ];
+        ];
+    };
+    {
+      id = 32;
+      projections = [ "t.title"; "t2.title" ];
+      from =
+        [
+          "title AS t"; "movie_keyword AS mk"; "keyword AS k"; "movie_link AS ml";
+          "link_type AS lt"; "title AS t2";
+        ];
+      joins =
+        [
+          "t.id = mk.movie_id"; "mk.keyword_id = k.id"; "ml.movie_id = t.id";
+          "ml.link_type_id = lt.id"; "ml.linked_movie_id = t2.id";
+          "mk.movie_id = ml.movie_id";
+        ];
+      variants =
+        [
+          [ "k.keyword = 'sequel'"; "lt.link = 'follows'"; "t.production_year > 1995" ];
+          [ "k.keyword = 'sequel'"; "lt.link IN ('follows', 'followed by')"; "t2.production_year > 2000" ];
+          [ "k.keyword = 'revenge'"; "lt.link = 'features'" ];
+        ];
+    };
+    {
+      id = 33;
+      projections = [ "n.name"; "cn.name"; "miidx.info" ];
+      from =
+        [
+          "title AS t"; "cast_info AS ci"; "name AS n"; "role_type AS rt";
+          "movie_companies AS mc"; "company_name AS cn"; "company_type AS ct";
+          "movie_info AS mi"; "info_type AS it"; "movie_info_idx AS miidx";
+          "info_type AS it2"; "kind_type AS kt";
+        ];
+      joins =
+        [
+          "t.id = ci.movie_id"; "ci.person_id = n.id"; "ci.role_id = rt.id";
+          "t.id = mc.movie_id"; "mc.company_id = cn.id"; "mc.company_type_id = ct.id";
+          "t.id = mi.movie_id"; "mi.info_type_id = it.id"; "t.id = miidx.movie_id";
+          "miidx.info_type_id = it2.id"; "t.kind_id = kt.id";
+          "ci.movie_id = mc.movie_id"; "ci.movie_id = mi.movie_id";
+          "mc.movie_id = mi.movie_id"; "mc.movie_id = miidx.movie_id";
+          "mi.movie_id = miidx.movie_id";
+        ];
+      variants =
+        [
+          [ "kt.kind = 'movie'"; "rt.role = 'actor'"; "cn.country_code = '[us]'"; "ct.kind = 'production companies'"; "it.info = 'genres'"; "mi.info = 'Action'"; "it2.info = 'rating'"; "miidx.info > '7.0'" ];
+          [ "kt.kind = 'movie'"; "rt.role = 'actress'"; "n.gender = 'f'"; "cn.country_code = '[gb]'"; "it.info = 'countries'"; "mi.info = 'UK'"; "it2.info = 'rating'"; "miidx.info > '6.0'"; "t.production_year > 1990" ];
+          [ "kt.kind = 'movie'"; "rt.role = 'director'"; "cn.country_code = '[fr]'"; "ct.kind = 'production companies'"; "it.info = 'languages'"; "mi.info = 'French'"; "it2.info = 'votes'"; "t.production_year BETWEEN 1960 AND 1990" ];
+        ];
+    };
+  ]
+
+let variant_letter i = String.make 1 (Char.chr (Char.code 'a' + i))
+
+let all =
+  List.concat_map
+    (fun s ->
+      List.mapi
+        (fun i preds ->
+          {
+            name = Printf.sprintf "%d%s" s.id (variant_letter i);
+            family = s.id;
+            sql = render s preds;
+          })
+        s.variants)
+    structures
+
+let find name =
+  match List.find_opt (fun q -> String.equal q.name name) all with
+  | Some q -> q
+  | None -> raise Not_found
+
+let family_count = List.length structures
+
+let query_count = List.length all
+
+let families =
+  List.map (fun s -> (s.id, List.filter (fun q -> q.family = s.id) all)) structures

@@ -1,0 +1,31 @@
+(** The Join Order Benchmark workload, reproduced over the synthetic IMDB
+    schema: 33 query structures, each with 2–6 variants that differ only
+    in their selection predicates, 113 queries in total (like the
+    original), between 3 and 16 join predicates per query.
+
+    Every query is a single select-project-join block whose join graph is
+    star-shaped around [title] with chains hanging off ([cast_info] →
+    [name] → [person_info], [movie_link] self-joins of [title], ...) and
+    whose FK/FK "dotted" edges arise from transitive join predicates —
+    the shape of the paper's Figure 2. Constants reference the
+    generator's vocabulary, including a few deliberately empty or
+    near-empty selections that force estimators onto their magic-constant
+    fallback paths. *)
+
+type query = {
+  name : string;  (** e.g. ["13d"] *)
+  family : int;  (** 1..33 *)
+  sql : string;
+}
+
+val all : query list
+(** The 113 queries, ordered by family then variant. *)
+
+val find : string -> query
+(** Lookup by name; raises [Not_found]. *)
+
+val family_count : int
+val query_count : int
+
+val families : (int * query list) list
+(** Queries grouped by family. *)

@@ -1,0 +1,43 @@
+type query = { name : string; sql : string }
+
+(* Aggregations and arithmetic are stripped (the paper strips them from
+   JOB too); the join structure and selections match the TPC-H
+   originals. *)
+let all =
+  [
+    {
+      name = "TPC-H 5";
+      sql =
+        "SELECT MIN(n.n_name) FROM customer AS c, orders AS o, lineitem AS l, \
+         supplier AS s, nation AS n, region AS r \
+         WHERE c.c_custkey = o.o_custkey AND l.l_orderkey = o.o_orderkey \
+         AND l.l_suppkey = s.s_suppkey AND c.c_nationkey = s.s_nationkey \
+         AND s.s_nationkey = n.n_nationkey AND n.n_regionkey = r.r_regionkey \
+         AND r.r_name = 'ASIA' AND o.o_orderyear = 1994";
+    };
+    {
+      name = "TPC-H 8";
+      sql =
+        "SELECT MIN(o.o_orderyear) FROM part AS p, lineitem AS l, orders AS o, \
+         customer AS c, nation AS n, region AS r \
+         WHERE p.p_partkey = l.l_partkey AND l.l_orderkey = o.o_orderkey \
+         AND o.o_custkey = c.c_custkey AND c.c_nationkey = n.n_nationkey \
+         AND n.n_regionkey = r.r_regionkey AND r.r_name = 'AMERICA' \
+         AND p.p_type = 'ECONOMY ANODIZED STEEL' \
+         AND o.o_orderyear BETWEEN 1995 AND 1996";
+    };
+    {
+      name = "TPC-H 10";
+      sql =
+        "SELECT MIN(c.c_name) FROM customer AS c, orders AS o, lineitem AS l, \
+         nation AS n \
+         WHERE c.c_custkey = o.o_custkey AND l.l_orderkey = o.o_orderkey \
+         AND c.c_nationkey = n.n_nationkey AND o.o_orderyear = 1993 \
+         AND l.l_discount > 5";
+    };
+  ]
+
+let find name =
+  match List.find_opt (fun q -> String.equal q.name name) all with
+  | Some q -> q
+  | None -> raise Not_found

@@ -1,0 +1,10 @@
+(** SPJ analogues of TPC-H queries 5, 8 and 10 over the uniform mini
+    TPC-H database — the easy-to-estimate contrast workload of the
+    paper's Figure 4. *)
+
+type query = { name : string; sql : string }
+
+val all : query list
+(** [TPC-H 5], [TPC-H 8], [TPC-H 10]. *)
+
+val find : string -> query

@@ -1,0 +1,1 @@
+test/support.ml: Array Datagen Fun List Printf QCheck QCheck_alcotest Query Storage Util

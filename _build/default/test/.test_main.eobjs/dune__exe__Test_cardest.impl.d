@@ -1,0 +1,1 @@
+test/test_cardest.ml: Alcotest Array Cardest Dbstats Float Format Lazy List Option Printf QCheck Query Sqlfront Storage Support Util Workload

@@ -1,0 +1,1 @@
+test/test_cost.ml: Alcotest Cost List Plan Query Support Util

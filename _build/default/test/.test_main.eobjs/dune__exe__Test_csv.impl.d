@@ -1,0 +1,1 @@
+test/test_csv.ml: Alcotest Array Cardest Datagen Filename Lazy List Printf QCheck Query Sqlfront Storage String Support Sys

@@ -1,0 +1,1 @@
+test/test_datagen.ml: Alcotest Array Datagen Hashtbl Lazy List Option Printf Storage String Support

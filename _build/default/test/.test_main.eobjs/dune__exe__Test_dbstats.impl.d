@@ -1,0 +1,1 @@
+test/test_dbstats.ml: Alcotest Array Dbstats Float Lazy Option Printf QCheck Query Storage Support Util

@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Array Cardest Cost Exec Lazy List Plan Planner Printf QCheck Query Sqlfront Storage String Support Util

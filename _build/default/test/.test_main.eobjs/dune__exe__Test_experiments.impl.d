@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Cardest Exec Experiments Lazy List Plan Printf Query Sqlfront Storage String Support Util Workload

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Cardest Core Cost Dbstats Exec Experiments Float Lazy List Planner Printf Query Sqlfront Storage String Support Util Workload

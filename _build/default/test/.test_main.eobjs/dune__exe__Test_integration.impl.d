@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Cardest Core Cost Exec Experiments Lazy List Plan Query Storage String Workload

@@ -1,0 +1,1 @@
+test/test_plan.ml: Alcotest Format List Plan Query String Support Util

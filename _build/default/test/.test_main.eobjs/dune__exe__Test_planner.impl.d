@@ -1,0 +1,1 @@
+test/test_planner.ml: Alcotest Array Cardest Cost Float Format Hashtbl List Plan Planner Printf QCheck Query Storage String Support Util

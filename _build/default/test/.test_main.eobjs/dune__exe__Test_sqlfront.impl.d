@@ -1,0 +1,1 @@
+test/test_sqlfront.ml: Alcotest Format Lazy List Query Sqlfront Support

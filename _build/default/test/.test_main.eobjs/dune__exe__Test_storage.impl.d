@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array List QCheck Storage String Support Util

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float List QCheck String Support Util

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Lazy List Printf Query Sqlfront String Support Workload

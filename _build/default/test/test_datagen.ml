@@ -1,0 +1,209 @@
+(* Tests for the data generators: schema shape, determinism, referential
+   integrity, and — crucially — the planted skew and correlations that
+   make the workload hard for estimators. *)
+
+let imdb = Support.imdb_mid
+
+let col db table name =
+  let t = Storage.Database.find_table db table in
+  Storage.Table.find_column t name
+
+let test_schema_complete () =
+  let db = Lazy.force imdb in
+  Alcotest.(check (list string))
+    "21 tables" Datagen.Imdb_gen.table_names
+    (Storage.Database.table_names db)
+
+let test_determinism () =
+  let a = Datagen.Imdb_gen.generate ~seed:5 ~scale:0.02 () in
+  let b = Datagen.Imdb_gen.generate ~seed:5 ~scale:0.02 () in
+  List.iter
+    (fun name ->
+      let ta = Storage.Database.find_table a name in
+      let tb = Storage.Database.find_table b name in
+      Alcotest.(check int)
+        (name ^ " row count")
+        (Storage.Table.row_count ta) (Storage.Table.row_count tb);
+      (* Spot-check some cell values. *)
+      for row = 0 to min 20 (Storage.Table.row_count ta - 1) do
+        for c = 0 to Storage.Table.column_count ta - 1 do
+          Alcotest.(check string) "cell"
+            (Storage.Value.to_string (Storage.Table.value ta ~row ~col:c))
+            (Storage.Value.to_string (Storage.Table.value tb ~row ~col:c))
+        done
+      done)
+    Datagen.Imdb_gen.table_names
+
+let test_seeds_differ () =
+  let a = Datagen.Imdb_gen.generate ~seed:5 ~scale:0.02 () in
+  let b = Datagen.Imdb_gen.generate ~seed:6 ~scale:0.02 () in
+  let va = (col a "title" "production_year").Storage.Column.data in
+  let vb = (col b "title" "production_year").Storage.Column.data in
+  Alcotest.(check bool) "different data" true (va <> vb)
+
+let test_ids_contiguous () =
+  let db = Lazy.force imdb in
+  List.iter
+    (fun name ->
+      let t = Storage.Database.find_table db name in
+      let ids = (Storage.Table.find_column t "id").Storage.Column.data in
+      Array.iteri
+        (fun i v ->
+          if v <> i + 1 then Alcotest.failf "%s id at %d is %d" name i v)
+        ids)
+    [ "title"; "name"; "cast_info"; "keyword"; "company_name" ]
+
+let test_fk_integrity () =
+  let db = Lazy.force imdb in
+  let check_fk table fk target =
+    let data = (col db table fk).Storage.Column.data in
+    let n = Storage.Table.row_count (Storage.Database.find_table db target) in
+    Array.iter
+      (fun v ->
+        if v <> Storage.Value.null_code && (v < 1 || v > n) then
+          Alcotest.failf "%s.%s = %d out of range (target %s has %d)" table fk v
+            target n)
+      data
+  in
+  check_fk "cast_info" "movie_id" "title";
+  check_fk "cast_info" "person_id" "name";
+  check_fk "cast_info" "role_id" "role_type";
+  check_fk "movie_companies" "company_id" "company_name";
+  check_fk "movie_info" "movie_id" "title";
+  check_fk "movie_info" "info_type_id" "info_type";
+  check_fk "movie_keyword" "keyword_id" "keyword";
+  check_fk "title" "kind_id" "kind_type";
+  check_fk "title" "episode_of_id" "title";
+  check_fk "person_info" "person_id" "name"
+
+let test_popularity_skew () =
+  (* The shared Zipf: the most popular movie must collect far more cast
+     entries than a mid-ranked one. *)
+  let db = Lazy.force imdb in
+  let movie = (col db "cast_info" "movie_id").Storage.Column.data in
+  let titles = Storage.Table.row_count (Storage.Database.find_table db "title") in
+  let counts = Array.make (titles + 1) 0 in
+  Array.iter (fun m -> if m >= 1 then counts.(m) <- counts.(m) + 1) movie;
+  let mid = titles / 2 in
+  Alcotest.(check bool)
+    (Printf.sprintf "top movie (%d) >> mid movie (%d)" counts.(1) counts.(mid))
+    true
+    (counts.(1) > 10 * max 1 counts.(mid))
+
+let test_gender_role_correlation () =
+  let db = Lazy.force imdb in
+  let role = (col db "cast_info" "role_id").Storage.Column.data in
+  let person = (col db "cast_info" "person_id").Storage.Column.data in
+  let gender = col db "name" "gender" in
+  let female_code = Storage.Column.encode gender (Storage.Value.Str "f") in
+  let f_actress = ref 0 and actress = ref 0 in
+  Array.iteri
+    (fun i r ->
+      if r = 2 (* actress *) then begin
+        incr actress;
+        if Some gender.Storage.Column.data.(person.(i) - 1) = female_code then
+          incr f_actress
+      end)
+    role;
+  Alcotest.(check bool) "actresses are female" true
+    (!actress > 0 && float_of_int !f_actress /. float_of_int !actress > 0.95)
+
+let test_join_crossing_correlation () =
+  (* Movies with a US production company carry info 'USA' much more
+     often: the correlation no estimator can see. *)
+  let db = Lazy.force imdb in
+  let mc_movie = (col db "movie_companies" "movie_id").Storage.Column.data in
+  let mc_type = (col db "movie_companies" "company_type_id").Storage.Column.data in
+  let mc_company = (col db "movie_companies" "company_id").Storage.Column.data in
+  let country = col db "company_name" "country_code" in
+  let us = Storage.Column.encode country (Storage.Value.Str "[us]") in
+  let titles = Storage.Table.row_count (Storage.Database.find_table db "title") in
+  let has_us = Array.make (titles + 1) false in
+  Array.iteri
+    (fun i m ->
+      if
+        mc_type.(i) = 1
+        && Some country.Storage.Column.data.(mc_company.(i) - 1) = us
+      then has_us.(m) <- true)
+    mc_movie;
+  let mi_movie = (col db "movie_info" "movie_id").Storage.Column.data in
+  let mi_type = (col db "movie_info" "info_type_id").Storage.Column.data in
+  let mi_info = col db "movie_info" "info" in
+  let usa = Storage.Column.encode mi_info (Storage.Value.Str "USA") in
+  let countries_id = Datagen.Vocab.info_type_id "countries" in
+  let us_and_usa = ref 0 and us_total = ref 0 in
+  let other_usa = ref 0 and other_total = ref 0 in
+  Array.iteri
+    (fun i m ->
+      if mi_type.(i) = countries_id then
+        if has_us.(m) then begin
+          incr us_total;
+          if Some mi_info.Storage.Column.data.(i) = usa then incr us_and_usa
+        end
+        else begin
+          incr other_total;
+          if Some mi_info.Storage.Column.data.(i) = usa then incr other_usa
+        end)
+    mi_movie;
+  let p_us = float_of_int !us_and_usa /. float_of_int (max 1 !us_total) in
+  let p_other = float_of_int !other_usa /. float_of_int (max 1 !other_total) in
+  Alcotest.(check bool)
+    (Printf.sprintf "P(USA|us company)=%.2f >> P(USA|other)=%.2f" p_us p_other)
+    true
+    (p_us > p_other +. 0.3)
+
+let test_rating_strings_ordered () =
+  (* Ratings are fixed-width "d.d" strings so lexicographic comparison is
+     numeric comparison — required by the miidx.info > '8.0' predicates. *)
+  let db = Lazy.force imdb in
+  let t = Storage.Database.find_table db "movie_info_idx" in
+  let ty = (Storage.Table.find_column t "info_type_id").Storage.Column.data in
+  let info = Storage.Table.find_column t "info" in
+  let rating_id = Datagen.Vocab.info_type_id "rating" in
+  Array.iteri
+    (fun i v ->
+      if v = rating_id then
+        match Storage.Column.value info i with
+        | Storage.Value.Str s ->
+            if String.length s <> 3 || s.[1] <> '.' then
+              Alcotest.failf "bad rating string %s" s
+        | _ -> Alcotest.fail "rating must be a string")
+    ty
+
+let test_tpch_generator () =
+  let db = Lazy.force Support.tpch in
+  Alcotest.(check (list string))
+    "7 tables" Datagen.Tpch_gen.table_names
+    (Storage.Database.table_names db);
+  (* Key inclusion: every lineitem order key exists. *)
+  let li = (col db "lineitem" "l_orderkey").Storage.Column.data in
+  let orders = Storage.Table.row_count (Storage.Database.find_table db "orders") in
+  Array.iter
+    (fun v ->
+      if v < 1 || v > orders then Alcotest.failf "orderkey %d out of range" v)
+    li;
+  (* Uniformity: order years roughly evenly spread. *)
+  let years = (col db "orders" "o_orderyear").Storage.Column.data in
+  let counts = Hashtbl.create 8 in
+  Array.iter
+    (fun y ->
+      Hashtbl.replace counts y (1 + Option.value ~default:0 (Hashtbl.find_opt counts y)))
+    years;
+  let values = Hashtbl.fold (fun _ c acc -> c :: acc) counts [] in
+  let mx = List.fold_left max 0 values and mn = List.fold_left min max_int values in
+  Alcotest.(check bool) "uniform years" true (float_of_int mx /. float_of_int mn < 1.5)
+
+let suite =
+  [
+    Alcotest.test_case "21-table schema" `Quick test_schema_complete;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seeds differ" `Quick test_seeds_differ;
+    Alcotest.test_case "ids contiguous" `Quick test_ids_contiguous;
+    Alcotest.test_case "FK integrity" `Quick test_fk_integrity;
+    Alcotest.test_case "popularity skew" `Quick test_popularity_skew;
+    Alcotest.test_case "gender-role correlation" `Quick test_gender_role_correlation;
+    Alcotest.test_case "join-crossing correlation" `Quick
+      test_join_crossing_correlation;
+    Alcotest.test_case "rating strings ordered" `Quick test_rating_strings_ordered;
+    Alcotest.test_case "tpch generator" `Quick test_tpch_generator;
+  ]

@@ -1,0 +1,167 @@
+(* Tests for the statistics layer: samples, histograms, column stats,
+   ANALYZE. *)
+
+let checkf = Alcotest.check (Alcotest.float 1e-9)
+
+(* --- Sample ---------------------------------------------------------------- *)
+
+let test_sample_sizes () =
+  let db = Lazy.force Support.imdb in
+  let t = Storage.Database.find_table db "title" in
+  let prng = Util.Prng.create 1 in
+  let s = Dbstats.Sample.take prng t ~size:50 in
+  Alcotest.(check int) "requested size" 50 (Dbstats.Sample.size s);
+  let all = Dbstats.Sample.take prng t ~size:10_000_000 in
+  Alcotest.(check int) "whole table" (Storage.Table.row_count t)
+    (Dbstats.Sample.size all)
+
+let test_sample_full_selectivity_exact () =
+  let db = Lazy.force Support.imdb in
+  let t = Storage.Database.find_table db "title" in
+  let prng = Util.Prng.create 1 in
+  let full = Dbstats.Sample.take prng t ~size:max_int in
+  let col = Storage.Table.column_index t "production_year" in
+  let pred =
+    Query.Predicate.compile t [ Query.Predicate.Cmp { col; op = Query.Predicate.Gt; code = 2000 } ]
+  in
+  let truth = ref 0 in
+  for row = 0 to Storage.Table.row_count t - 1 do
+    if pred row then incr truth
+  done;
+  checkf "exact on full sample"
+    (float_of_int !truth /. float_of_int (Storage.Table.row_count t))
+    (Dbstats.Sample.selectivity full t pred)
+
+(* --- Histogram ---------------------------------------------------------------- *)
+
+let test_histogram_empty () =
+  Alcotest.(check bool) "none" true (Dbstats.Histogram.build ~buckets:10 [||] = None)
+
+let test_histogram_bounds_sorted () =
+  let values = Array.init 1000 (fun i -> (i * 37) mod 500) in
+  match Dbstats.Histogram.build ~buckets:20 values with
+  | None -> Alcotest.fail "expected a histogram"
+  | Some h ->
+      let b = Dbstats.Histogram.bounds h in
+      for i = 0 to Array.length b - 2 do
+        Alcotest.(check bool) "non-decreasing" true (b.(i) <= b.(i + 1))
+      done;
+      checkf "full range" 1.0 (Dbstats.Histogram.range_selectivity h ())
+
+let histogram_vs_brute_force =
+  Support.qcheck_case ~name:"histogram range selectivity ~ exact fraction"
+    QCheck.(pair small_int (int_range 0 100))
+    (fun (seed, cutoff) ->
+      let prng = Util.Prng.create seed in
+      let values = Array.init 2000 (fun _ -> Util.Prng.int prng 100) in
+      match Dbstats.Histogram.build ~buckets:50 values with
+      | None -> false
+      | Some h ->
+          let est = Dbstats.Histogram.cmp_selectivity h Query.Predicate.Le cutoff in
+          let exact =
+            float_of_int (Array.fold_left (fun a v -> if v <= cutoff then a + 1 else a) 0 values)
+            /. 2000.0
+          in
+          Float.abs (est -. exact) < 0.08)
+
+let test_histogram_cmp_consistency () =
+  let values = Array.init 500 (fun i -> i) in
+  let h = Option.get (Dbstats.Histogram.build ~buckets:25 values) in
+  let le = Dbstats.Histogram.cmp_selectivity h Query.Predicate.Le 250 in
+  let gt = Dbstats.Histogram.cmp_selectivity h Query.Predicate.Gt 250 in
+  Alcotest.(check (Alcotest.float 0.02)) "le + gt = 1" 1.0 (le +. gt)
+
+(* --- Column_stats ----------------------------------------------------------------- *)
+
+let stats_of table col =
+  let prng = Util.Prng.create 3 in
+  let t = Storage.Database.find_table (Lazy.force Support.imdb_mid) table in
+  let n = Storage.Table.row_count t in
+  let sample_rows = Array.init n (fun i -> i) in
+  ignore prng;
+  Dbstats.Column_stats.build (Util.Prng.create 3) t
+    ~col:(Storage.Table.column_index t col)
+    ~sample_rows ()
+
+let test_column_stats_null_fraction () =
+  let s = stats_of "title" "episode_of_id" in
+  (* Non-episodes have NULL episode_of_id: roughly 85%. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "null fraction %.2f in range" s.Dbstats.Column_stats.null_fraction)
+    true
+    (s.Dbstats.Column_stats.null_fraction > 0.6
+    && s.Dbstats.Column_stats.null_fraction < 0.95)
+
+let test_column_stats_mcv () =
+  let s = stats_of "company_name" "country_code" in
+  (* '[us]' is the dominant value; the MCV list must carry real mass. *)
+  Alcotest.(check bool) "has mcvs" true (Array.length s.Dbstats.Column_stats.mcv > 0);
+  Alcotest.(check bool) "mass" true (Dbstats.Column_stats.mcv_fraction_total s > 0.2);
+  let top_code, top_f = s.Dbstats.Column_stats.mcv.(0) in
+  Alcotest.(check bool) "descending" true
+    (Array.for_all (fun (_, f) -> f <= top_f) s.Dbstats.Column_stats.mcv);
+  Alcotest.(check (option (Alcotest.float 1.0))) "find top" (Some top_f)
+    (Dbstats.Column_stats.mcv_find s top_code)
+
+let test_column_stats_distinct_exact () =
+  let s = stats_of "kind_type" "kind" in
+  checkf "7 kinds" 7.0 s.Dbstats.Column_stats.distinct_exact;
+  (* Full-table sample: the sampled estimate equals the exact count. *)
+  checkf "sampled = exact on full scan" 7.0 s.Dbstats.Column_stats.distinct_sampled
+
+let test_column_stats_ranks () =
+  let s = stats_of "company_name" "country_code" in
+  match s.Dbstats.Column_stats.rank_of_code with
+  | None -> Alcotest.fail "string column must have ranks"
+  | Some ranks ->
+      let sorted = Array.copy ranks in
+      Array.sort compare sorted;
+      Array.iteri (fun i v -> Alcotest.(check int) "permutation" i v) sorted
+
+let test_rank_of_string_boundary () =
+  let t = Storage.Database.find_table (Lazy.force Support.imdb_mid) "movie_info_idx" in
+  let col = Storage.Table.column_index t "info" in
+  let s = stats_of "movie_info_idx" "info" in
+  let column = Storage.Table.column t col in
+  let r_low = Dbstats.Column_stats.rank_of_string s column "0.0" in
+  let r_high = Dbstats.Column_stats.rank_of_string s column "zzzz" in
+  Alcotest.(check bool) "low below high" true (r_low < r_high)
+
+(* --- Analyze ------------------------------------------------------------------------- *)
+
+let test_analyze_caching () =
+  let db = Lazy.force Support.imdb in
+  let a = Dbstats.Analyze.create db in
+  let s1 = Dbstats.Analyze.table a "title" in
+  let s2 = Dbstats.Analyze.table a "title" in
+  Alcotest.(check bool) "same object" true (s1 == s2);
+  Alcotest.(check int) "row count" (Storage.Table.row_count s1.Dbstats.Analyze.table)
+    s1.Dbstats.Analyze.row_count;
+  Alcotest.(check int) "per-column stats"
+    (Storage.Table.column_count s1.Dbstats.Analyze.table)
+    (Array.length s1.Dbstats.Analyze.columns)
+
+let test_analyze_column_access () =
+  let db = Lazy.force Support.imdb in
+  let a = Dbstats.Analyze.create db in
+  let t = Storage.Database.find_table db "title" in
+  let col = Storage.Table.column_index t "production_year" in
+  let cs = Dbstats.Analyze.column a ~table:"title" ~col in
+  Alcotest.(check bool) "has histogram" true (cs.Dbstats.Column_stats.histogram <> None)
+
+let suite =
+  [
+    Alcotest.test_case "sample sizes" `Quick test_sample_sizes;
+    Alcotest.test_case "sample selectivity exact" `Quick test_sample_full_selectivity_exact;
+    Alcotest.test_case "histogram empty" `Quick test_histogram_empty;
+    Alcotest.test_case "histogram bounds" `Quick test_histogram_bounds_sorted;
+    histogram_vs_brute_force;
+    Alcotest.test_case "histogram cmp consistency" `Quick test_histogram_cmp_consistency;
+    Alcotest.test_case "stats null fraction" `Quick test_column_stats_null_fraction;
+    Alcotest.test_case "stats mcv" `Quick test_column_stats_mcv;
+    Alcotest.test_case "stats distinct" `Quick test_column_stats_distinct_exact;
+    Alcotest.test_case "stats ranks" `Quick test_column_stats_ranks;
+    Alcotest.test_case "rank of string" `Quick test_rank_of_string_boundary;
+    Alcotest.test_case "analyze caching" `Quick test_analyze_caching;
+    Alcotest.test_case "analyze column access" `Quick test_analyze_column_access;
+  ]

@@ -1,0 +1,20 @@
+let () =
+  Alcotest.run "jobench"
+    [
+      ("util", Test_util.suite);
+      ("storage", Test_storage.suite);
+      ("query", Test_query.suite);
+      ("datagen", Test_datagen.suite);
+      ("sqlfront", Test_sqlfront.suite);
+      ("dbstats", Test_dbstats.suite);
+      ("cardest", Test_cardest.suite);
+      ("cost", Test_cost.suite);
+      ("plan", Test_plan.suite);
+      ("planner", Test_planner.suite);
+      ("exec", Test_exec.suite);
+      ("workload", Test_workload.suite);
+      ("experiments", Test_experiments.suite);
+      ("extensions", Test_extensions.suite);
+      ("csv", Test_csv.suite);
+      ("integration", Test_integration.suite);
+    ]

@@ -1,0 +1,126 @@
+(* Tests for the physical plan algebra: construction invariants, shape
+   classification, validation. *)
+
+module Bitset = Util.Bitset
+
+let s0 = Plan.scan 0
+let s1 = Plan.scan 1
+let s2 = Plan.scan 2
+let s3 = Plan.scan 3
+
+let test_scan_and_join_sets () =
+  Alcotest.(check int) "scan set" (Bitset.singleton 2) s2.Plan.set;
+  let j = Plan.join Plan.Hash_join ~outer:s0 ~inner:s1 in
+  Alcotest.(check int) "join set" (Bitset.of_list [ 0; 1 ]) j.Plan.set;
+  Alcotest.(check int) "join count" 1 (Plan.join_count j)
+
+let test_join_invariants () =
+  let j = Plan.join Plan.Hash_join ~outer:s0 ~inner:s1 in
+  Alcotest.check_raises "overlap" (Invalid_argument "Plan.join: overlapping children")
+    (fun () -> ignore (Plan.join Plan.Hash_join ~outer:j ~inner:s1));
+  Alcotest.check_raises "INL inner must be base"
+    (Invalid_argument "Plan.join: index-NL inner must be a base relation") (fun () ->
+      ignore (Plan.join Plan.Index_nl_join ~outer:s2 ~inner:j))
+
+let test_shapes () =
+  (* Left-deep: ((0 ⋈ 1) ⋈ 2) ⋈ 3 *)
+  let left =
+    Plan.join Plan.Hash_join
+      ~outer:(Plan.join Plan.Hash_join ~outer:(Plan.join Plan.Hash_join ~outer:s0 ~inner:s1) ~inner:s2)
+      ~inner:s3
+  in
+  Alcotest.(check string) "left-deep" "left-deep" (Plan.shape_to_string (Plan.shape left));
+  (* Right-deep: 0 ⋈ (1 ⋈ (2 ⋈ 3)) *)
+  let right =
+    Plan.join Plan.Hash_join ~outer:s0
+      ~inner:(Plan.join Plan.Hash_join ~outer:s1 ~inner:(Plan.join Plan.Hash_join ~outer:s2 ~inner:s3))
+  in
+  Alcotest.(check string) "right-deep" "right-deep" (Plan.shape_to_string (Plan.shape right));
+  (* Zig-zag: 3 ⋈ ((0 ⋈ 1) ⋈ 2) is right-then-left. *)
+  let zig =
+    Plan.join Plan.Hash_join ~outer:s3
+      ~inner:(Plan.join Plan.Hash_join ~outer:(Plan.join Plan.Hash_join ~outer:s0 ~inner:s1) ~inner:s2)
+  in
+  (* outer base at top, inner a left-deep subtree: at least one base per
+     join, but neither pure class. *)
+  Alcotest.(check string) "zig-zag" "zig-zag" (Plan.shape_to_string (Plan.shape zig));
+  (* Bushy: (0 ⋈ 1) ⋈ (2 ⋈ 3) *)
+  let bushy =
+    Plan.join Plan.Hash_join
+      ~outer:(Plan.join Plan.Hash_join ~outer:s0 ~inner:s1)
+      ~inner:(Plan.join Plan.Hash_join ~outer:s2 ~inner:s3)
+  in
+  Alcotest.(check string) "bushy" "bushy" (Plan.shape_to_string (Plan.shape bushy));
+  (* A single join is reported left-deep. *)
+  Alcotest.(check string) "pair" "left-deep"
+    (Plan.shape_to_string (Plan.shape (Plan.join Plan.Hash_join ~outer:s0 ~inner:s1)))
+
+let test_subsets_on_path () =
+  let j =
+    Plan.join Plan.Hash_join
+      ~outer:(Plan.join Plan.Hash_join ~outer:s0 ~inner:s1)
+      ~inner:s2
+  in
+  Alcotest.(check int) "5 nodes" 5 (List.length (Plan.subsets_on_path j))
+
+let micro_graph () =
+  let prng = Util.Prng.create 23 in
+  let db = Support.micro_db prng ~tables:3 ~rows:10 in
+  Support.micro_query prng db ~relations:3 ~extra_edges:0
+
+let test_validate () =
+  let g = micro_graph () in
+  (* A valid plan: join along the spanning-tree edges. *)
+  let edges = Query.Query_graph.edges g in
+  let order =
+    (* chain 0-1-2 or star; just join in an order following edges *)
+    match edges with
+    | [ e1; e2 ] ->
+        let p1 =
+          Plan.join Plan.Hash_join ~outer:(Plan.scan e1.Query.Query_graph.left)
+            ~inner:(Plan.scan e1.Query.Query_graph.right)
+        in
+        let third =
+          List.find
+            (fun r -> not (Bitset.mem r p1.Plan.set))
+            [ e2.Query.Query_graph.left; e2.Query.Query_graph.right ]
+        in
+        Plan.join Plan.Hash_join ~outer:p1 ~inner:(Plan.scan third)
+    | _ -> Alcotest.fail "expected 2 edges"
+  in
+  (match Plan.validate g order with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "valid plan rejected: %s" e);
+  (* Incomplete plan. *)
+  (match Plan.validate g (Plan.scan 0) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "incomplete plan accepted")
+
+let test_pp_smoke () =
+  let g = micro_graph () in
+  let e = List.hd (Query.Query_graph.edges g) in
+  let p =
+    Plan.join Plan.Hash_join ~outer:(Plan.scan e.Query.Query_graph.left)
+      ~inner:(Plan.scan e.Query.Query_graph.right)
+  in
+  let s = Format.asprintf "%a" (Plan.pp g) p in
+  Alcotest.(check bool) "mentions hash join" true
+    (String.length s > 0
+    &&
+    let re_found = ref false in
+    String.iteri
+      (fun i _ ->
+        if i + 9 <= String.length s && String.sub s i 9 = "hash join" then
+          re_found := true)
+      s;
+    !re_found)
+
+let suite =
+  [
+    Alcotest.test_case "scan/join sets" `Quick test_scan_and_join_sets;
+    Alcotest.test_case "join invariants" `Quick test_join_invariants;
+    Alcotest.test_case "shape classification" `Quick test_shapes;
+    Alcotest.test_case "subsets on path" `Quick test_subsets_on_path;
+    Alcotest.test_case "validate" `Quick test_validate;
+    Alcotest.test_case "pretty printing" `Quick test_pp_smoke;
+  ]

@@ -1,0 +1,209 @@
+(* Tests for plan enumeration: DP optimality against brute-force plan
+   enumeration, shape restrictions, Quickpick and GOO validity. *)
+
+module Bitset = Util.Bitset
+module QG = Query.Query_graph
+
+let micro ?(relations = 4) ?(extra_edges = 0) seed =
+  let prng = Util.Prng.create seed in
+  let db = Support.micro_db prng ~tables:relations ~rows:15 in
+  let g = Support.micro_query prng db ~relations ~extra_edges in
+  (db, g)
+
+let search ?allow_nl ?shape db g card =
+  Planner.Search.create ?allow_nl ?shape ~model:Cost.Cost_model.cmm ~graph:g
+    ~db ~card ()
+
+let true_search ?allow_nl ?shape db g =
+  let tc = Cardest.True_card.compute g in
+  search ?allow_nl ?shape db g (Cardest.True_card.card tc)
+
+(* Brute-force minimum over every bushy hash-join-only plan: with
+   indexes disabled and NL joins off, DP must find exactly this cost. *)
+let brute_force_best_cost env graph =
+  let model = Cost.Cost_model.cmm in
+  let rec best subset =
+    if Bitset.cardinal subset = 1 then
+      model.Cost.Cost_model.scan_cost env (Bitset.lowest subset)
+    else begin
+      let best_cost = ref infinity in
+      Bitset.subsets_iter subset (fun s1 ->
+          let s2 = Bitset.diff subset s1 in
+          if
+            QG.is_connected graph s1 && QG.is_connected graph s2
+            && QG.edges_between graph s1 s2 <> []
+          then begin
+            (* Build dummy plans carrying the right sets. *)
+            let rec plan_of s =
+              if Bitset.cardinal s = 1 then Plan.scan (Bitset.lowest s)
+              else
+                let one = Bitset.lowest_bit s in
+                Plan.join Plan.Hash_join ~outer:(plan_of one)
+                  ~inner:(plan_of (Bitset.diff s one))
+            in
+            let cost =
+              model.Cost.Cost_model.join_cost env Plan.Hash_join
+                ~outer:(plan_of s1) ~inner:(plan_of s2) ~outer_cost:(best s1)
+                ~inner_cost:(best s2)
+            in
+            if cost < !best_cost then best_cost := cost
+          end);
+      !best_cost
+    end
+  in
+  best (QG.full_set graph)
+
+let dp_matches_brute_force =
+  Support.qcheck_case ~count:25 ~name:"DP cost = brute-force optimum (hash joins only)"
+    QCheck.(pair small_int (int_range 2 4))
+    (fun (seed, relations) ->
+      let db, g = micro ~relations seed in
+      Storage.Database.set_index_config db Storage.Database.No_indexes;
+      let tc = Cardest.True_card.compute g in
+      let env =
+        { Cost.Cost_model.graph = g; db; card = Cardest.True_card.card tc }
+      in
+      let s = search db g (Cardest.True_card.card tc) in
+      let _, dp_cost = Planner.Dp.optimize s in
+      Float.abs (dp_cost -. brute_force_best_cost env g) < 1e-6)
+
+let dp_plans_valid =
+  Support.qcheck_case ~count:25 ~name:"DP plans validate"
+    QCheck.(pair small_int (int_range 2 5))
+    (fun (seed, relations) ->
+      let db, g = micro ~relations ~extra_edges:1 seed in
+      Storage.Database.set_index_config db Storage.Database.Pk_fk;
+      let plan, _ = Planner.Dp.optimize (true_search db g) in
+      Plan.validate g plan = Ok ())
+
+let test_shape_restrictions_respected () =
+  let db, g = micro ~relations:5 3 in
+  Storage.Database.set_index_config db Storage.Database.Pk_fk;
+  let check_shape shape_limit accepted =
+    let plan, cost =
+      Planner.Dp.optimize (true_search ~shape:shape_limit db g)
+    in
+    let s = Plan.shape plan in
+    Alcotest.(check bool)
+      (Printf.sprintf "%s plan is %s" (Plan.shape_to_string s)
+         (String.concat "/" (List.map Plan.shape_to_string accepted)))
+      true
+      (List.mem s accepted);
+    cost
+  in
+  let bushy = snd (Planner.Dp.optimize (true_search db g)) in
+  let zig = check_shape Planner.Search.Only_zig_zag [ Plan.Left_deep; Plan.Right_deep; Plan.Zig_zag ] in
+  let left = check_shape Planner.Search.Only_left_deep [ Plan.Left_deep ] in
+  let right = check_shape Planner.Search.Only_right_deep [ Plan.Left_deep; Plan.Right_deep ] in
+  (* Restricting the space can only cost more. *)
+  Alcotest.(check bool) "zig >= bushy" true (zig >= bushy -. 1e-9);
+  Alcotest.(check bool) "left >= zig" true (left >= zig -. 1e-9);
+  Alcotest.(check bool) "right >= bushy" true (right >= bushy -. 1e-9)
+
+let quickpick_valid_and_dominated =
+  Support.qcheck_case ~count:20 ~name:"Quickpick plans valid and >= DP cost"
+    QCheck.small_int
+    (fun seed ->
+      let db, g = micro ~relations:4 seed in
+      Storage.Database.set_index_config db Storage.Database.Pk_only;
+      let s = true_search db g in
+      let _, optimal = Planner.Dp.optimize s in
+      let prng = Util.Prng.create seed in
+      let plan, cost = Planner.Quickpick.sample s prng in
+      Plan.validate g plan = Ok () && cost >= optimal -. 1e-9)
+
+let test_quickpick_best_of_improves () =
+  let db, g = micro ~relations:5 11 in
+  Storage.Database.set_index_config db Storage.Database.Pk_only;
+  let s = true_search db g in
+  let prng1 = Util.Prng.create 1 in
+  let _, one = Planner.Quickpick.sample s prng1 in
+  let prng2 = Util.Prng.create 1 in
+  let _, best = Planner.Quickpick.best_of s prng2 ~attempts:50 in
+  Alcotest.(check bool) "best-of-50 <= first sample" true (best <= one +. 1e-9)
+
+let test_quickpick_deterministic () =
+  let db, g = micro ~relations:4 5 in
+  let s = true_search db g in
+  let c1 = Planner.Quickpick.sample_costs s (Util.Prng.create 9) ~attempts:20 in
+  let c2 = Planner.Quickpick.sample_costs s (Util.Prng.create 9) ~attempts:20 in
+  Alcotest.(check (array (float 0.0))) "same prng same costs" c1 c2
+
+let goo_valid_and_dominated =
+  Support.qcheck_case ~count:20 ~name:"GOO plans valid and >= DP cost"
+    QCheck.small_int
+    (fun seed ->
+      let db, g = micro ~relations:4 seed in
+      Storage.Database.set_index_config db Storage.Database.Pk_only;
+      let s = true_search db g in
+      let _, optimal = Planner.Dp.optimize s in
+      let plan, cost = Planner.Goo.optimize s in
+      Plan.validate g plan = Ok () && cost >= optimal -. 1e-9)
+
+let test_inl_requires_index () =
+  let db, g = micro ~relations:3 2 in
+  let s config =
+    Storage.Database.set_index_config db config;
+    true_search db g
+  in
+  (* Edges are FK -> PK (right side is a pk "id" column). *)
+  let e = List.hd (QG.edges g) in
+  let outer = Plan.scan e.QG.left and inner = Plan.scan e.QG.right in
+  Alcotest.(check bool) "no indexes: no INL" false
+    (Planner.Search.inl_possible (s Storage.Database.No_indexes) ~outer ~inner);
+  Alcotest.(check bool) "pk indexes: INL available" true
+    (Planner.Search.inl_possible (s Storage.Database.Pk_only) ~outer ~inner)
+
+let test_nl_only_when_allowed () =
+  let db, g = micro ~relations:3 6 in
+  Storage.Database.set_index_config db Storage.Database.No_indexes;
+  let tc = Cardest.True_card.compute g in
+  (* An estimate of ~1 row everywhere makes NL the cheapest option under
+     the PostgreSQL model when it is allowed. *)
+  let tiny = Cardest.Estimator.of_function ~name:"tiny" ~base:(fun _ -> 1.0) (fun _ -> 1.0) in
+  ignore tc;
+  let with_nl =
+    Planner.Search.create ~allow_nl:true ~model:Cost.Cost_model.postgres
+      ~graph:g ~db ~card:tiny.Cardest.Estimator.subset ()
+  in
+  let without_nl =
+    Planner.Search.create ~allow_nl:false ~model:Cost.Cost_model.postgres
+      ~graph:g ~db ~card:tiny.Cardest.Estimator.subset ()
+  in
+  let has_nl plan =
+    Plan.fold
+      (fun acc (n : Plan.t) ->
+        acc
+        || match n.Plan.op with Plan.Join { algo = Plan.Nl_join; _ } -> true | _ -> false)
+      false plan
+  in
+  let plan_nl, _ = Planner.Dp.optimize with_nl in
+  let plan_no, _ = Planner.Dp.optimize without_nl in
+  Alcotest.(check bool) "nl appears when allowed" true (has_nl plan_nl);
+  Alcotest.(check bool) "nl never when disabled" false (has_nl plan_no)
+
+let test_dp_subsets_table () =
+  let db, g = micro ~relations:4 8 in
+  let table = Planner.Dp.optimize_all_subsets (true_search db g) in
+  (* Every connected subset gets an entry. *)
+  Array.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Format.asprintf "entry for %a" Bitset.pp s)
+        true
+        (Hashtbl.mem table s))
+    (QG.connected_subsets g)
+
+let suite =
+  [
+    dp_matches_brute_force;
+    dp_plans_valid;
+    Alcotest.test_case "shape restrictions" `Quick test_shape_restrictions_respected;
+    quickpick_valid_and_dominated;
+    Alcotest.test_case "quickpick best-of" `Quick test_quickpick_best_of_improves;
+    Alcotest.test_case "quickpick deterministic" `Quick test_quickpick_deterministic;
+    goo_valid_and_dominated;
+    Alcotest.test_case "INL requires index" `Quick test_inl_requires_index;
+    Alcotest.test_case "NL gating" `Quick test_nl_only_when_allowed;
+    Alcotest.test_case "DP subset table" `Quick test_dp_subsets_table;
+  ]

@@ -1,0 +1,182 @@
+(* Tests for the SQL frontend: lexer, parser, binder. *)
+
+module L = Sqlfront.Lexer
+module A = Sqlfront.Ast
+module P = Query.Predicate
+
+(* --- Lexer --------------------------------------------------------------- *)
+
+let token = Alcotest.testable (fun fmt t -> Format.pp_print_string fmt (L.token_to_string t)) ( = )
+
+let test_lexer_basics () =
+  Alcotest.(check (list token)) "simple"
+    [ L.IDENT "select"; L.IDENT "min"; L.LPAREN; L.IDENT "a"; L.DOT; L.IDENT "b";
+      L.RPAREN; L.EOF ]
+    (L.tokenize "SELECT MIN(a.b)");
+  Alcotest.(check (list token)) "operators"
+    [ L.OP_EQ; L.OP_NE; L.OP_NE; L.OP_LE; L.OP_GE; L.OP_LT; L.OP_GT; L.EOF ]
+    (L.tokenize "= <> != <= >= < >");
+  Alcotest.(check (list token)) "numbers and strings"
+    [ L.INT 1995; L.STRING "it's"; L.EOF ]
+    (L.tokenize "1995 'it''s'");
+  Alcotest.(check (list token)) "comment skipped"
+    [ L.IDENT "a"; L.EOF ]
+    (L.tokenize "a -- trailing comment")
+
+let test_lexer_errors () =
+  Alcotest.check_raises "unterminated" (L.Lex_error "unterminated string literal")
+    (fun () -> ignore (L.tokenize "'abc"));
+  (try
+     ignore (L.tokenize "a # b");
+     Alcotest.fail "expected lex error"
+   with L.Lex_error _ -> ())
+
+(* --- Parser -------------------------------------------------------------- *)
+
+let parse = Sqlfront.Parser.parse
+
+let test_parse_full_query () =
+  let s =
+    parse
+      "SELECT MIN(cn.name) AS company, MIN(t.title) FROM company_name AS cn, \
+       title t, movie_companies AS mc WHERE cn.country_code = '[us]' AND \
+       t.id = mc.movie_id AND mc.company_id = cn.id AND t.production_year \
+       BETWEEN 1990 AND 2000 AND (mc.note LIKE '%(VHS)%' OR mc.note IS NULL) \
+       AND mc.company_type_id IN (1, 2) AND t.title NOT LIKE 'The %' AND \
+       t.episode_of_id IS NOT NULL;"
+  in
+  Alcotest.(check int) "projections" 2 (List.length s.A.projections);
+  Alcotest.(check (list (pair string string))) "from"
+    [ ("company_name", "cn"); ("title", "t"); ("movie_companies", "mc") ]
+    s.A.from;
+  Alcotest.(check int) "where items" 8 (List.length s.A.where);
+  let joins =
+    List.filter (function A.W_join _ -> true | A.W_atom _ -> false) s.A.where
+  in
+  Alcotest.(check int) "two joins" 2 (List.length joins)
+
+let test_parse_or_group () =
+  let s =
+    parse
+      "SELECT * FROM title AS t WHERE (t.production_year > 2000 OR \
+       t.production_year < 1950 OR t.title LIKE 'The %')"
+  in
+  match s.A.where with
+  | [ A.W_atom (A.A_or atoms) ] -> Alcotest.(check int) "3 branches" 3 (List.length atoms)
+  | _ -> Alcotest.fail "expected a single OR group"
+
+let expect_parse_error sql =
+  try
+    ignore (parse sql);
+    Alcotest.failf "expected parse error for %s" sql
+  with Sqlfront.Parser.Parse_error _ -> ()
+
+let test_parse_errors () =
+  expect_parse_error "SELECT";
+  expect_parse_error "SELECT MIN(a.b) FROM t AS a";
+  expect_parse_error "SELECT MIN(a.b) FROM t a WHERE a.x < b.y";
+  (* non-eq join *)
+  expect_parse_error "SELECT MIN(a.b) FROM t a WHERE a.x NOT IN (1)";
+  expect_parse_error "SELECT MIN(a.b) FROM t a WHERE a.x = 1 garbage";
+  expect_parse_error "SELECT MIN(a.b) FROM t a WHERE a.x LIKE 5"
+
+let test_parse_pp_roundtrip () =
+  let sql =
+    "SELECT MIN(t.title) FROM title AS t, movie_keyword AS mk WHERE \
+     t.id = mk.movie_id AND t.production_year > 2000"
+  in
+  let s = parse sql in
+  let printed = Format.asprintf "%a" A.pp_select s in
+  let reparsed = parse printed in
+  Alcotest.(check int) "where survives" (List.length s.A.where)
+    (List.length reparsed.A.where);
+  Alcotest.(check (list (pair string string))) "from survives" s.A.from reparsed.A.from
+
+(* --- Binder --------------------------------------------------------------- *)
+
+let bind sql =
+  Sqlfront.Binder.bind_sql (Lazy.force Support.imdb) ~name:"test" sql
+
+let test_bind_simple () =
+  let b =
+    bind
+      "SELECT MIN(t.title) FROM title AS t, movie_companies AS mc, \
+       company_name AS cn WHERE t.id = mc.movie_id AND mc.company_id = cn.id \
+       AND cn.country_code = '[us]' AND t.production_year > 2000"
+  in
+  let g = b.Sqlfront.Binder.graph in
+  Alcotest.(check int) "3 relations" 3 (Query.Query_graph.n_relations g);
+  Alcotest.(check int) "2 edges" 2 (Query.Query_graph.n_edges g);
+  Alcotest.(check int) "1 projection" 1 (List.length b.Sqlfront.Binder.projections);
+  (* PK side detection: t.id is title's PK. *)
+  (match Query.Query_graph.edges g with
+  | [ e1; _ ] -> Alcotest.(check bool) "pk side" true (e1.Query.Query_graph.pk_side = Some `Left)
+  | _ -> Alcotest.fail "edges");
+  (* Title got its year predicate. *)
+  let t = Query.Query_graph.relation g 0 in
+  Alcotest.(check int) "one pred on t" 1 (List.length t.Query.Query_graph.preds)
+
+let test_bind_missing_string_is_sentinel () =
+  let b =
+    bind
+      "SELECT MIN(cn.name) FROM company_name AS cn, movie_companies AS mc \
+       WHERE mc.company_id = cn.id AND cn.country_code = '[nonexistent]'"
+  in
+  let cn = Query.Query_graph.relation b.Sqlfront.Binder.graph 0 in
+  match cn.Query.Query_graph.preds with
+  | [ P.Cmp { code; _ } ] -> Alcotest.(check int) "sentinel" (-1) code
+  | _ -> Alcotest.fail "expected one Cmp predicate"
+
+let test_bind_str_order_becomes_str_cmp () =
+  let b =
+    bind
+      "SELECT MIN(miidx.info) FROM movie_info_idx AS miidx, title AS t WHERE \
+       t.id = miidx.movie_id AND miidx.info > '8.0'"
+  in
+  let miidx = Query.Query_graph.relation b.Sqlfront.Binder.graph 0 in
+  match miidx.Query.Query_graph.preds with
+  | [ P.Str_cmp { op = P.Gt; value = "8.0"; _ } ] -> ()
+  | _ -> Alcotest.fail "expected Str_cmp"
+
+let expect_bind_error sql =
+  try
+    ignore (bind sql);
+    Alcotest.failf "expected bind error for %s" sql
+  with Sqlfront.Binder.Bind_error _ -> ()
+
+let test_bind_errors () =
+  expect_bind_error "SELECT MIN(x.a) FROM no_such_table AS x, title AS t WHERE t.id = x.a";
+  expect_bind_error
+    "SELECT MIN(t.title) FROM title AS t, title AS t WHERE t.id = t.kind_id";
+  expect_bind_error
+    "SELECT MIN(t.nope) FROM title AS t, movie_keyword AS mk WHERE t.id = mk.movie_id";
+  expect_bind_error
+    "SELECT MIN(t.title) FROM title AS t, movie_keyword AS mk WHERE \
+     t.id = mk.movie_id AND zz.a = 1";
+  expect_bind_error
+    (* OR across relations is unsupported *)
+    "SELECT MIN(t.title) FROM title AS t, movie_keyword AS mk WHERE \
+     t.id = mk.movie_id AND (t.production_year > 2000 OR mk.keyword_id = 1)";
+  expect_bind_error
+    (* BETWEEN on string column *)
+    "SELECT MIN(t.title) FROM title AS t, movie_keyword AS mk WHERE \
+     t.id = mk.movie_id AND t.title BETWEEN 1 AND 2";
+  expect_bind_error
+    (* LIKE on integer column *)
+    "SELECT MIN(t.title) FROM title AS t, movie_keyword AS mk WHERE \
+     t.id = mk.movie_id AND t.production_year LIKE 'x%'"
+
+let suite =
+  [
+    Alcotest.test_case "lexer basics" `Quick test_lexer_basics;
+    Alcotest.test_case "lexer errors" `Quick test_lexer_errors;
+    Alcotest.test_case "parse full query" `Quick test_parse_full_query;
+    Alcotest.test_case "parse OR group" `Quick test_parse_or_group;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "parse/print roundtrip" `Quick test_parse_pp_roundtrip;
+    Alcotest.test_case "bind simple" `Quick test_bind_simple;
+    Alcotest.test_case "bind missing string sentinel" `Quick
+      test_bind_missing_string_is_sentinel;
+    Alcotest.test_case "bind string order cmp" `Quick test_bind_str_order_becomes_str_cmp;
+    Alcotest.test_case "bind errors" `Quick test_bind_errors;
+  ]

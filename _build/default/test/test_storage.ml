@@ -1,0 +1,235 @@
+(* Tests for the storage library: dictionaries, columns, tables, hash
+   indexes, and the catalog with its physical-design switching. *)
+
+let check = Alcotest.check
+
+(* --- Dict --------------------------------------------------------------- *)
+
+let test_dict_roundtrip () =
+  let d = Storage.Dict.create () in
+  let a = Storage.Dict.intern d "alpha" in
+  let b = Storage.Dict.intern d "beta" in
+  let a' = Storage.Dict.intern d "alpha" in
+  check Alcotest.int "stable code" a a';
+  Alcotest.(check bool) "codes differ" true (a <> b);
+  check Alcotest.string "decode" "beta" (Storage.Dict.get d b);
+  check Alcotest.int "size" 2 (Storage.Dict.size d);
+  check Alcotest.(option int) "find" (Some a) (Storage.Dict.find_opt d "alpha");
+  check Alcotest.(option int) "find missing" None (Storage.Dict.find_opt d "gamma")
+
+let test_dict_get_invalid () =
+  let d = Storage.Dict.create () in
+  Alcotest.check_raises "unknown code" (Invalid_argument "Dict.get: unknown code")
+    (fun () -> ignore (Storage.Dict.get d 3))
+
+let test_dict_matching_codes () =
+  let d = Storage.Dict.create () in
+  List.iter (fun s -> ignore (Storage.Dict.intern d s)) [ "cat"; "car"; "dog" ];
+  let bitmap = Storage.Dict.matching_codes d (fun s -> s.[0] = 'c') in
+  check Alcotest.(array bool) "c-prefixed" [| true; true; false |] bitmap
+
+let test_dict_growth () =
+  let d = Storage.Dict.create () in
+  for i = 0 to 999 do
+    ignore (Storage.Dict.intern d (string_of_int i))
+  done;
+  check Alcotest.int "1000 distinct" 1000 (Storage.Dict.size d);
+  check Alcotest.string "decode mid" "517" (Storage.Dict.get d 517)
+
+(* --- Column -------------------------------------------------------------- *)
+
+let test_column_ints () =
+  let c = Storage.Column.of_ints ~name:"x" [| Some 5; None; Some 7 |] in
+  check Alcotest.int "length" 3 (Storage.Column.length c);
+  Alcotest.(check bool) "null" true (Storage.Column.is_null c 1);
+  (match Storage.Column.value c 0 with
+  | Storage.Value.Int 5 -> ()
+  | v -> Alcotest.failf "unexpected %s" (Storage.Value.to_string v));
+  (match Storage.Column.value c 1 with
+  | Storage.Value.Null -> ()
+  | v -> Alcotest.failf "expected NULL, got %s" (Storage.Value.to_string v));
+  check Alcotest.int "distinct" 2 (Storage.Column.distinct_count c)
+
+let test_column_strings () =
+  let c = Storage.Column.of_strings ~name:"s" [| Some "a"; Some "b"; Some "a"; None |] in
+  check Alcotest.int "distinct" 2 (Storage.Column.distinct_count c);
+  (match Storage.Column.value c 2 with
+  | Storage.Value.Str "a" -> ()
+  | v -> Alcotest.failf "unexpected %s" (Storage.Value.to_string v));
+  check Alcotest.(option int) "encode present"
+    (Storage.Column.encode c (Storage.Value.Str "b"))
+    (Storage.Column.encode c (Storage.Value.Str "b"));
+  check Alcotest.(option int) "encode absent" None
+    (Storage.Column.encode c (Storage.Value.Str "zzz"));
+  check
+    Alcotest.(option int)
+    "encode null" (Some Storage.Value.null_code)
+    (Storage.Column.encode c Storage.Value.Null)
+
+let test_column_encode_mismatch () =
+  let c = Storage.Column.of_ints ~name:"x" [| Some 1 |] in
+  Alcotest.check_raises "type mismatch"
+    (Invalid_argument "Column.encode: type mismatch on column x") (fun () ->
+      ignore (Storage.Column.encode c (Storage.Value.Str "a")))
+
+(* --- Table ---------------------------------------------------------------- *)
+
+let mk_table () =
+  Storage.Table.create ~name:"demo" ~pk:"id" ~fks:[ "other_id" ]
+    [|
+      Storage.Column.of_ints ~name:"id" [| Some 1; Some 2; Some 3 |];
+      Storage.Column.of_ints ~name:"other_id" [| Some 9; None; Some 9 |];
+      Storage.Column.of_strings ~name:"label" [| Some "x"; Some "y"; Some "x" |];
+    |]
+
+let test_table_basics () =
+  let t = mk_table () in
+  check Alcotest.string "name" "demo" (Storage.Table.name t);
+  check Alcotest.int "rows" 3 (Storage.Table.row_count t);
+  check Alcotest.int "cols" 3 (Storage.Table.column_count t);
+  check Alcotest.int "col idx" 1 (Storage.Table.column_index t "other_id");
+  check Alcotest.(option int) "pk" (Some 0) (Storage.Table.pk t);
+  check Alcotest.(list int) "fks" [ 1 ] (Storage.Table.fks t)
+
+let test_table_validations () =
+  let col n = Storage.Column.of_ints ~name:n [| Some 1 |] in
+  Alcotest.check_raises "ragged"
+    (Invalid_argument "Table.create t: column b has 2 rows, expected 1")
+    (fun () ->
+      ignore
+        (Storage.Table.create ~name:"t"
+           [| col "a"; Storage.Column.of_ints ~name:"b" [| Some 1; Some 2 |] |]));
+  Alcotest.check_raises "duplicate column"
+    (Invalid_argument "Table.create t: duplicate column a") (fun () ->
+      ignore (Storage.Table.create ~name:"t" [| col "a"; col "a" |]));
+  Alcotest.check_raises "bad pk"
+    (Invalid_argument "Table.create t: pk column nope not found") (fun () ->
+      ignore (Storage.Table.create ~name:"t" ~pk:"nope" [| col "a" |]));
+  Alcotest.check_raises "unknown column"
+    (Invalid_argument "Table.column_index: table t has no column zz") (fun () ->
+      ignore (Storage.Table.column_index (Storage.Table.create ~name:"t" [| col "a" |]) "zz"))
+
+(* --- Index ------------------------------------------------------------------ *)
+
+let test_index_lookup () =
+  let t = mk_table () in
+  let idx = Storage.Index.build t ~col:1 in
+  check Alcotest.(array int) "two matches" [| 0; 2 |]
+    (let a = Array.copy (Storage.Index.lookup idx 9) in
+     Array.sort compare a;
+     a);
+  check Alcotest.(array int) "no match" [||] (Storage.Index.lookup idx 5);
+  check Alcotest.int "count" 2 (Storage.Index.count idx 9);
+  check Alcotest.int "distinct keys (nulls excluded)" 1 (Storage.Index.distinct_keys idx)
+
+let index_matches_scan =
+  Support.qcheck_case ~name:"index lookup equals full scan" QCheck.small_int
+    (fun seed ->
+      let prng = Util.Prng.create seed in
+      let data =
+        Array.init 200 (fun _ ->
+            if Util.Prng.chance prng 0.1 then None
+            else Some (Util.Prng.int prng 20))
+      in
+      let t =
+        Storage.Table.create ~name:"q"
+          [| Storage.Column.of_ints ~name:"k" data |]
+      in
+      let idx = Storage.Index.build t ~col:0 in
+      List.for_all
+        (fun key ->
+          let via_index = List.sort compare (Array.to_list (Storage.Index.lookup idx key)) in
+          let via_scan =
+            Array.to_list data
+            |> List.mapi (fun i v -> (i, v))
+            |> List.filter_map (fun (i, v) -> if v = Some key then Some i else None)
+          in
+          via_index = via_scan)
+        [ 0; 1; 5; 19 ])
+
+let test_index_average_fanout () =
+  let t =
+    Storage.Table.create ~name:"f"
+      [| Storage.Column.of_ints ~name:"k" [| Some 1; Some 1; Some 2; None |] |]
+  in
+  let idx = Storage.Index.build t ~col:0 in
+  Alcotest.check (Alcotest.float 1e-9) "fanout" 1.5 (Storage.Index.average_fanout idx)
+
+(* --- Database ------------------------------------------------------------------ *)
+
+let test_database_catalog () =
+  let db = Storage.Database.create () in
+  let t = mk_table () in
+  Storage.Database.add_table db t;
+  check Alcotest.string "find" "demo"
+    (Storage.Table.name (Storage.Database.find_table db "demo"));
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Database.add_table: duplicate table demo") (fun () ->
+      Storage.Database.add_table db t);
+  Alcotest.check_raises "unknown"
+    (Invalid_argument "Database.find_table: unknown table nope") (fun () ->
+      ignore (Storage.Database.find_table db "nope"));
+  check Alcotest.(list string) "names" [ "demo" ] (Storage.Database.table_names db)
+
+let test_database_index_config () =
+  let db = Storage.Database.create () in
+  Storage.Database.add_table db (mk_table ());
+  let has col =
+    Storage.Database.index db ~table:"demo" ~col <> None
+  in
+  Storage.Database.set_index_config db Storage.Database.No_indexes;
+  Alcotest.(check bool) "none: no pk" false (has 0);
+  Storage.Database.set_index_config db Storage.Database.Pk_only;
+  Alcotest.(check bool) "pk: pk yes" true (has 0);
+  Alcotest.(check bool) "pk: fk no" false (has 1);
+  Storage.Database.set_index_config db Storage.Database.Pk_fk;
+  Alcotest.(check bool) "pkfk: fk yes" true (has 1);
+  (* force_index ignores configuration *)
+  Storage.Database.set_index_config db Storage.Database.No_indexes;
+  ignore (Storage.Database.force_index db ~table:"demo" ~col:2)
+
+let dict_intern_roundtrip =
+  Support.qcheck_case ~name:"dict intern/get roundtrip"
+    QCheck.(small_list (string_of_size (QCheck.Gen.int_range 0 12)))
+    (fun strings ->
+      let d = Storage.Dict.create () in
+      let codes = List.map (Storage.Dict.intern d) strings in
+      List.for_all2 (fun s c -> Storage.Dict.get d c = s) strings codes
+      && Storage.Dict.size d = List.length (List.sort_uniq compare strings))
+
+let column_value_roundtrip =
+  Support.qcheck_case ~name:"column stores and decodes values"
+    QCheck.(small_list (option small_int))
+    (fun cells ->
+      let cells = Array.of_list cells in
+      if Array.length cells = 0 then true
+      else begin
+        let c = Storage.Column.of_ints ~name:"x" cells in
+        Array.for_all
+          (fun i ->
+            match (cells.(i), Storage.Column.value c i) with
+            | None, Storage.Value.Null -> true
+            | Some v, Storage.Value.Int w -> v = w
+            | _ -> false)
+          (Array.init (Array.length cells) (fun i -> i))
+      end)
+
+let suite =
+  [
+    Alcotest.test_case "dict roundtrip" `Quick test_dict_roundtrip;
+    dict_intern_roundtrip;
+    column_value_roundtrip;
+    Alcotest.test_case "dict invalid code" `Quick test_dict_get_invalid;
+    Alcotest.test_case "dict matching codes" `Quick test_dict_matching_codes;
+    Alcotest.test_case "dict growth" `Quick test_dict_growth;
+    Alcotest.test_case "column ints" `Quick test_column_ints;
+    Alcotest.test_case "column strings" `Quick test_column_strings;
+    Alcotest.test_case "column encode mismatch" `Quick test_column_encode_mismatch;
+    Alcotest.test_case "table basics" `Quick test_table_basics;
+    Alcotest.test_case "table validations" `Quick test_table_validations;
+    Alcotest.test_case "index lookup" `Quick test_index_lookup;
+    index_matches_scan;
+    Alcotest.test_case "index fanout" `Quick test_index_average_fanout;
+    Alcotest.test_case "database catalog" `Quick test_database_catalog;
+    Alcotest.test_case "database index config" `Quick test_database_index_config;
+  ]

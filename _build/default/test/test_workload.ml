@@ -1,0 +1,145 @@
+(* Tests for the workload: the JOB reproduction's structural guarantees
+   (113 queries, 33 families, 3-16 joins) and that every query binds and
+   parses against the generated schema. *)
+
+let test_counts () =
+  Alcotest.(check int) "113 queries" 113 Workload.Job.query_count;
+  Alcotest.(check int) "33 families" 33 Workload.Job.family_count;
+  Alcotest.(check int) "list matches count" 113 (List.length Workload.Job.all)
+
+let test_names_unique () =
+  let names = List.map (fun q -> q.Workload.Job.name) Workload.Job.all in
+  Alcotest.(check int) "unique" 113 (List.length (List.sort_uniq compare names))
+
+let test_find () =
+  let q = Workload.Job.find "13d" in
+  Alcotest.(check int) "family" 13 q.Workload.Job.family;
+  Alcotest.(check bool) "us predicate" true
+    (let sql = q.Workload.Job.sql in
+     let needle = "'[us]'" in
+     let n = String.length needle in
+     let found = ref false in
+     String.iteri
+       (fun i _ ->
+         if i + n <= String.length sql && String.sub sql i n = needle then
+           found := true)
+       sql;
+     !found);
+  (try
+     ignore (Workload.Job.find "99z");
+     Alcotest.fail "expected Not_found"
+   with Not_found -> ())
+
+let test_families_have_2_to_6_variants () =
+  List.iter
+    (fun (family, queries) ->
+      let n = List.length queries in
+      if n < 2 || n > 6 then Alcotest.failf "family %d has %d variants" family n)
+    Workload.Job.families
+
+let test_variants_differ_only_in_selections () =
+  (* All variants of a family parse to the same FROM clause and the same
+     join predicates. *)
+  List.iter
+    (fun (_, queries) ->
+      let parsed =
+        List.map (fun q -> Sqlfront.Parser.parse q.Workload.Job.sql) queries
+      in
+      match parsed with
+      | [] -> ()
+      | first :: rest ->
+          let joins_of s =
+            List.filter_map
+              (function
+                | Sqlfront.Ast.W_join (a, b) ->
+                    Some (a.Sqlfront.Ast.alias, a.Sqlfront.Ast.column,
+                          b.Sqlfront.Ast.alias, b.Sqlfront.Ast.column)
+                | Sqlfront.Ast.W_atom _ -> None)
+              s.Sqlfront.Ast.where
+          in
+          List.iter
+            (fun other ->
+              Alcotest.(check bool) "same FROM" true
+                (first.Sqlfront.Ast.from = other.Sqlfront.Ast.from);
+              Alcotest.(check bool) "same joins" true
+                (joins_of first = joins_of other))
+            rest)
+    Workload.Job.families
+
+let test_all_bind_with_join_range () =
+  let db = Lazy.force Support.imdb in
+  let joins =
+    List.map
+      (fun q ->
+        let b = Sqlfront.Binder.bind_sql db ~name:q.Workload.Job.name q.Workload.Job.sql in
+        Query.Query_graph.n_edges b.Sqlfront.Binder.graph)
+      Workload.Job.all
+  in
+  let mn = List.fold_left min max_int joins and mx = List.fold_left max 0 joins in
+  Alcotest.(check int) "min joins" 3 mn;
+  Alcotest.(check int) "max joins" 16 mx;
+  let avg = float_of_int (List.fold_left ( + ) 0 joins) /. 113.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "average %.1f in [7,10] (paper: 8)" avg)
+    true
+    (avg >= 7.0 && avg <= 10.0)
+
+let test_relation_count_capped () =
+  let db = Lazy.force Support.imdb in
+  List.iter
+    (fun q ->
+      let b = Sqlfront.Binder.bind_sql db ~name:q.Workload.Job.name q.Workload.Job.sql in
+      let n = Query.Query_graph.n_relations b.Sqlfront.Binder.graph in
+      if n < 4 || n > 12 then
+        Alcotest.failf "query %s has %d relations" q.Workload.Job.name n)
+    Workload.Job.all
+
+let test_queries_use_base_selections () =
+  (* Every query must constrain at least one base table (JOB variants are
+     defined by their selections). *)
+  let db = Lazy.force Support.imdb in
+  List.iter
+    (fun q ->
+      let b = Sqlfront.Binder.bind_sql db ~name:q.Workload.Job.name q.Workload.Job.sql in
+      let with_preds =
+        Array.to_list (Query.Query_graph.relations b.Sqlfront.Binder.graph)
+        |> List.filter (fun r -> r.Query.Query_graph.preds <> [])
+      in
+      if with_preds = [] then Alcotest.failf "query %s has no selections" q.Workload.Job.name)
+    Workload.Job.all
+
+let test_tpch_queries_bind () =
+  let db = Lazy.force Support.tpch in
+  Alcotest.(check int) "3 queries" 3 (List.length Workload.Tpch_queries.all);
+  List.iter
+    (fun q ->
+      ignore
+        (Sqlfront.Binder.bind_sql db ~name:q.Workload.Tpch_queries.name
+           q.Workload.Tpch_queries.sql))
+    Workload.Tpch_queries.all;
+  ignore (Workload.Tpch_queries.find "TPC-H 5");
+  try
+    ignore (Workload.Tpch_queries.find "TPC-H 99");
+    Alcotest.fail "expected Not_found"
+  with Not_found -> ()
+
+let test_figure_queries_exist () =
+  (* Queries referenced by name in the paper's figures. *)
+  List.iter
+    (fun name -> ignore (Workload.Job.find name))
+    [ "6a"; "13a"; "13d"; "16d"; "17b"; "25c" ]
+
+let suite =
+  [
+    Alcotest.test_case "counts" `Quick test_counts;
+    Alcotest.test_case "names unique" `Quick test_names_unique;
+    Alcotest.test_case "find" `Quick test_find;
+    Alcotest.test_case "variants per family" `Quick test_families_have_2_to_6_variants;
+    Alcotest.test_case "variants differ in selections only" `Quick
+      test_variants_differ_only_in_selections;
+    Alcotest.test_case "all bind, 3-16 joins" `Quick test_all_bind_with_join_range;
+    Alcotest.test_case "relation cap" `Quick test_relation_count_capped;
+    Alcotest.test_case "selections present" `Quick test_queries_use_base_selections;
+    Alcotest.test_case "tpch queries bind" `Quick test_tpch_queries_bind;
+    Alcotest.test_case "figure queries exist" `Quick test_figure_queries_exist;
+  ]
