@@ -251,6 +251,102 @@ let estimate_cmd =
        ~doc:"Compare every system's full-query cardinality estimate to the truth")
     Term.(const run $ scale_arg $ seed_arg $ data_arg $ indexes_arg $ query_arg)
 
+(* --- verify --------------------------------------------------------------- *)
+
+let verify_enumerator = function
+  | Core.Session.Exhaustive_dp -> Verify.Dp
+  | Core.Session.Greedy_operator_ordering -> Verify.Goo
+  | Core.Session.Quickpick n -> Verify.Quickpick n
+
+let verify_cmd =
+  let queries_arg =
+    let doc = "Comma-separated query names to verify, or 'all'." in
+    Arg.(value & opt string "all" & info [ "queries"; "q" ] ~docv:"NAMES" ~doc)
+  in
+  let enumerators_arg =
+    let doc = "Comma-separated enumerators to verify (dp, goo, quickpick:N)." in
+    Arg.(
+      value
+      & opt string "dp,goo,quickpick:10"
+      & info [ "enumerators" ] ~docv:"ES" ~doc)
+  in
+  let estimators_arg =
+    let doc = "Comma-separated estimator systems to verify, or 'all'." in
+    Arg.(value & opt string "all" & info [ "estimators" ] ~docv:"SYSS" ~doc)
+  in
+  let models_arg =
+    let doc = "Comma-separated cost models to verify, or 'all'." in
+    Arg.(value & opt string "all" & info [ "cost-models" ] ~docv:"MS" ~doc)
+  in
+  let run scale seed data indexes queries enumerators estimators models =
+    let split s = String.split_on_char ',' s |> List.map String.trim in
+    let s = session ?data ~seed ~scale ~indexes () in
+    let names =
+      if String.equal queries "all" then
+        List.map (fun q -> q.Workload.Job.name) Workload.Job.all
+      else split queries
+    in
+    let enumerators =
+      List.map (fun e -> verify_enumerator (parse_enumerator e)) (split enumerators)
+    in
+    let estimator_names =
+      if String.equal estimators "all" then
+        [ "PostgreSQL"; "DBMS A"; "DBMS B"; "DBMS C"; "HyPer" ]
+      else split estimators
+    in
+    let models =
+      if String.equal models "all" then Cost.Cost_model.all
+      else
+        List.map
+          (fun m ->
+            match Cost.Cost_model.by_name m with
+            | Some model -> model
+            | None -> failwith (Printf.sprintf "unknown cost model %s" m))
+          (split models)
+    in
+    let total = ref Verify.Violation.empty in
+    List.iter
+      (fun name ->
+        let q = load_query s name in
+        let estimators =
+          List.map (Core.Session.estimator s q) estimator_names
+        in
+        let report =
+          Verify.check_all ~query:name ~enumerators
+            ~graph:q.Core.Session.graph ~db:(Core.Session.db s) ~estimators
+            ~models ()
+        in
+        total := Verify.Violation.merge !total report;
+        if Verify.Violation.ok report then
+          Printf.printf "%-4s ok (%d checks)\n%!" name
+            report.Verify.Violation.checks
+        else begin
+          Printf.printf "%-4s FAILED (%d checks, %d violations)\n%!" name
+            report.Verify.Violation.checks
+            (List.length report.Verify.Violation.violations);
+          List.iter
+            (fun v -> Printf.printf "     %s\n" (Verify.Violation.to_string v))
+            report.Verify.Violation.violations
+        end)
+      names;
+    let violations = List.length !total.Verify.Violation.violations in
+    Printf.printf
+      "verify: %d queries, %d enumerators x %d estimators x %d cost models, \
+       %d checks, %d violations\n"
+      (List.length names) (List.length enumerators)
+      (List.length estimator_names) (List.length models)
+      !total.Verify.Violation.checks violations;
+    if violations > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Statically sanitize plans, estimates and costs over the workload \
+          without executing queries")
+    Term.(
+      const run $ scale_arg $ seed_arg $ data_arg $ indexes_arg $ queries_arg
+      $ enumerators_arg $ estimators_arg $ models_arg)
+
 (* --- experiment ---------------------------------------------------------- *)
 
 let experiments : (string * string * (Experiments.Harness.t -> string)) list =
@@ -277,7 +373,15 @@ let experiment_cmd =
     let doc = "Experiment id (table-1, figure-3, ..., table-3) or 'all'." in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
   in
-  let run scale seed id =
+  let verify_flag =
+    let doc =
+      "Run the optimizer sanitizer (estimate and cost passes) on every \
+       planning call while regenerating the experiment."
+    in
+    Arg.(value & flag & info [ "verify" ] ~doc)
+  in
+  let run scale seed verify id =
+    Experiments.Harness.debug_verify := verify;
     let h = Experiments.Harness.create ~seed ~scale () in
     let selected =
       if String.equal id "all" then experiments
@@ -296,7 +400,7 @@ let experiment_cmd =
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate a table or figure from the paper")
-    Term.(const run $ scale_arg $ seed_arg $ id_arg)
+    Term.(const run $ scale_arg $ seed_arg $ verify_flag $ id_arg)
 
 let () =
   let doc = "Join Order Benchmark reproduction toolkit" in
@@ -305,4 +409,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; show_cmd; plan_cmd; run_cmd; generate_cmd; stats_cmd;
-            estimate_cmd; experiment_cmd ]))
+            estimate_cmd; verify_cmd; experiment_cmd ]))

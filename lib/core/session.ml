@@ -98,6 +98,9 @@ let optimize t ?(estimator = "PostgreSQL") ?(cost_model = "PostgreSQL")
         Planner.Quickpick.best_of search (Util.Prng.create 1) ~attempts
     | Greedy_operator_ordering -> Planner.Goo.optimize search
   in
+  (* Every plan an enumerator emits is statically sanitized before it
+     can reach an executor or a figure. *)
+  Verify.ensure_plan ~shape ~what:query.name query.graph plan;
   { plan; estimated_cost; estimator = est; cost_model = model }
 
 let explain t query choice =

@@ -58,13 +58,59 @@ let with_index_config t config f =
   Storage.Database.set_index_config t.db config;
   Fun.protect ~finally:(fun () -> Storage.Database.set_index_config t.db saved) f
 
+(* Debug mode: when set (e.g. via `jobench experiment --verify`), every
+   planning call also runs the estimate and cost sanitizers, so a figure
+   regeneration is self-checking end to end. The estimate pass probes
+   every connected subset, so it is memoized per query × estimator. *)
+let debug_verify = ref false
+
+let verified_estimators : (string, unit) Hashtbl.t = Hashtbl.create 64
+
+let fail_report report =
+  invalid_arg
+    (String.concat "; "
+       (List.map Verify.Violation.to_string
+          report.Verify.Violation.violations))
+
+let verify_choice t qctx ~est ~model ~shape (plan, cost) =
+  let name = qctx.query.Workload.Job.name in
+  (* Structural sanity is cheap; it guards every experiment run. *)
+  Verify.ensure_plan ~shape ~what:name qctx.graph plan;
+  if !debug_verify then begin
+    let est_name = est.Cardest.Estimator.name in
+    let subject = Printf.sprintf "%s/%s" name est_name in
+    let est_report =
+      if Hashtbl.mem verified_estimators subject then Verify.Violation.empty
+      else begin
+        Hashtbl.add verified_estimators subject ();
+        Verify.check_estimates ~subject qctx.graph est
+      end
+    in
+    let env =
+      {
+        Cost.Cost_model.graph = qctx.graph;
+        db = t.db;
+        card = est.Cardest.Estimator.subset;
+      }
+    in
+    let cost_report =
+      Verify.check_costs
+        ~subject:(subject ^ "/" ^ model.Cost.Cost_model.name)
+        ~reported_cost:cost env model plan
+    in
+    let report = Verify.Violation.merge est_report cost_report in
+    if not (Verify.Violation.ok report) then fail_report report
+  end
+
 let plan_with t qctx ~est ~model ?(allow_nl = false)
     ?(shape = Planner.Search.Any_shape) () =
   let search =
     Planner.Search.create ~allow_nl ~shape ~model ~graph:qctx.graph ~db:t.db
       ~card:est.Cardest.Estimator.subset ()
   in
-  Planner.Dp.optimize search
+  let entry = Planner.Dp.optimize search in
+  verify_choice t qctx ~est ~model ~shape entry;
+  entry
 
 let execute t qctx ~plan ~size_est ~engine =
   Exec.Executor.run ~db:t.db ~graph:qctx.graph ~config:engine ~size_est

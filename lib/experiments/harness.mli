@@ -36,6 +36,24 @@ val with_index_config :
   t -> Storage.Database.index_config -> (unit -> 'a) -> 'a
 (** Run a thunk under a physical design, restoring the previous one. *)
 
+val debug_verify : bool ref
+(** When true, every {!plan_with} call also runs the estimate and cost
+    sanitizer passes of {!Verify} (memoized per query × estimator), so a
+    figure regeneration is self-checking. Off by default: the structural
+    plan sanitizer alone always runs. *)
+
+val verify_choice :
+  t ->
+  qctx ->
+  est:Cardest.Estimator.t ->
+  model:Cost.Cost_model.t ->
+  shape:Planner.Search.shape_limit ->
+  Plan.t * float ->
+  unit
+(** Sanitize one enumerator result: always the structural plan pass,
+    plus the estimate/cost passes when {!debug_verify} is set. Raises
+    [Invalid_argument] listing every violation found. *)
+
 val plan_with :
   t ->
   qctx ->
@@ -46,7 +64,8 @@ val plan_with :
   unit ->
   Plan.t * float
 (** DP-optimize the query under the given estimator/cost model and the
-    database's current index configuration. *)
+    database's current index configuration. The winning plan is passed
+    through {!verify_choice} before it is returned. *)
 
 val execute :
   t ->

@@ -39,4 +39,13 @@ let optimize (t : Search.t) =
   done;
   match !forest with
   | [ entry ] -> entry
-  | _ -> assert false
+  | rest ->
+      invalid_arg
+        (Printf.sprintf
+           "Goo.optimize: query %s left %d unjoined components (%s) — the \
+            join graph is not connected"
+           (QG.name graph) (List.length rest)
+           (String.concat ", "
+              (List.map
+                 (fun (p, _) -> Format.asprintf "%a" Bitset.pp p.Plan.set)
+                 rest)))

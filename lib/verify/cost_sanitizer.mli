@@ -1,0 +1,26 @@
+(** Analysis of cost annotations: finite, non-negative and monotone in
+    the subtree for all cost models, agreement between the enumerator's
+    reported total and the model's recomputation, and the differential
+    DP-optimality bound against heuristic enumerators. *)
+
+val check :
+  ?subject:string ->
+  ?reported_cost:float ->
+  Cost.Cost_model.env ->
+  Cost.Cost_model.t ->
+  Plan.t ->
+  Violation.result
+(** Index-NL joins are exempt from the inner-child monotonicity bound:
+    they replace the inner scan with index lookups and may legitimately
+    cost less than scanning the inner relation. *)
+
+val differential :
+  ?subject:string ->
+  dp:string * float ->
+  (string * float) list ->
+  Violation.result
+(** [differential ~dp:(name, cost) rivals] flags any rival enumerator
+    whose plan costs less than exhaustive DP's under the same estimate
+    function, cost model and shape restriction — DP is optimal over the
+    space containing every GOO/QuickPick plan, so that can only mean DP
+    missed part of its search space. *)

@@ -1,0 +1,26 @@
+(** Numerical analysis of cardinality estimators over every connected
+    subset of a query graph: finiteness, non-negativity, cross-product
+    inclusion bounds, optional strict PK bounds for exact estimators,
+    and NaN/Inf-rejecting q-error bookkeeping. *)
+
+val default_slack : float
+(** Multiplicative slack of the cross-product bound; absorbs the
+    floor/clamp rounding real systems apply to estimates. *)
+
+val q_error_checked :
+  estimate:float -> truth:float -> (float, string) Result.t
+(** {!Util.Stat.q_error} that refuses NaN, infinite or negative inputs
+    instead of letting them flow into percentile tables. *)
+
+val check :
+  ?subject:string ->
+  ?slack:float ->
+  ?pk_bound:bool ->
+  ?truth:(Util.Bitset.t -> float) ->
+  Query.Query_graph.t ->
+  Cardest.Estimator.t ->
+  Violation.result
+(** [pk_bound] additionally requires [est(S ∪ {r}) ≤ est(S)] when [r]
+    joins [S] on its primary-key side — sound for exact estimators
+    only; statistics-based systems violate it routinely (that is the
+    paper's point). [truth] enables q-error computability checks. *)

@@ -1,0 +1,6 @@
+(** Well-formedness lint for bound query graphs, run over the whole
+    workload at load time: connectedness, dangling aliases, degenerate
+    and duplicate edges, edge columns in range, and PK-side labels that
+    match the table's declared primary key. *)
+
+val check : ?subject:string -> Query.Query_graph.t -> Violation.result

@@ -1,0 +1,11 @@
+(** Structural analysis of physical plans: relation coverage, child
+    disjointness, cached-set consistency, connectivity of every
+    intermediate (undeclared cross products), index-NL inner-is-base,
+    and conformance to the enumerator's shape restriction. *)
+
+val check :
+  ?subject:string ->
+  ?shape:Planner.Search.shape_limit ->
+  Query.Query_graph.t ->
+  Plan.t ->
+  Violation.result

@@ -1,0 +1,121 @@
+(* Orchestrator for the optimizer sanitizer: composes the four analysis
+   passes (query-graph lint, plan sanitizer, estimate sanitizer, cost
+   sanitizer) over a matrix of enumerators × estimators × cost models,
+   all without executing a single query. This is the entry point behind
+   `jobench verify` and the harness debug mode. *)
+
+module Bitset = Util.Bitset
+module QG = Query.Query_graph
+
+(* The library is wrapped under this module; re-export the passes. *)
+module Violation = Violation
+module Plan_sanitizer = Plan_sanitizer
+module Estimate_sanitizer = Estimate_sanitizer
+module Cost_sanitizer = Cost_sanitizer
+module Graph_lint = Graph_lint
+
+type enumerator = Dp | Goo | Quickpick of int
+
+let enumerator_name = function
+  | Dp -> "dp"
+  | Goo -> "goo"
+  | Quickpick n -> Printf.sprintf "quickpick:%d" n
+
+let default_enumerators = [ Dp; Goo; Quickpick 10 ]
+
+(* Re-exported pass entry points, so callers need one module. *)
+let check_graph = Graph_lint.check
+let check_plan = Plan_sanitizer.check
+let check_estimates = Estimate_sanitizer.check
+let check_costs = Cost_sanitizer.check
+let q_error_checked = Estimate_sanitizer.q_error_checked
+
+(* Raise [Invalid_argument] when a plan fails the sanitizer — the hook
+   enumerator call sites use so a malformed plan can never flow into an
+   experiment or an executor. *)
+let ensure_plan ?shape ~what graph plan =
+  let result = Plan_sanitizer.check ~subject:what ?shape graph plan in
+  if not (Violation.ok result) then
+    invalid_arg
+      (Printf.sprintf "Verify: malformed plan for %s: %s" what
+         (String.concat "; "
+            (List.map (fun v -> v.Violation.message) result.Violation.violations)))
+
+let run_enumerator search = function
+  | Dp -> Planner.Dp.optimize search
+  | Goo -> Planner.Goo.optimize search
+  | Quickpick attempts ->
+      Planner.Quickpick.best_of search (Util.Prng.create 1) ~attempts
+
+(* Plan + cost passes for one estimator/model pair: every enumerator's
+   plan is sanitized structurally and cost-wise, then DP's cost is
+   checked as a lower bound on the heuristics'. *)
+let check_combination ?(query = "query") ?(enumerators = default_enumerators)
+    ?shape ?(allow_nl = false) ~graph ~db
+    ~(est : Cardest.Estimator.t) ~(model : Cost.Cost_model.t) () =
+  let search =
+    Planner.Search.create ~allow_nl ?shape ~model ~graph ~db
+      ~card:est.Cardest.Estimator.subset ()
+  in
+  let env =
+    { Cost.Cost_model.graph; db; card = est.Cardest.Estimator.subset }
+  in
+  let subject e =
+    Printf.sprintf "%s/%s/%s/%s" query (enumerator_name e)
+      est.Cardest.Estimator.name model.Cost.Cost_model.name
+  in
+  let plans =
+    List.map (fun e -> (e, run_enumerator search e)) enumerators
+  in
+  let per_plan =
+    List.concat_map
+      (fun (e, (plan, cost)) ->
+        [
+          Plan_sanitizer.check ~subject:(subject e) ?shape graph plan;
+          Cost_sanitizer.check ~subject:(subject e) ~reported_cost:cost env
+            model plan;
+        ])
+      plans
+  in
+  let diff =
+    match List.assoc_opt Dp plans with
+    | None -> Violation.empty
+    | Some (_, dp_cost) ->
+        let rivals =
+          List.filter_map
+            (fun (e, (_, cost)) ->
+              if e = Dp then None else Some (enumerator_name e, cost))
+            plans
+        in
+        Cost_sanitizer.differential ~subject:(subject Dp)
+          ~dp:(enumerator_name Dp, dp_cost) rivals
+  in
+  Violation.merge_all (per_plan @ [ diff ])
+
+(* The full matrix for one query: graph lint once, estimate sanitizer
+   once per estimator, plan/cost sanitizers per estimator × model ×
+   enumerator, differential DP check per estimator × model. *)
+let check_all ?(query = "query") ?(enumerators = default_enumerators) ?shape
+    ?(allow_nl = false) ?slack ?pk_bound ?truth ~graph ~db
+    ~(estimators : Cardest.Estimator.t list)
+    ~(models : Cost.Cost_model.t list) () =
+  let lint = Graph_lint.check ~subject:query graph in
+  let estimates =
+    List.map
+      (fun (est : Cardest.Estimator.t) ->
+        Estimate_sanitizer.check
+          ~subject:(Printf.sprintf "%s/%s" query est.Cardest.Estimator.name)
+          ?slack ?pk_bound ?truth graph est)
+      estimators
+  in
+  let combos =
+    List.concat_map
+      (fun est ->
+        List.map
+          (fun model ->
+            check_combination ~query ~enumerators ?shape ~allow_nl ~graph ~db
+              ~est ~model ())
+          models)
+      estimators
+  in
+  Violation.merge_all ((lint :: estimates) @ combos)

@@ -1,0 +1,94 @@
+(** The optimizer sanitizer: composable static-analysis passes over
+    optimizer artifacts — plans, cardinality estimates, cost
+    annotations and query graphs — run without executing queries.
+
+    Entry points: {!check_all} for the full matrix behind
+    [jobench verify], {!ensure_plan} as the cheap structural hook every
+    enumerator call site goes through, and the per-pass checks
+    re-exported below. *)
+
+module Violation = Violation
+module Plan_sanitizer = Plan_sanitizer
+module Estimate_sanitizer = Estimate_sanitizer
+module Cost_sanitizer = Cost_sanitizer
+module Graph_lint = Graph_lint
+
+type enumerator = Dp | Goo | Quickpick of int
+
+val enumerator_name : enumerator -> string
+
+val default_enumerators : enumerator list
+(** [Dp; Goo; Quickpick 10]. *)
+
+val check_graph : ?subject:string -> Query.Query_graph.t -> Violation.result
+
+val check_plan :
+  ?subject:string ->
+  ?shape:Planner.Search.shape_limit ->
+  Query.Query_graph.t ->
+  Plan.t ->
+  Violation.result
+
+val check_estimates :
+  ?subject:string ->
+  ?slack:float ->
+  ?pk_bound:bool ->
+  ?truth:(Util.Bitset.t -> float) ->
+  Query.Query_graph.t ->
+  Cardest.Estimator.t ->
+  Violation.result
+
+val check_costs :
+  ?subject:string ->
+  ?reported_cost:float ->
+  Cost.Cost_model.env ->
+  Cost.Cost_model.t ->
+  Plan.t ->
+  Violation.result
+
+val q_error_checked :
+  estimate:float -> truth:float -> (float, string) Result.t
+
+val ensure_plan :
+  ?shape:Planner.Search.shape_limit ->
+  what:string ->
+  Query.Query_graph.t ->
+  Plan.t ->
+  unit
+(** Raise [Invalid_argument] listing every violation when a plan fails
+    the structural sanitizer — used by [Core.Session.optimize] and
+    [Experiments.Harness.plan_with] so a malformed plan can never flow
+    into an executor or a figure. *)
+
+val check_combination :
+  ?query:string ->
+  ?enumerators:enumerator list ->
+  ?shape:Planner.Search.shape_limit ->
+  ?allow_nl:bool ->
+  graph:Query.Query_graph.t ->
+  db:Storage.Database.t ->
+  est:Cardest.Estimator.t ->
+  model:Cost.Cost_model.t ->
+  unit ->
+  Violation.result
+(** Run every enumerator under one estimator/cost-model pair, sanitize
+    each plan structurally and cost-wise, and check DP's cost as a
+    lower bound on the heuristics'. *)
+
+val check_all :
+  ?query:string ->
+  ?enumerators:enumerator list ->
+  ?shape:Planner.Search.shape_limit ->
+  ?allow_nl:bool ->
+  ?slack:float ->
+  ?pk_bound:bool ->
+  ?truth:(Util.Bitset.t -> float) ->
+  graph:Query.Query_graph.t ->
+  db:Storage.Database.t ->
+  estimators:Cardest.Estimator.t list ->
+  models:Cost.Cost_model.t list ->
+  unit ->
+  Violation.result
+(** The full matrix for one query: graph lint once, estimate sanitizer
+    per estimator, plan/cost sanitizers per estimator × model ×
+    enumerator, differential DP check per estimator × model. *)

@@ -1,0 +1,43 @@
+(* Workload lint driver behind `dune build @verify` (also wired into
+   `dune runtest`): binds every JOB and TPC-H query against a small
+   generated instance and runs the query-graph lint on each, so a
+   malformed workload query can never reach the benchmark harness. *)
+
+let lint_workload ~label ~db queries =
+  let violations = ref 0 in
+  let checks = ref 0 in
+  List.iter
+    (fun (name, sql) ->
+      let bound = Sqlfront.Binder.bind_sql db ~name sql in
+      let report = Verify.check_graph bound.Sqlfront.Binder.graph in
+      checks := !checks + report.Verify.Violation.checks;
+      match report.Verify.Violation.violations with
+      | [] -> ()
+      | vs ->
+          violations := !violations + List.length vs;
+          List.iter
+            (fun v ->
+              Printf.eprintf "%s\n" (Verify.Violation.to_string v))
+            vs)
+    queries;
+  Printf.printf "%s: %d queries, %d lint checks, %d violations\n" label
+    (List.length queries) !checks !violations;
+  !violations
+
+let () =
+  let imdb = Datagen.Imdb_gen.generate ~seed:42 ~scale:0.02 () in
+  let job =
+    List.map (fun q -> (q.Workload.Job.name, q.Workload.Job.sql)) Workload.Job.all
+  in
+  let tpch_db = Datagen.Tpch_gen.generate ~scale:0.05 () in
+  let tpch =
+    List.map
+      (fun q ->
+        (q.Workload.Tpch_queries.name, q.Workload.Tpch_queries.sql))
+      Workload.Tpch_queries.all
+  in
+  let bad =
+    lint_workload ~label:"JOB" ~db:imdb job
+    + lint_workload ~label:"TPC-H" ~db:tpch_db tpch
+  in
+  if bad > 0 then exit 1

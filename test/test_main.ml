@@ -11,6 +11,7 @@ let () =
       ("cost", Test_cost.suite);
       ("plan", Test_plan.suite);
       ("planner", Test_planner.suite);
+      ("verify", Test_verify.suite);
       ("exec", Test_exec.suite);
       ("workload", Test_workload.suite);
       ("experiments", Test_experiments.suite);
