@@ -7,22 +7,13 @@
      dune exec bench/main.exe -- --only figure-3
      dune exec bench/main.exe -- --skip-micro *)
 
-let experiments : (string * (Experiments.Harness.t -> string)) list =
-  [
-    ("table-1", Experiments.Exp_table1.render);
-    ("figure-3", Experiments.Exp_fig3.render);
-    ("figure-4", Experiments.Exp_fig4.render);
-    ("figure-5", Experiments.Exp_fig5.render);
-    ("table-sec4.1", Experiments.Exp_sec41.render);
-    ("figure-6", Experiments.Exp_fig6.render);
-    ("figure-7", Experiments.Exp_fig7.render);
-    ("figure-8", Experiments.Exp_fig8.render);
-    ("figure-9", Experiments.Exp_fig9.render);
-    ("table-2", Experiments.Exp_table2.render);
-    ("table-3", Experiments.Exp_table3.render);
-    ("ablations", Experiments.Exp_ablation.render);
-    ("extensions", Experiments.Exp_extensions.render);
-  ]
+(* The experiment list is the catalog in lib/experiments — one source of
+   truth shared with 'jobench experiment'. *)
+let experiments =
+  List.map
+    (fun (e : Experiments.Catalog.entry) ->
+      (e.Experiments.Catalog.id, e.Experiments.Catalog.render))
+    Experiments.Catalog.all
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: the computational kernel behind each
@@ -175,5 +166,6 @@ let () =
       Printf.printf "=== %s ===\n%s\n(%.1fs)\n\n%!" id output
         (Unix.gettimeofday () -. t1))
     selected;
+  Printf.printf "--- %s\n\n%!" (Experiments.Harness.stats_summary h);
   if not !skip_micro then run_micro h;
   Printf.printf "\ntotal: %.1fs\n" (Unix.gettimeofday () -. t0)

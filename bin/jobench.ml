@@ -10,6 +10,13 @@
 
 open Cmdliner
 
+(* Option docs are derived from the component registry, so the help text
+   can never drift from what actually resolves. *)
+let registry_doc intro registry =
+  Printf.sprintf "%s: %s." intro
+    (String.concat ", "
+       (List.map (fun n -> Printf.sprintf "'%s'" n) (Core.Registry.names registry)))
+
 let scale_arg =
   let doc = "Database scale factor (1.0 = the full ~325k-row benchmark)." in
   Arg.(value & opt float 0.3 & info [ "scale" ] ~docv:"S" ~doc)
@@ -19,41 +26,34 @@ let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc)
 
 let estimator_arg =
-  let doc =
-    "Cardinality estimator: PostgreSQL, 'DBMS A', 'DBMS B', 'DBMS C', HyPer, \
-     'PostgreSQL (true distinct)', or true."
-  in
+  let doc = registry_doc "Cardinality estimator" Core.Registry.estimators in
   Arg.(value & opt string "PostgreSQL" & info [ "estimator"; "e" ] ~docv:"SYS" ~doc)
 
 let model_arg =
-  let doc = "Cost model: PostgreSQL, tuned, or Cmm." in
+  let doc = registry_doc "Cost model" Core.Registry.cost_models in
   Arg.(value & opt string "PostgreSQL" & info [ "cost-model"; "m" ] ~docv:"M" ~doc)
 
 let indexes_arg =
-  let doc = "Physical design: none, pk, or pkfk." in
+  let doc = registry_doc "Physical design" Core.Registry.index_configs in
   Arg.(value & opt string "pk" & info [ "indexes"; "i" ] ~docv:"CFG" ~doc)
 
 let enumerator_arg =
-  let doc = "Plan enumeration: dp, goo, or quickpick:N." in
+  let doc = registry_doc "Plan enumeration" Core.Registry.enumerators in
   Arg.(value & opt string "dp" & info [ "enumerator" ] ~docv:"E" ~doc)
+
+let engine_arg =
+  let doc = registry_doc "Execution engine configuration" Core.Registry.engines in
+  Arg.(value & opt string "robust" & info [ "engine" ] ~docv:"ENG" ~doc)
 
 let query_arg =
   let doc = "Benchmark query name (e.g. 13d) or a file containing SQL." in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY" ~doc)
 
-let parse_indexes = function
-  | "none" -> Storage.Database.No_indexes
-  | "pk" -> Storage.Database.Pk_only
-  | "pkfk" -> Storage.Database.Pk_fk
-  | s -> failwith (Printf.sprintf "unknown index configuration %s" s)
+let parse_indexes s = Core.Registry.(find_exn index_configs) s
 
-let parse_enumerator s =
-  if String.equal s "dp" then Core.Session.Exhaustive_dp
-  else if String.equal s "goo" then Core.Session.Greedy_operator_ordering
-  else
-    match String.split_on_char ':' s with
-    | [ "quickpick"; n ] -> Core.Session.Quickpick (int_of_string n)
-    | _ -> failwith (Printf.sprintf "unknown enumerator %s" s)
+let parse_enumerator s = Core.Registry.(find_exn enumerators) s
+
+let parse_engine s = Core.Registry.(find_exn engines) s
 
 let data_arg =
   let doc =
@@ -139,15 +139,16 @@ let plan_cmd =
 (* --- run --------------------------------------------------------------- *)
 
 let run_cmd =
-  let run scale seed data indexes estimator model enumerator name =
+  let run scale seed data indexes estimator model enumerator engine name =
     let s = session ?data ~seed ~scale ~indexes () in
     let q = load_query s name in
     let choice =
       Core.Session.optimize s ~estimator ~cost_model:model
         ~enumerator:(parse_enumerator enumerator) q
     in
-    print_string (Core.Session.explain_analyze s q choice);
-    let result = Core.Session.run s q choice in
+    let engine = parse_engine engine in
+    print_string (Core.Session.explain_analyze s ~engine q choice);
+    let result = Core.Session.run s ~engine q choice in
     List.iter
       (fun v -> Printf.printf "  MIN = %s\n" (Storage.Value.to_string v))
       result.Exec.Executor.mins
@@ -155,7 +156,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Optimize and execute a query (EXPLAIN ANALYZE)")
     Term.(
       const run $ scale_arg $ seed_arg $ data_arg $ indexes_arg $ estimator_arg
-      $ model_arg $ enumerator_arg $ query_arg)
+      $ model_arg $ enumerator_arg $ engine_arg $ query_arg)
 
 (* --- generate ------------------------------------------------------------ *)
 
@@ -234,6 +235,8 @@ let estimate_cmd =
     let exact = Cardest.True_card.card truth full in
     Printf.printf "%s: true cardinality %.0f\n\n" q.Core.Session.name exact;
     Printf.printf "%-28s %14s %12s\n" "system" "estimate" "q-error";
+    (* The system list is the estimator registry itself, so a newly
+       registered estimator shows up here without touching the CLI. *)
     List.iter
       (fun system ->
         let est = Core.Session.estimator s q system in
@@ -243,8 +246,7 @@ let estimate_cmd =
              (Util.Stat.q_error
                 ~estimate:(Float.max 1.0 estimate)
                 ~truth:(Float.max 1.0 exact))))
-      ([ "PostgreSQL"; "DBMS A"; "DBMS B"; "DBMS C"; "HyPer";
-         "PostgreSQL (true distinct)" ])
+      (Core.Registry.names Core.Registry.estimators)
   in
   Cmd.v
     (Cmd.info "estimate"
@@ -252,11 +254,6 @@ let estimate_cmd =
     Term.(const run $ scale_arg $ seed_arg $ data_arg $ indexes_arg $ query_arg)
 
 (* --- verify --------------------------------------------------------------- *)
-
-let verify_enumerator = function
-  | Core.Session.Exhaustive_dp -> Verify.Dp
-  | Core.Session.Greedy_operator_ordering -> Verify.Goo
-  | Core.Session.Quickpick n -> Verify.Quickpick n
 
 let verify_cmd =
   let queries_arg =
@@ -287,22 +284,20 @@ let verify_cmd =
       else split queries
     in
     let enumerators =
-      List.map (fun e -> verify_enumerator (parse_enumerator e)) (split enumerators)
+      List.map
+        (fun e -> Core.Registry.verify_enumerator (parse_enumerator e))
+        (split enumerators)
     in
     let estimator_names =
-      if String.equal estimators "all" then
-        [ "PostgreSQL"; "DBMS A"; "DBMS B"; "DBMS C"; "HyPer" ]
+      if String.equal estimators "all" then Cardest.Systems.names
       else split estimators
     in
     let models =
-      if String.equal models "all" then Cost.Cost_model.all
+      if String.equal models "all" then
+        List.map (fun e -> e.Core.Registry.value)
+          (Core.Registry.entries Core.Registry.cost_models)
       else
-        List.map
-          (fun m ->
-            match Cost.Cost_model.by_name m with
-            | Some model -> model
-            | None -> failwith (Printf.sprintf "unknown cost model %s" m))
-          (split models)
+        List.map Core.Registry.(find_exn cost_models) (split models)
     in
     let total = ref Verify.Violation.empty in
     List.iter
@@ -349,28 +344,13 @@ let verify_cmd =
 
 (* --- experiment ---------------------------------------------------------- *)
 
-let experiments : (string * string * (Experiments.Harness.t -> string)) list =
-  [
-    ("table-1", "base-table q-errors", Experiments.Exp_table1.render);
-    ("figure-3", "join estimate errors by join count", Experiments.Exp_fig3.render);
-    ("figure-4", "JOB vs TPC-H estimates", Experiments.Exp_fig4.render);
-    ("figure-5", "default vs true distinct counts", Experiments.Exp_fig5.render);
-    ("table-sec4.1", "slowdowns from injected estimates", Experiments.Exp_sec41.render);
-    ("figure-6", "engine robustness variants", Experiments.Exp_fig6.render);
-    ("figure-7", "PK vs PK+FK slowdowns", Experiments.Exp_fig7.render);
-    ("figure-8", "cost model vs runtime", Experiments.Exp_fig8.render);
-    ("figure-9", "random plan cost distributions", Experiments.Exp_fig9.render);
-    ("table-2", "restricted tree shapes", Experiments.Exp_table2.render);
-    ("table-3", "DP vs heuristics", Experiments.Exp_table3.render);
-    ("ablations", "design-choice ablations (extensions)", Experiments.Exp_ablation.render);
-    ( "extensions",
-      "future-work implementations: join sampling, adaptive re-optimization",
-      Experiments.Exp_extensions.render );
-  ]
-
 let experiment_cmd =
   let id_arg =
-    let doc = "Experiment id (table-1, figure-3, ..., table-3) or 'all'." in
+    (* The ID list is the experiment catalog itself. *)
+    let doc =
+      Printf.sprintf "Experiment id (%s) or 'all'."
+        (String.concat ", " Experiments.Catalog.ids)
+    in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
   in
   let verify_flag =
@@ -380,27 +360,31 @@ let experiment_cmd =
     in
     Arg.(value & flag & info [ "verify" ] ~doc)
   in
-  let run scale seed verify id =
+  let stats_flag =
+    let doc =
+      "After rendering, print the pipeline's plan-cache and estimator-cache \
+       counters (hits, misses, plans enumerated, estimator probes)."
+    in
+    Arg.(value & flag & info [ "stats" ] ~doc)
+  in
+  let run scale seed verify stats id =
     Experiments.Harness.debug_verify := verify;
     let h = Experiments.Harness.create ~seed ~scale () in
     let selected =
-      if String.equal id "all" then experiments
-      else
-        match List.find_opt (fun (i, _, _) -> String.equal i id) experiments with
-        | Some e -> [ e ]
-        | None ->
-            failwith
-              (Printf.sprintf "unknown experiment %s (known: %s)" id
-                 (String.concat ", " (List.map (fun (i, _, _) -> i) experiments)))
+      if String.equal id "all" then Experiments.Catalog.all
+      else [ Experiments.Catalog.find_exn id ]
     in
     List.iter
-      (fun (id, _, render) ->
-        Printf.printf "=== %s ===\n%s\n%!" id (render h))
-      selected
+      (fun (e : Experiments.Catalog.entry) ->
+        Printf.printf "=== %s ===\n%s\n%!" e.Experiments.Catalog.id
+          (e.Experiments.Catalog.render h))
+      selected;
+    if stats then
+      Printf.printf "--- %s\n%!" (Experiments.Harness.stats_summary h)
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate a table or figure from the paper")
-    Term.(const run $ scale_arg $ seed_arg $ verify_flag $ id_arg)
+    Term.(const run $ scale_arg $ seed_arg $ verify_flag $ stats_flag $ id_arg)
 
 let () =
   let doc = "Join Order Benchmark reproduction toolkit" in

@@ -40,4 +40,10 @@ let () =
   let final = Query.Query_graph.full_set query.Core.Session.graph in
   Printf.printf "\nFinal result: estimated %.0f rows, actual %.0f rows\n"
     (choice.Core.Session.estimator.Cardest.Estimator.subset final)
-    (Cardest.True_card.card truth final)
+    (Cardest.True_card.card truth final);
+
+  (* Every estimator and plan request above went through the session's
+     memoizing pipeline; re-optimizing the same combination is free. *)
+  let _again = Core.Session.optimize session query in
+  Printf.printf "\n%s\n"
+    (Core.Pipeline.stats_summary (Core.Session.pipeline session))

@@ -1,0 +1,198 @@
+module QG = Query.Query_graph
+
+type query = {
+  name : string;
+  sql : string;
+  graph : QG.t;
+  projections : (int * int) list;
+}
+
+type plan_choice = {
+  plan : Plan.t;
+  estimated_cost : float;
+  estimator : Cardest.Estimator.t;
+  cost_model : Cost.Cost_model.t;
+}
+
+type stats = {
+  mutable plan_hits : int;
+  mutable plan_misses : int;
+  mutable plans_enumerated : int;
+  mutable estimators_built : int;
+  mutable estimators_reused : int;
+  mutable estimator_probes : int;
+}
+
+type t = {
+  db : Storage.Database.t;
+  analyze : Dbstats.Analyze.t;
+  coarse : Dbstats.Analyze.t;
+  truths : (string * string, Cardest.True_card.t Lazy.t) Hashtbl.t;
+  estimators : (string * string * string, Cardest.Estimator.t) Hashtbl.t;
+  plans : (plan_key, Plan.t * float) Hashtbl.t;
+  stats : stats;
+}
+
+and plan_key = {
+  k_query : string * string;
+  k_estimator : string;
+  k_model : string;
+  k_enumerator : string;
+  k_shape : Planner.Search.shape_limit;
+  k_allow_nl : bool;
+  k_allow_hash : bool;
+  k_seed : int;
+  k_indexes : Storage.Database.index_config;
+}
+
+let create db =
+  {
+    db;
+    analyze = Dbstats.Analyze.create db;
+    coarse = Cardest.Systems.coarse_analyze db;
+    truths = Hashtbl.create 128;
+    estimators = Hashtbl.create 512;
+    plans = Hashtbl.create 1024;
+    stats =
+      {
+        plan_hits = 0;
+        plan_misses = 0;
+        plans_enumerated = 0;
+        estimators_built = 0;
+        estimators_reused = 0;
+        estimator_probes = 0;
+      };
+  }
+
+let db t = t.db
+
+let stats t = t.stats
+
+let reset_stats t =
+  let s = t.stats in
+  s.plan_hits <- 0;
+  s.plan_misses <- 0;
+  s.plans_enumerated <- 0;
+  s.estimators_built <- 0;
+  s.estimators_reused <- 0;
+  s.estimator_probes <- 0
+
+let stats_summary t =
+  let s = t.stats in
+  Printf.sprintf
+    "plan cache: %d hits, %d misses (%d plans enumerated) | estimators: %d \
+     built, %d reused, %d probes"
+    s.plan_hits s.plan_misses s.plans_enumerated s.estimators_built
+    s.estimators_reused s.estimator_probes
+
+(* ------------------------------------------------------------------ *)
+(* Exact cardinalities                                                 *)
+
+let truth_lazy t q =
+  let key = (q.name, q.sql) in
+  match Hashtbl.find_opt t.truths key with
+  | Some l -> l
+  | None ->
+      let l = lazy (Cardest.True_card.compute q.graph) in
+      Hashtbl.add t.truths key l;
+      l
+
+let truth t q = Lazy.force (truth_lazy t q)
+
+let truth_if_computed t q =
+  match Hashtbl.find_opt t.truths (q.name, q.sql) with
+  | Some l when Lazy.is_val l -> Some (Lazy.force l)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Estimators                                                          *)
+
+let estimator t q system =
+  let key = (q.name, q.sql, system) in
+  match Hashtbl.find_opt t.estimators key with
+  | Some est ->
+      t.stats.estimators_reused <- t.stats.estimators_reused + 1;
+      est
+  | None ->
+      let build = Registry.find_exn Registry.estimators system in
+      let est =
+        build
+          {
+            Registry.db = t.db;
+            analyze = t.analyze;
+            coarse = t.coarse;
+            graph = q.graph;
+            truth = truth_lazy t q;
+          }
+      in
+      (* Count subset probes through the shared instance; the memo table
+         inside [est.subset] keeps doing the actual caching. *)
+      let counted =
+        {
+          est with
+          Cardest.Estimator.subset =
+            (fun s ->
+              t.stats.estimator_probes <- t.stats.estimator_probes + 1;
+              est.Cardest.Estimator.subset s);
+        }
+      in
+      t.stats.estimators_built <- t.stats.estimators_built + 1;
+      Hashtbl.add t.estimators key counted;
+      counted
+
+(* ------------------------------------------------------------------ *)
+(* Plans                                                               *)
+
+let plan_with t q ~est ~model ?(enumerator = Registry.Exhaustive_dp)
+    ?(shape = Planner.Search.Any_shape) ?(allow_nl = false)
+    ?(allow_hash = true) ?(seed = 1) () =
+  let key =
+    {
+      k_query = (q.name, q.sql);
+      k_estimator = est.Cardest.Estimator.name;
+      k_model = model.Cost.Cost_model.name;
+      k_enumerator = Registry.enumerator_name enumerator;
+      k_shape = shape;
+      k_allow_nl = allow_nl;
+      k_allow_hash = allow_hash;
+      (* The seed only matters for randomized enumeration; normalizing it
+         away for the deterministic ones widens cache sharing. *)
+      k_seed = (match enumerator with Registry.Quickpick _ -> seed | _ -> 0);
+      k_indexes = Storage.Database.index_config t.db;
+    }
+  in
+  match Hashtbl.find_opt t.plans key with
+  | Some entry ->
+      t.stats.plan_hits <- t.stats.plan_hits + 1;
+      entry
+  | None ->
+      t.stats.plan_misses <- t.stats.plan_misses + 1;
+      let search =
+        Planner.Search.create ~allow_nl ~allow_hash ~shape ~model ~graph:q.graph
+          ~db:t.db ~card:est.Cardest.Estimator.subset ()
+      in
+      let entry =
+        match enumerator with
+        | Registry.Exhaustive_dp -> Planner.Dp.optimize search
+        | Registry.Quickpick attempts ->
+            Planner.Quickpick.best_of search (Util.Prng.create seed) ~attempts
+        | Registry.Greedy_operator_ordering -> Planner.Goo.optimize search
+      in
+      t.stats.plans_enumerated <- t.stats.plans_enumerated + 1;
+      (* Every plan an enumerator emits is statically sanitized before it
+         can reach the cache, an executor, or a figure. *)
+      Verify.ensure_plan ~shape ~what:q.name q.graph (fst entry);
+      Hashtbl.add t.plans key entry;
+      entry
+
+let estimator_by_name = estimator
+
+let plan t ?(estimator = "PostgreSQL") ?(cost_model = "PostgreSQL") ?enumerator
+    ?shape ?allow_nl ?allow_hash ?seed query =
+  let est = estimator_by_name t query estimator in
+  let model = Registry.find_exn Registry.cost_models cost_model in
+  let plan, estimated_cost =
+    plan_with t query ~est ~model ?enumerator ?shape ?allow_nl ?allow_hash
+      ?seed ()
+  in
+  { plan; estimated_cost; estimator = est; cost_model = model }

@@ -1,0 +1,200 @@
+type error = { kind : string; input : string; valid : string list }
+
+let error_to_string { kind; input; valid } =
+  Printf.sprintf "unknown %s %S (valid: %s)" kind input
+    (String.concat ", " valid)
+
+type 'a entry = { name : string; doc : string; value : 'a }
+
+type 'a t = {
+  kind : string;
+  entries : 'a entry list;
+  parse : (string -> 'a option) option;
+}
+
+let make ~kind ?parse entries =
+  List.iteri
+    (fun i (e : _ entry) ->
+      List.iteri
+        (fun j (e' : _ entry) ->
+          if i < j && String.equal e.name e'.name then
+            invalid_arg
+              (Printf.sprintf "Registry.make: duplicate %s %S" kind e.name))
+        entries)
+    entries;
+  { kind; entries; parse }
+
+let kind t = t.kind
+
+let names t = List.map (fun e -> e.name) t.entries
+
+let entries t = t.entries
+
+let find t input =
+  match List.find_opt (fun e -> String.equal e.name input) t.entries with
+  | Some e -> Ok e.value
+  | None -> (
+      match Option.bind t.parse (fun parse -> parse input) with
+      | Some v -> Ok v
+      | None -> Error { kind = t.kind; input; valid = names t })
+
+let find_exn t input =
+  match find t input with
+  | Ok v -> v
+  | Error e -> invalid_arg (error_to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* Enumerators                                                         *)
+
+type enumerator = Exhaustive_dp | Quickpick of int | Greedy_operator_ordering
+
+let enumerator_name = function
+  | Exhaustive_dp -> "dp"
+  | Greedy_operator_ordering -> "goo"
+  | Quickpick n -> Printf.sprintf "quickpick:%d" n
+
+let verify_enumerator = function
+  | Exhaustive_dp -> Verify.Dp
+  | Greedy_operator_ordering -> Verify.Goo
+  | Quickpick n -> Verify.Quickpick n
+
+let enumerators =
+  make ~kind:"enumerator"
+    ~parse:(fun s ->
+      match String.split_on_char ':' s with
+      | [ "quickpick"; n ] ->
+          Option.map (fun n -> Quickpick n) (int_of_string_opt n)
+      | _ -> None)
+    [
+      {
+        name = "dp";
+        doc = "exhaustive dynamic programming over connected subsets";
+        value = Exhaustive_dp;
+      };
+      {
+        name = "goo";
+        doc = "Greedy Operator Ordering (cheapest join first)";
+        value = Greedy_operator_ordering;
+      };
+      {
+        name = "quickpick:N";
+        doc = "best of N random join orders (Waas & Pellenkoft)";
+        value = Quickpick 100;
+      };
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Estimators                                                          *)
+
+type estimator_ctx = {
+  db : Storage.Database.t;
+  analyze : Dbstats.Analyze.t;
+  coarse : Dbstats.Analyze.t;
+  graph : Query.Query_graph.t;
+  truth : Cardest.True_card.t Lazy.t;
+}
+
+let sctx c = { Cardest.Systems.db = c.db; graph = c.graph }
+
+let estimators =
+  make ~kind:"estimator"
+    [
+      {
+        name = "PostgreSQL";
+        doc = "histogram + MCV statistics, independence, clamp-to-1";
+        value = (fun c -> Cardest.Systems.postgres c.analyze (sctx c));
+      };
+      {
+        name = "DBMS A";
+        doc = "5000-row table sample, damped join selectivities";
+        value = (fun c -> Cardest.Systems.dbms_a c.analyze (sctx c));
+      };
+      {
+        name = "DBMS B";
+        doc = "coarse statistics, crude magic constants, floor-to-1";
+        value = (fun c -> Cardest.Systems.dbms_b c.coarse (sctx c));
+      };
+      {
+        name = "DBMS C";
+        doc = "optimistic magic constants, overestimation tail";
+        value = (fun c -> Cardest.Systems.dbms_c c.analyze (sctx c));
+      };
+      {
+        name = "HyPer";
+        doc = "1000-row table sample against the full conjunction";
+        value = (fun c -> Cardest.Systems.hyper c.analyze (sctx c));
+      };
+      {
+        name = "PostgreSQL (true distinct)";
+        doc = "PostgreSQL with exact distinct counts (Figure 5)";
+        value =
+          (fun c -> Cardest.Systems.postgres ~true_distinct:true c.analyze (sctx c));
+      };
+      {
+        name = "true";
+        doc = "exact cardinalities of every connected subset (the oracle)";
+        value = (fun c -> Cardest.True_card.estimator (Lazy.force c.truth));
+      };
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Cost models                                                         *)
+
+let cost_models =
+  make ~kind:"cost model"
+    [
+      {
+        name = "PostgreSQL";
+        doc = "disk-oriented: page I/O plus per-tuple CPU costs";
+        value = Cost.Cost_model.postgres;
+      };
+      {
+        name = "tuned";
+        doc = "PostgreSQL model with 50x CPU cost factors (Section 5.3)";
+        value = Cost.Cost_model.tuned;
+      };
+      {
+        name = "Cmm";
+        doc = "the paper's main-memory cost model C_mm (Section 5.4)";
+        value = Cost.Cost_model.cmm;
+      };
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Engine and index configurations                                     *)
+
+let engines =
+  make ~kind:"engine configuration"
+    [
+      {
+        name = "default";
+        doc = "stock engine: NL joins on, fixed-size hash tables";
+        value = Exec.Engine_config.default_9_4;
+      };
+      {
+        name = "no-nl";
+        doc = "nested-loop joins disabled";
+        value = Exec.Engine_config.no_nl;
+      };
+      {
+        name = "robust";
+        doc = "no NL joins, resizable hash tables";
+        value = Exec.Engine_config.robust;
+      };
+    ]
+
+let index_configs =
+  make ~kind:"index configuration"
+    [
+      { name = "none"; doc = "no indexes"; value = Storage.Database.No_indexes };
+      {
+        name = "pk";
+        doc = "primary-key indexes only";
+        value = Storage.Database.Pk_only;
+      };
+      {
+        name = "pkfk";
+        doc = "primary- and foreign-key indexes";
+        value = Storage.Database.Pk_fk;
+      };
+    ]

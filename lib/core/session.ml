@@ -1,45 +1,40 @@
 module QG = Query.Query_graph
 
-type query = {
+type query = Pipeline.query = {
   name : string;
   sql : string;
   graph : QG.t;
   projections : (int * int) list;
 }
 
-type enumerator = Exhaustive_dp | Quickpick of int | Greedy_operator_ordering
+type enumerator = Registry.enumerator =
+  | Exhaustive_dp
+  | Quickpick of int
+  | Greedy_operator_ordering
 
-type plan_choice = {
+type plan_choice = Pipeline.plan_choice = {
   plan : Plan.t;
   estimated_cost : float;
   estimator : Cardest.Estimator.t;
   cost_model : Cost.Cost_model.t;
 }
 
-type t = {
-  db : Storage.Database.t;
-  analyze : Dbstats.Analyze.t;
-  coarse : Dbstats.Analyze.t;
-  truths : (string, Cardest.True_card.t) Hashtbl.t;
-}
+type t = Pipeline.t
 
-let of_database db =
-  {
-    db;
-    analyze = Dbstats.Analyze.create db;
-    coarse = Cardest.Systems.coarse_analyze db;
-    truths = Hashtbl.create 16;
-  }
+let of_database db = Pipeline.create db
 
 let create ?(seed = 42) ?(scale = 1.0) () =
   of_database (Datagen.Imdb_gen.generate ~seed ~scale ())
 
-let db t = t.db
+let db = Pipeline.db
 
-let set_physical_design t config = Storage.Database.set_index_config t.db config
+let pipeline t = t
+
+let set_physical_design t config =
+  Storage.Database.set_index_config (Pipeline.db t) config
 
 let sql t ?(name = "adhoc") text =
-  let bound = Sqlfront.Binder.bind_sql t.db ~name text in
+  let bound = Sqlfront.Binder.bind_sql (Pipeline.db t) ~name text in
   {
     name;
     sql = text;
@@ -51,60 +46,15 @@ let job t name =
   let q = Workload.Job.find name in
   sql t ~name q.Workload.Job.sql
 
-let true_cardinalities t query =
-  match Hashtbl.find_opt t.truths query.name with
-  | Some tc -> tc
-  | None ->
-      let tc = Cardest.True_card.compute query.graph in
-      Hashtbl.add t.truths query.name tc;
-      tc
+let true_cardinalities = Pipeline.truth
 
-let estimator t query system =
-  let ctx = { Cardest.Systems.db = t.db; graph = query.graph } in
-  match system with
-  | "true" -> Cardest.True_card.estimator (true_cardinalities t query)
-  | "PostgreSQL (true distinct)" ->
-      Cardest.Systems.postgres ~true_distinct:true t.analyze ctx
-  | "DBMS B" -> Cardest.Systems.dbms_b t.coarse ctx
-  | other -> Cardest.Systems.by_name t.analyze ctx other
+let estimator = Pipeline.estimator
 
-let optimize t ?(estimator = "PostgreSQL") ?(cost_model = "PostgreSQL")
-    ?(enumerator = Exhaustive_dp) ?(shape = Planner.Search.Any_shape)
-    ?(allow_nl = false) query =
-  let est =
-    let system = estimator in
-    let ctx = { Cardest.Systems.db = t.db; graph = query.graph } in
-    match system with
-    | "true" -> Cardest.True_card.estimator (true_cardinalities t query)
-    | "PostgreSQL (true distinct)" ->
-        Cardest.Systems.postgres ~true_distinct:true t.analyze ctx
-    | "DBMS B" -> Cardest.Systems.dbms_b t.coarse ctx
-    | other -> Cardest.Systems.by_name t.analyze ctx other
-  in
-  let model =
-    match Cost.Cost_model.by_name cost_model with
-    | Some m -> m
-    | None ->
-        invalid_arg (Printf.sprintf "Session.optimize: unknown cost model %s" cost_model)
-  in
-  let search =
-    Planner.Search.create ~allow_nl ~shape ~model ~graph:query.graph ~db:t.db
-      ~card:est.Cardest.Estimator.subset ()
-  in
-  let plan, estimated_cost =
-    match enumerator with
-    | Exhaustive_dp -> Planner.Dp.optimize search
-    | Quickpick attempts ->
-        Planner.Quickpick.best_of search (Util.Prng.create 1) ~attempts
-    | Greedy_operator_ordering -> Planner.Goo.optimize search
-  in
-  (* Every plan an enumerator emits is statically sanitized before it
-     can reach an executor or a figure. *)
-  Verify.ensure_plan ~shape ~what:query.name query.graph plan;
-  { plan; estimated_cost; estimator = est; cost_model = model }
+let optimize t ?estimator ?cost_model ?enumerator ?shape ?allow_nl query =
+  Pipeline.plan t ?estimator ?cost_model ?enumerator ?shape ?allow_nl query
 
 let explain t query choice =
-  let truth = Hashtbl.find_opt t.truths query.name in
+  let truth = Pipeline.truth_if_computed t query in
   let annot (node : Plan.t) =
     let estimate = choice.estimator.Cardest.Estimator.subset node.Plan.set in
     match truth with
@@ -120,7 +70,7 @@ let explain t query choice =
     choice.plan
 
 let run t ?(engine = Exec.Engine_config.robust) query choice =
-  Exec.Executor.run ~db:t.db ~graph:query.graph ~config:engine
+  Exec.Executor.run ~db:(Pipeline.db t) ~graph:query.graph ~config:engine
     ~size_est:choice.estimator.Cardest.Estimator.subset
     ~projections:query.projections choice.plan
 
@@ -140,7 +90,7 @@ let explain_analyze t ?(engine = Exec.Engine_config.robust) query choice =
   tree ^ summary
 
 let plan_dot t query choice =
-  let truth = Hashtbl.find_opt t.truths query.name in
+  let truth = Pipeline.truth_if_computed t query in
   let annot (node : Plan.t) =
     let estimate = choice.estimator.Cardest.Estimator.subset node.Plan.set in
     match truth with

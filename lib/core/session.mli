@@ -3,6 +3,11 @@
     estimation, cost model, and plan-space enumeration — over the
     synthetic IMDB database, plus execution and cardinality injection.
 
+    A session is a thin veneer over {!Pipeline}: every estimator and
+    plan request goes through the component registry ({!Registry}) and
+    the memoizing plan cache, so repeated optimizations of the same
+    (query, estimator, cost model, shape) combination are free.
+
     {[
       let s = Session.create ~scale:0.2 () in
       let q = Session.job s "13d" in
@@ -13,18 +18,21 @@
         result.Exec.Executor.rows result.Exec.Executor.runtime_ms
     ]} *)
 
-type t
+type t = Pipeline.t
 
-type query = {
+type query = Pipeline.query = {
   name : string;
   sql : string;
   graph : Query.Query_graph.t;
   projections : (int * int) list;
 }
 
-type enumerator = Exhaustive_dp | Quickpick of int | Greedy_operator_ordering
+type enumerator = Registry.enumerator =
+  | Exhaustive_dp
+  | Quickpick of int
+  | Greedy_operator_ordering
 
-type plan_choice = {
+type plan_choice = Pipeline.plan_choice = {
   plan : Plan.t;
   estimated_cost : float;
   estimator : Cardest.Estimator.t;
@@ -40,6 +48,9 @@ val of_database : Storage.Database.t -> t
 
 val db : t -> Storage.Database.t
 
+val pipeline : t -> Pipeline.t
+(** The underlying pipeline (for cache statistics). *)
+
 val set_physical_design : t -> Storage.Database.index_config -> unit
 (** Choose between the paper's no-index / PK / PK+FK designs. Default:
     PK only. *)
@@ -51,9 +62,11 @@ val job : t -> string -> query
 (** One of the 113 benchmark queries, by name (e.g. ["16d"]). *)
 
 val estimator : t -> query -> string -> Cardest.Estimator.t
-(** By system name ("PostgreSQL", "DBMS A", "DBMS B", "DBMS C",
-    "HyPer"), plus "PostgreSQL (true distinct)" and "true" (the exact
-    oracle, computed on demand). *)
+(** By registry name ({!Registry.estimators}): "PostgreSQL", "DBMS A",
+    "DBMS B", "DBMS C", "HyPer", "PostgreSQL (true distinct)" and
+    "true" (the exact oracle, computed on demand). Instances are cached
+    per (query, system). Raises [Invalid_argument] with a registry
+    error naming the valid alternatives on unknown names. *)
 
 val true_cardinalities : t -> query -> Cardest.True_card.t
 (** Exact cardinalities of every connected subexpression (cached). *)
@@ -68,7 +81,9 @@ val optimize :
   query ->
   plan_choice
 (** Defaults: PostgreSQL estimates, the PostgreSQL-style cost model,
-    exhaustive DP, bushy trees, no (non-index) nested-loop joins. *)
+    exhaustive DP, bushy trees, no (non-index) nested-loop joins.
+    Results are memoized in the session's plan cache, keyed by every
+    parameter plus the current index configuration. *)
 
 val explain : t -> query -> plan_choice -> string
 (** Operator tree annotated with estimated and (if already computed)

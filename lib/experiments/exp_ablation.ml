@@ -261,13 +261,11 @@ let join_algorithms (h : Harness.t) =
             let runtimes =
               List.filter_map
                 (fun (q : Harness.qctx) ->
-                  let oracle = Cardest.True_card.estimator (Harness.truth q) in
-                  let search =
-                    Planner.Search.create ~allow_hash ~model:Cost.Cost_model.cmm
-                      ~graph:q.Harness.graph ~db:h.Harness.db
-                      ~card:oracle.Cardest.Estimator.subset ()
+                  let oracle = Harness.estimator h q "true" in
+                  let plan, _ =
+                    Harness.plan_with h q ~est:oracle ~model:Cost.Cost_model.cmm
+                      ~allow_hash ()
                   in
-                  let plan, _ = Planner.Dp.optimize search in
                   let r =
                     Harness.execute h q ~plan
                       ~size_est:oracle.Cardest.Estimator.subset

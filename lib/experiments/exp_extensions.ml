@@ -76,7 +76,7 @@ let adaptive (h : Harness.t) =
         queries
         |> List.map (fun (q : Harness.qctx) ->
                let est = Harness.estimator h q "PostgreSQL" in
-               let oracle = Cardest.True_card.estimator (Harness.truth q) in
+               let oracle = Harness.estimator h q "true" in
                let optimal_plan, _ =
                  Harness.plan_with h q ~est:oracle ~model
                    ~allow_nl:engine.Exec.Engine_config.allow_nl_join ()
@@ -146,7 +146,7 @@ let qerror_bound (h : Harness.t) =
           let truth = Harness.truth q in
           let qmax = Cardest.Qbound.worst_q ~truth est q.Harness.graph in
           let plan, _ = Harness.plan_with h q ~est ~model:Cost.Cost_model.cmm () in
-          let oracle = Cardest.True_card.estimator truth in
+          let oracle = Harness.estimator h q "true" in
           let _, optimal =
             Harness.plan_with h q ~est:oracle ~model:Cost.Cost_model.cmm ()
           in

@@ -18,13 +18,12 @@ let boxes_of_errors errors =
 
 let floored x = Float.max 1.0 x
 
-(* Signed errors for a stand-alone query graph (used for TPC-H, which
-   lives outside the IMDB harness). *)
-let errors_of_graph analyze db graph =
-  let ctx = { Cardest.Systems.db; graph } in
-  let est = Cardest.Systems.postgres analyze ctx in
-  let tc = Cardest.True_card.compute graph in
-  Array.to_list (QG.connected_subsets graph)
+(* Signed errors for a stand-alone query (used for TPC-H, which lives
+   outside the IMDB harness and gets its own pipeline). *)
+let errors_of_query pipeline (q : Core.Pipeline.query) =
+  let est = Core.Pipeline.estimator pipeline q "PostgreSQL" in
+  let tc = Core.Pipeline.truth pipeline q in
+  Array.to_list (QG.connected_subsets q.Core.Pipeline.graph)
   |> List.filter_map (fun s ->
          let joins = Bitset.cardinal s - 1 in
          if joins > max_joins then None
@@ -45,17 +44,22 @@ let measure (h : Harness.t) =
         ("JOB " ^ name, boxes_of_errors errors))
       job_query_names
   in
-  let tpch_db = Datagen.Tpch_gen.generate () in
-  let tpch_analyze = Dbstats.Analyze.create tpch_db in
+  let tpch = Core.Pipeline.create (Datagen.Tpch_gen.generate ()) in
   let tpch_rows =
     List.map
       (fun name ->
         let q = Workload.Tpch_queries.find name in
-        let bound =
-          Sqlfront.Binder.bind_sql tpch_db ~name q.Workload.Tpch_queries.sql
+        let sql = q.Workload.Tpch_queries.sql in
+        let bound = Sqlfront.Binder.bind_sql (Core.Pipeline.db tpch) ~name sql in
+        let pq =
+          {
+            Core.Pipeline.name;
+            sql;
+            graph = bound.Sqlfront.Binder.graph;
+            projections = bound.Sqlfront.Binder.projections;
+          }
         in
-        let graph = bound.Sqlfront.Binder.graph in
-        (name, boxes_of_errors (errors_of_graph tpch_analyze tpch_db graph)))
+        (name, boxes_of_errors (errors_of_query tpch pq)))
       tpch_query_names
   in
   job_rows @ tpch_rows

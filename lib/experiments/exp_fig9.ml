@@ -10,15 +10,22 @@ type summary = {
 }
 
 let search (h : Harness.t) (q : Harness.qctx) =
+  let oracle = Harness.estimator h q "true" in
   Planner.Search.create ~model:Cost.Cost_model.cmm ~graph:q.Harness.graph
-    ~db:h.Harness.db
-    ~card:(Cardest.True_card.card (Harness.truth q))
-    ()
+    ~db:h.Harness.db ~card:oracle.Cardest.Estimator.subset ()
+
+(* Cost of the optimal bushy plan under the current physical design,
+   served from the pipeline's plan cache. *)
+let optimal_cost h q =
+  snd
+    (Harness.plan_with h q
+       ~est:(Harness.estimator h q "true")
+       ~model:Cost.Cost_model.cmm ())
 
 (* Normalizer: cost of the optimal bushy plan with FK indexes. *)
 let optimal_fk_cost h q =
   Harness.with_index_config h Storage.Database.Pk_fk (fun () ->
-      snd (Planner.Dp.optimize (search h q)))
+      optimal_cost h q)
 
 let measure_query (h : Harness.t) q ~attempts =
   let norm = optimal_fk_cost h q in
@@ -39,7 +46,7 @@ let summarize (h : Harness.t) ~attempts =
           Array.iter
             (fun q ->
               let s = search h q in
-              let optimal = snd (Planner.Dp.optimize s) in
+              let optimal = optimal_cost h q in
               let prng = Util.Prng.create 777 in
               let costs = Planner.Quickpick.sample_costs s prng ~attempts in
               Array.iter

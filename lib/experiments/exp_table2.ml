@@ -22,7 +22,7 @@ let measure (h : Harness.t) =
           let per_query =
             Array.to_list h.Harness.queries
             |> List.map (fun q ->
-                   let oracle = Cardest.True_card.estimator (Harness.truth q) in
+                   let oracle = Harness.estimator h q "true" in
                    let _, bushy =
                      Harness.plan_with h q ~est:oracle ~model:Cost.Cost_model.cmm ()
                    in

@@ -7,18 +7,18 @@ type row = {
   max : float;
 }
 
-let algorithms = [ "Dynamic Programming"; "Quickpick-1000"; "Greedy Operator Ordering" ]
+(* Display label and the registry's typed enumerator, side by side — the
+   dispatch itself lives in the pipeline. *)
+let algorithms =
+  [
+    ("Dynamic Programming", Core.Registry.Exhaustive_dp);
+    ("Quickpick-1000", Core.Registry.Quickpick 1000);
+    ("Greedy Operator Ordering", Core.Registry.Greedy_operator_ordering);
+  ]
 
 let card_sources = [ ("PostgreSQL estimates", "PostgreSQL"); ("true cardinalities", "true") ]
 
 let configs = [ Storage.Database.Pk_only; Storage.Database.Pk_fk ]
-
-let plan_of algorithm search prng =
-  match algorithm with
-  | "Dynamic Programming" -> fst (Planner.Dp.optimize search)
-  | "Quickpick-1000" -> fst (Planner.Quickpick.best_of search prng ~attempts:1000)
-  | "Greedy Operator Ordering" -> fst (Planner.Goo.optimize search)
-  | other -> invalid_arg ("Exp_table3: unknown algorithm " ^ other)
 
 let measure (h : Harness.t) =
   List.concat_map
@@ -31,28 +31,26 @@ let measure (h : Harness.t) =
                 Array.to_list h.Harness.queries
                 |> List.map (fun q ->
                        let est = Harness.estimator h q system in
-                       let search =
-                         Planner.Search.create ~model:Cost.Cost_model.cmm
-                           ~graph:q.Harness.graph ~db:h.Harness.db
-                           ~card:est.Cardest.Estimator.subset ()
+                       let oracle = Harness.estimator h q "true" in
+                       let optimal =
+                         snd
+                           (Harness.plan_with h q ~est:oracle
+                              ~model:Cost.Cost_model.cmm ())
                        in
-                       let true_search =
-                         Planner.Search.create ~model:Cost.Cost_model.cmm
-                           ~graph:q.Harness.graph ~db:h.Harness.db
-                           ~card:(Cardest.True_card.card (Harness.truth q))
-                           ()
-                       in
-                       let optimal = snd (Planner.Dp.optimize true_search) in
                        List.map
-                         (fun algorithm ->
-                           let prng = Util.Prng.create 90125 in
-                           let plan = plan_of algorithm search prng in
+                         (fun (label, enumerator) ->
+                           let plan =
+                             fst
+                               (Harness.plan_with h q ~est
+                                  ~model:Cost.Cost_model.cmm ~enumerator
+                                  ~seed:90125 ())
+                           in
                            let cost = Harness.true_cost h q plan in
-                           (algorithm, cost /. Float.max 1e-9 optimal))
+                           (label, cost /. Float.max 1e-9 optimal))
                          algorithms)
               in
               List.map
-                (fun algorithm ->
+                (fun (algorithm, _) ->
                   let slowdowns =
                     Array.of_list
                       (List.map (fun per -> List.assoc algorithm per) per_query)

@@ -12,27 +12,48 @@ type t = {
   analyze : Dbstats.Analyze.t;
   coarse : Dbstats.Analyze.t;
   queries : qctx array;
+  pipeline : Core.Pipeline.t;
+  verify_memo : (string, unit) Hashtbl.t;
 }
+
+(* The pipeline's view of a bound benchmark query. *)
+let pquery (q : qctx) =
+  {
+    Core.Pipeline.name = q.query.Workload.Job.name;
+    sql = q.query.Workload.Job.sql;
+    graph = q.graph;
+    projections = q.projections;
+  }
 
 let create ?(seed = 42) ?(scale = 1.0) ?(queries = Workload.Job.all) () =
   let db = Datagen.Imdb_gen.generate ~seed ~scale () in
-  let analyze = Dbstats.Analyze.create db in
-  let coarse = Cardest.Systems.coarse_analyze db in
+  let pipeline = Core.Pipeline.create db in
   let queries =
     Array.of_list
       (List.map
          (fun (q : Workload.Job.query) ->
            let bound = Sqlfront.Binder.bind_sql db ~name:q.name q.sql in
            let graph = bound.Sqlfront.Binder.graph in
+           let projections = bound.Sqlfront.Binder.projections in
+           let pq =
+             { Core.Pipeline.name = q.name; sql = q.sql; graph; projections }
+           in
            {
              query = q;
              graph;
-             projections = bound.Sqlfront.Binder.projections;
-             truth = lazy (Cardest.True_card.compute graph);
+             projections;
+             truth = Core.Pipeline.truth_lazy pipeline pq;
            })
          queries)
   in
-  { db; analyze; coarse; queries }
+  {
+    db;
+    analyze = pipeline.Core.Pipeline.analyze;
+    coarse = pipeline.Core.Pipeline.coarse;
+    queries;
+    pipeline;
+    verify_memo = Hashtbl.create 64;
+  }
 
 let find t name =
   match
@@ -40,18 +61,24 @@ let find t name =
     |> List.find_opt (fun q -> String.equal q.query.Workload.Job.name name)
   with
   | Some q -> q
-  | None -> raise Not_found
+  | None ->
+      invalid_arg
+        (Core.Registry.error_to_string
+           {
+             Core.Registry.kind = "query";
+             input = name;
+             valid =
+               Array.to_list t.queries
+               |> List.map (fun q -> q.query.Workload.Job.name);
+           })
 
 let truth qctx = Lazy.force qctx.truth
 
-let estimator t qctx name =
-  let ctx = { Cardest.Systems.db = t.db; graph = qctx.graph } in
-  match name with
-  | "true" -> Cardest.True_card.estimator (truth qctx)
-  | "PostgreSQL (true distinct)" ->
-      Cardest.Systems.postgres ~true_distinct:true t.analyze ctx
-  | "DBMS B" -> Cardest.Systems.dbms_b t.coarse ctx
-  | other -> Cardest.Systems.by_name t.analyze ctx other
+let estimator t qctx name = Core.Pipeline.estimator t.pipeline (pquery qctx) name
+
+let stats t = Core.Pipeline.stats t.pipeline
+
+let stats_summary t = Core.Pipeline.stats_summary t.pipeline
 
 let with_index_config t config f =
   let saved = Storage.Database.index_config t.db in
@@ -61,10 +88,11 @@ let with_index_config t config f =
 (* Debug mode: when set (e.g. via `jobench experiment --verify`), every
    planning call also runs the estimate and cost sanitizers, so a figure
    regeneration is self-checking end to end. The estimate pass probes
-   every connected subset, so it is memoized per query × estimator. *)
+   every connected subset, so it is memoized per harness instance on
+   query x estimator x index configuration — a second harness (different
+   seed or scale), or the same harness under another physical design,
+   verifies again instead of silently skipping. *)
 let debug_verify = ref false
-
-let verified_estimators : (string, unit) Hashtbl.t = Hashtbl.create 64
 
 let fail_report report =
   invalid_arg
@@ -78,11 +106,15 @@ let verify_choice t qctx ~est ~model ~shape (plan, cost) =
   Verify.ensure_plan ~shape ~what:name qctx.graph plan;
   if !debug_verify then begin
     let est_name = est.Cardest.Estimator.name in
-    let subject = Printf.sprintf "%s/%s" name est_name in
+    let subject =
+      Printf.sprintf "%s/%s/%s" name est_name
+        (Storage.Database.index_config_to_string
+           (Storage.Database.index_config t.db))
+    in
     let est_report =
-      if Hashtbl.mem verified_estimators subject then Verify.Violation.empty
+      if Hashtbl.mem t.verify_memo subject then Verify.Violation.empty
       else begin
-        Hashtbl.add verified_estimators subject ();
+        Hashtbl.add t.verify_memo subject ();
         Verify.check_estimates ~subject qctx.graph est
       end
     in
@@ -102,13 +134,12 @@ let verify_choice t qctx ~est ~model ~shape (plan, cost) =
     if not (Verify.Violation.ok report) then fail_report report
   end
 
-let plan_with t qctx ~est ~model ?(allow_nl = false)
-    ?(shape = Planner.Search.Any_shape) () =
-  let search =
-    Planner.Search.create ~allow_nl ~shape ~model ~graph:qctx.graph ~db:t.db
-      ~card:est.Cardest.Estimator.subset ()
+let plan_with t qctx ~est ~model ?enumerator ?(allow_nl = false)
+    ?(shape = Planner.Search.Any_shape) ?allow_hash ?seed () =
+  let entry =
+    Core.Pipeline.plan_with t.pipeline (pquery qctx) ~est ~model ?enumerator
+      ~shape ~allow_nl ?allow_hash ?seed ()
   in
-  let entry = Planner.Dp.optimize search in
   verify_choice t qctx ~est ~model ~shape entry;
   entry
 
@@ -129,7 +160,7 @@ let true_cost t qctx plan =
 let slowdown_vs_optimal t qctx ~est ~model ~engine =
   let allow_nl = engine.Exec.Engine_config.allow_nl_join in
   let plan, _ = plan_with t qctx ~est ~model ~allow_nl () in
-  let oracle = Cardest.True_card.estimator (truth qctx) in
+  let oracle = estimator t qctx "true" in
   let optimal_plan, _ = plan_with t qctx ~est:oracle ~model ~allow_nl () in
   let run plan size_est = execute t qctx ~plan ~size_est ~engine in
   let actual = run plan est.Cardest.Estimator.subset in

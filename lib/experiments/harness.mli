@@ -3,7 +3,14 @@
 
     Every experiment module takes a {!t}; building one [t] per benchmark
     run amortizes the expensive pieces (data generation, ANALYZE, the
-    exact-cardinality DP per query) across all tables and figures. *)
+    exact-cardinality DP per query) across all tables and figures.
+
+    Estimators and plans are obtained through the harness's
+    {!Core.Pipeline}: estimator instances are cached per
+    (query, system) and plan choices per
+    (query, estimator, cost model, enumerator, shape, allow_nl, index
+    configuration), so a full 13-experiment regeneration computes each
+    distinct plan exactly once. {!stats} exposes the cache counters. *)
 
 type qctx = {
   query : Workload.Job.query;
@@ -17,6 +24,12 @@ type t = {
   analyze : Dbstats.Analyze.t;  (** Default-settings ANALYZE. *)
   coarse : Dbstats.Analyze.t;  (** DBMS B's degraded statistics. *)
   queries : qctx array;  (** The bound JOB workload. *)
+  pipeline : Core.Pipeline.t;
+      (** The cache-aware planning pipeline every estimator and plan
+          request goes through. *)
+  verify_memo : (string, unit) Hashtbl.t;
+      (** Estimate-sanitizer memo, scoped to this harness instance and
+          keyed on query x estimator x index configuration. *)
 }
 
 val create :
@@ -24,13 +37,24 @@ val create :
 (** Defaults: seed 42, scale 1.0, the full 113-query workload. *)
 
 val find : t -> string -> qctx
-(** Query context by JOB name (e.g. ["16d"]); raises [Not_found]. *)
+(** Query context by JOB name (e.g. ["16d"]); raises [Invalid_argument]
+    with a registry-style error naming the unknown input and the valid
+    names. *)
+
+val pquery : qctx -> Core.Pipeline.query
+(** The pipeline's view of a bound query. *)
 
 val estimator : t -> qctx -> string -> Cardest.Estimator.t
-(** System estimator by display name ("PostgreSQL", "DBMS A", ...,
-    "HyPer"), plus "PostgreSQL (true distinct)" and "true". *)
+(** System estimator by registry name ("PostgreSQL", "DBMS A", ...,
+    "HyPer"), plus "PostgreSQL (true distinct)" and "true" (the exact
+    oracle). Instances are cached in the pipeline. *)
 
 val truth : qctx -> Cardest.True_card.t
+
+val stats : t -> Core.Pipeline.stats
+(** Plan/estimator cache counters of the underlying pipeline. *)
+
+val stats_summary : t -> string
 
 val with_index_config :
   t -> Storage.Database.index_config -> (unit -> 'a) -> 'a
@@ -38,7 +62,8 @@ val with_index_config :
 
 val debug_verify : bool ref
 (** When true, every {!plan_with} call also runs the estimate and cost
-    sanitizer passes of {!Verify} (memoized per query × estimator), so a
+    sanitizer passes of {!Verify} (the estimate pass memoized per
+    harness instance on query x estimator x index configuration), so a
     figure regeneration is self-checking. Off by default: the structural
     plan sanitizer alone always runs. *)
 
@@ -59,13 +84,19 @@ val plan_with :
   qctx ->
   est:Cardest.Estimator.t ->
   model:Cost.Cost_model.t ->
+  ?enumerator:Core.Registry.enumerator ->
   ?allow_nl:bool ->
   ?shape:Planner.Search.shape_limit ->
+  ?allow_hash:bool ->
+  ?seed:int ->
   unit ->
   Plan.t * float
-(** DP-optimize the query under the given estimator/cost model and the
-    database's current index configuration. The winning plan is passed
-    through {!verify_choice} before it is returned. *)
+(** Optimize the query through the pipeline's memoizing plan cache
+    under the given estimator/cost model/enumerator and the database's
+    current index configuration. Freshly enumerated plans pass the
+    structural sanitizer before they are cached; the winning plan is
+    additionally passed through {!verify_choice}. Defaults: exhaustive
+    DP, bushy, no NL joins, hash joins allowed. *)
 
 val execute :
   t ->

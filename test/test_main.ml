@@ -12,6 +12,7 @@ let () =
       ("plan", Test_plan.suite);
       ("planner", Test_planner.suite);
       ("verify", Test_verify.suite);
+      ("registry", Test_registry.suite);
       ("exec", Test_exec.suite);
       ("workload", Test_workload.suite);
       ("experiments", Test_experiments.suite);

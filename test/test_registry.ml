@@ -1,0 +1,258 @@
+(* Tests for the typed component registry and the memoizing planning
+   pipeline: name round-trips, structured errors, parameterized parsing,
+   cache consistency (a cached plan is identical to a freshly computed
+   one), cross-experiment plan sharing (counter-verified), and the
+   per-harness scoping of the verify memo. *)
+
+module Registry = Core.Registry
+module Pipeline = Core.Pipeline
+
+let plan_testable =
+  Alcotest.testable (fun fmt _ -> Format.fprintf fmt "<plan>") ( = )
+
+(* ------------------------------------------------------------------ *)
+(* Round-trips and structured errors                                   *)
+
+let check_roundtrip : type a. a Registry.t -> unit =
+ fun registry ->
+  List.iter
+    (fun name ->
+      match Registry.find registry name with
+      | Ok _ -> ()
+      | Error e ->
+          Alcotest.failf "%s %S did not round-trip: %s"
+            (Registry.kind registry) name (Registry.error_to_string e))
+    (Registry.names registry)
+
+let test_roundtrips () =
+  check_roundtrip Registry.estimators;
+  check_roundtrip Registry.cost_models;
+  check_roundtrip Registry.enumerators;
+  check_roundtrip Registry.engines;
+  check_roundtrip Registry.index_configs
+
+let test_unknown_name () =
+  match Registry.find Registry.estimators "nope" with
+  | Ok _ -> Alcotest.fail "unknown estimator resolved"
+  | Error e ->
+      Alcotest.(check string) "kind" "estimator" e.Registry.kind;
+      Alcotest.(check string) "input" "nope" e.Registry.input;
+      Alcotest.(check (list string))
+        "valid lists every canonical name"
+        (Registry.names Registry.estimators)
+        e.Registry.valid
+
+let contains haystack needle =
+  let n = String.length needle in
+  let found = ref false in
+  String.iteri
+    (fun i _ ->
+      if i + n <= String.length haystack && String.sub haystack i n = needle
+      then found := true)
+    haystack;
+  !found
+
+let test_find_exn_message () =
+  match Registry.find_exn Registry.cost_models "bogus" with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument msg ->
+      Alcotest.(check bool) "names the input" true (contains msg "bogus");
+      Alcotest.(check bool) "lists alternatives" true (contains msg "Cmm")
+
+let test_duplicate_name_rejected () =
+  let entry name = { Registry.name; doc = ""; value = () } in
+  match Registry.make ~kind:"dup" [ entry "a"; entry "a" ] with
+  | _ -> Alcotest.fail "duplicate registration accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_cost_model_names_match () =
+  (* The registry must cover exactly the library's cost models. *)
+  Alcotest.(check (list string))
+    "registry = Cost_model.all"
+    (List.map (fun m -> m.Cost.Cost_model.name) Cost.Cost_model.all)
+    (Registry.names Registry.cost_models)
+
+(* ------------------------------------------------------------------ *)
+(* Parameterized enumerator names                                      *)
+
+let test_enumerator_parse () =
+  let check name expected =
+    match Registry.find Registry.enumerators name with
+    | Ok e ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s parses" name)
+          true (e = expected)
+    | Error e -> Alcotest.fail (Registry.error_to_string e)
+  in
+  check "dp" Registry.Exhaustive_dp;
+  check "goo" Registry.Greedy_operator_ordering;
+  check "quickpick:17" (Registry.Quickpick 17);
+  (match Registry.find Registry.enumerators "quickpick:x" with
+  | Ok _ -> Alcotest.fail "quickpick:x parsed"
+  | Error e -> Alcotest.(check string) "kind" "enumerator" e.Registry.kind);
+  Alcotest.(check string) "canonical name" "quickpick:17"
+    (Registry.enumerator_name (Registry.Quickpick 17))
+
+let test_catalog () =
+  Alcotest.(check int) "13 experiments" 13
+    (List.length Experiments.Catalog.all);
+  let e = Experiments.Catalog.find_exn "table-3" in
+  Alcotest.(check string) "id" "table-3" e.Experiments.Catalog.id;
+  match Experiments.Catalog.find "nope" with
+  | Ok _ -> Alcotest.fail "unknown experiment resolved"
+  | Error err ->
+      Alcotest.(check string) "kind" "experiment" err.Registry.kind
+
+(* ------------------------------------------------------------------ *)
+(* Cache consistency: a cached plan choice must be indistinguishable
+   from one computed by a fresh session over the same database.         *)
+
+let combos =
+  [
+    ("PostgreSQL", "PostgreSQL", Planner.Search.Any_shape, false);
+    ("DBMS A", "Cmm", Planner.Search.Any_shape, true);
+    ("HyPer", "tuned", Planner.Search.Only_left_deep, false);
+    ("true", "Cmm", Planner.Search.Only_right_deep, false);
+  ]
+
+let test_cache_consistency () =
+  let warm = Core.Session.of_database (Support.fresh_imdb ()) in
+  let cold = Core.Session.of_database (Support.fresh_imdb ()) in
+  let qw = Core.Session.job warm "13d" in
+  let qc = Core.Session.job cold "13d" in
+  List.iter
+    (fun (estimator, cost_model, shape, allow_nl) ->
+      let first =
+        Core.Session.optimize warm ~estimator ~cost_model ~shape ~allow_nl qw
+      in
+      let cached =
+        Core.Session.optimize warm ~estimator ~cost_model ~shape ~allow_nl qw
+      in
+      let fresh =
+        Core.Session.optimize cold ~estimator ~cost_model ~shape ~allow_nl qc
+      in
+      let label = Printf.sprintf "%s/%s" estimator cost_model in
+      Alcotest.check plan_testable (label ^ ": cached plan = first plan")
+        first.Core.Session.plan cached.Core.Session.plan;
+      Alcotest.(check (float 0.0))
+        (label ^ ": cached cost = first cost")
+        first.Core.Session.estimated_cost cached.Core.Session.estimated_cost;
+      Alcotest.check plan_testable (label ^ ": cached plan = fresh session's")
+        fresh.Core.Session.plan cached.Core.Session.plan;
+      Alcotest.(check (float 0.0))
+        (label ^ ": cached cost = fresh session's")
+        fresh.Core.Session.estimated_cost cached.Core.Session.estimated_cost)
+    combos;
+  let st = Pipeline.stats (Core.Session.pipeline warm) in
+  Alcotest.(check int)
+    "one miss per combo" (List.length combos) st.Pipeline.plan_misses;
+  Alcotest.(check int)
+    "one hit per combo" (List.length combos) st.Pipeline.plan_hits;
+  Alcotest.(check int)
+    "each plan enumerated exactly once" st.Pipeline.plan_misses
+    st.Pipeline.plans_enumerated;
+  Alcotest.(check bool)
+    "estimator instances were reused" true
+    (st.Pipeline.estimators_reused > 0)
+
+let test_cache_keyed_on_index_config () =
+  (* The same combo under a different physical design must re-plan, not
+     serve the other design's plan. *)
+  let s = Core.Session.of_database (Support.fresh_imdb ()) in
+  let q = Core.Session.job s "13d" in
+  Core.Session.set_physical_design s Storage.Database.Pk_only;
+  let pk = Core.Session.optimize s ~cost_model:"Cmm" q in
+  Core.Session.set_physical_design s Storage.Database.Pk_fk;
+  let pkfk = Core.Session.optimize s ~cost_model:"Cmm" q in
+  let st = Pipeline.stats (Core.Session.pipeline s) in
+  Alcotest.(check int) "two distinct cache entries" 2 st.Pipeline.plan_misses;
+  (* Index nested-loop joins become available under FK indexes, so the
+     costs must differ even if the join order happens to agree. *)
+  Alcotest.(check bool)
+    "designs planned independently" true
+    (pk.Core.Session.estimated_cost <> pkfk.Core.Session.estimated_cost
+    || pk.Core.Session.plan <> pkfk.Core.Session.plan)
+
+(* ------------------------------------------------------------------ *)
+(* Cross-experiment sharing: running two plan-space experiments over
+   one harness must enumerate fewer plans than it requests.             *)
+
+let mini_queries names =
+  List.filter (fun q -> List.mem q.Workload.Job.name names) Workload.Job.all
+
+let test_cache_across_experiments () =
+  let h =
+    Experiments.Harness.create ~seed:11 ~scale:0.03
+      ~queries:(mini_queries [ "1a"; "3a"; "6a" ])
+      ()
+  in
+  ignore (Experiments.Exp_table2.measure h);
+  ignore (Experiments.Exp_table3.measure h);
+  let st = Experiments.Harness.stats h in
+  let requests = st.Pipeline.plan_hits + st.Pipeline.plan_misses in
+  Alcotest.(check bool) "some requests were served from cache" true
+    (st.Pipeline.plan_hits > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "enumerations (%d) < planning requests (%d)"
+       st.Pipeline.plans_enumerated requests)
+    true
+    (st.Pipeline.plans_enumerated < requests);
+  Alcotest.(check int) "every miss enumerates exactly once"
+    st.Pipeline.plan_misses st.Pipeline.plans_enumerated;
+  Alcotest.(check bool) "estimator probes are counted" true
+    (st.Pipeline.estimator_probes > 0)
+
+(* ------------------------------------------------------------------ *)
+(* The verify memo is per harness and keyed on the index config (it
+   used to be a module global keyed on query x estimator only, so a
+   second harness — or a second physical design — skipped the check).   *)
+
+let test_verify_memo_scoped () =
+  let queries = mini_queries [ "1a" ] in
+  let h = Experiments.Harness.create ~seed:11 ~scale:0.03 ~queries () in
+  let q = Experiments.Harness.find h "1a" in
+  let est = Experiments.Harness.estimator h q "PostgreSQL" in
+  Fun.protect
+    ~finally:(fun () -> Experiments.Harness.debug_verify := false)
+    (fun () ->
+      Experiments.Harness.debug_verify := true;
+      ignore
+        (Experiments.Harness.plan_with h q ~est ~model:Cost.Cost_model.cmm ());
+      ignore
+        (Experiments.Harness.plan_with h q ~est ~model:Cost.Cost_model.cmm ());
+      Alcotest.(check int) "one entry per query x estimator x config" 1
+        (Hashtbl.length h.Experiments.Harness.verify_memo);
+      Experiments.Harness.with_index_config h Storage.Database.Pk_fk (fun () ->
+          ignore
+            (Experiments.Harness.plan_with h q ~est ~model:Cost.Cost_model.cmm
+               ()));
+      Alcotest.(check int) "re-verified under the new physical design" 2
+        (Hashtbl.length h.Experiments.Harness.verify_memo);
+      let h2 = Experiments.Harness.create ~seed:11 ~scale:0.03 ~queries () in
+      Alcotest.(check int) "a fresh harness starts with an empty memo" 0
+        (Hashtbl.length h2.Experiments.Harness.verify_memo))
+
+let suite =
+  [
+    Alcotest.test_case "every registered name round-trips" `Quick
+      test_roundtrips;
+    Alcotest.test_case "unknown names give structured errors" `Quick
+      test_unknown_name;
+    Alcotest.test_case "find_exn names input and alternatives" `Quick
+      test_find_exn_message;
+    Alcotest.test_case "duplicate registration rejected" `Quick
+      test_duplicate_name_rejected;
+    Alcotest.test_case "cost-model registry covers Cost_model.all" `Quick
+      test_cost_model_names_match;
+    Alcotest.test_case "parameterized enumerator names" `Quick
+      test_enumerator_parse;
+    Alcotest.test_case "experiment catalog" `Quick test_catalog;
+    Alcotest.test_case "cached plan identical to fresh plan" `Slow
+      test_cache_consistency;
+    Alcotest.test_case "plan cache keyed on index config" `Slow
+      test_cache_keyed_on_index_config;
+    Alcotest.test_case "experiments share the plan cache" `Slow
+      test_cache_across_experiments;
+    Alcotest.test_case "verify memo is per-harness, per-config" `Slow
+      test_verify_memo_scoped;
+  ]
