@@ -2,8 +2,16 @@
    paper's evaluation, then micro-benchmarks each experiment's kernel
    with Bechamel (one Test.make per table/figure).
 
+   With -j N (default: the core count) every experiment runs twice, on
+   two independently-created harnesses — once serial, once with N worker
+   domains — reporting wall-clock for both and the speedup, and writing
+   the machine-readable BENCH_parallel.json. Two harnesses keep the
+   comparison honest: a second render on one harness would be served
+   almost entirely from its plan and estimator caches.
+
      dune exec bench/main.exe                 -- everything, full scale
      dune exec bench/main.exe -- --scale 0.2  -- smaller database
+     dune exec bench/main.exe -- -j 1         -- serial, no comparison
      dune exec bench/main.exe -- --only figure-3
      dune exec bench/main.exe -- --skip-micro *)
 
@@ -122,12 +130,48 @@ let run_micro h =
     (micro_tests h)
 
 (* ------------------------------------------------------------------ *)
+(* The wall-clock baseline: serial vs parallel, as JSON                 *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_bench_json ~path ~jobs ~scale ~seed rows =
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n  \"jobs\": %d,\n  \"scale\": %g,\n  \"seed\": %d,\n  \
+     \"experiments\": [\n"
+    jobs scale seed;
+  List.iteri
+    (fun i (id, serial_ms, parallel_ms) ->
+      Printf.fprintf oc
+        "    {\"id\": \"%s\", \"serial_ms\": %.3f, \"parallel_ms\": %.3f, \
+         \"speedup\": %.3f}%s\n"
+        (json_escape id) serial_ms parallel_ms
+        (serial_ms /. Float.max 1e-9 parallel_ms)
+        (if i = List.length rows - 1 then "" else ",")
+    )
+    rows;
+  output_string oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path
 
 let () =
   let scale = ref 1.0 in
   let seed = ref 42 in
   let only = ref None in
   let skip_micro = ref false in
+  let jobs = ref (Domain.recommended_domain_count ()) in
   let rec parse = function
     | [] -> ()
     | "--scale" :: v :: rest ->
@@ -142,14 +186,18 @@ let () =
     | "--skip-micro" :: rest ->
         skip_micro := true;
         parse rest
+    | ("-j" | "--jobs") :: v :: rest ->
+        jobs := int_of_string v;
+        parse rest
     | arg :: _ -> failwith (Printf.sprintf "unknown argument %s" arg)
   in
   parse (List.tl (Array.to_list Sys.argv));
+  if !jobs < 1 then failwith "-j must be >= 1";
   let t0 = Unix.gettimeofday () in
   Printf.printf
     "Join Order Benchmark reproduction - regenerating all paper results\n\
-     (scale %.2f, seed %d, %d queries)\n\n%!"
-    !scale !seed Workload.Job.query_count;
+     (scale %.2f, seed %d, %d queries, %d jobs)\n\n%!"
+    !scale !seed Workload.Job.query_count !jobs;
   let h = Experiments.Harness.create ~seed:!seed ~scale:!scale () in
   Printf.printf "database: %d tables, %d rows\n\n%!"
     (List.length (Storage.Database.table_names h.Experiments.Harness.db))
@@ -159,13 +207,43 @@ let () =
     | None -> experiments
     | Some id -> List.filter (fun (i, _) -> String.equal i id) experiments
   in
+  (* The parallel twin: same seed and scale, its own caches. Each
+     experiment renders on both at an identical cache state (both have
+     rendered exactly the same prior experiments). *)
+  let h_par =
+    if !jobs > 1 then
+      Some (Experiments.Harness.create ~seed:!seed ~scale:!scale ~jobs:!jobs ())
+    else None
+  in
+  let timings = ref [] in
   List.iter
     (fun (id, render) ->
       let t1 = Unix.gettimeofday () in
       let output = render h in
-      Printf.printf "=== %s ===\n%s\n(%.1fs)\n\n%!" id output
-        (Unix.gettimeofday () -. t1))
+      let serial_ms = (Unix.gettimeofday () -. t1) *. 1e3 in
+      match h_par with
+      | None ->
+          Printf.printf "=== %s ===\n%s\n(%.1fs)\n\n%!" id output
+            (serial_ms /. 1e3)
+      | Some hp ->
+          let t2 = Unix.gettimeofday () in
+          let par_output = render hp in
+          let parallel_ms = (Unix.gettimeofday () -. t2) *. 1e3 in
+          if not (String.equal output par_output) then
+            Printf.printf
+              "WARNING: %s output differs between -j 1 and -j %d\n%!" id !jobs;
+          timings := (id, serial_ms, parallel_ms) :: !timings;
+          Printf.printf
+            "=== %s ===\n%s\n(serial %.1fs, %d jobs %.1fs, speedup %.2fx)\n\n%!"
+            id output (serial_ms /. 1e3) !jobs (parallel_ms /. 1e3)
+            (serial_ms /. Float.max 1e-9 parallel_ms))
     selected;
   Printf.printf "--- %s\n\n%!" (Experiments.Harness.stats_summary h);
+  (match h_par with
+  | Some hp ->
+      Experiments.Harness.shutdown hp;
+      write_bench_json ~path:"BENCH_parallel.json" ~jobs:!jobs ~scale:!scale
+        ~seed:!seed (List.rev !timings)
+  | None -> ());
   if not !skip_micro then run_micro h;
   Printf.printf "\ntotal: %.1fs\n" (Unix.gettimeofday () -. t0)

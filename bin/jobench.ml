@@ -367,24 +367,41 @@ let experiment_cmd =
     in
     Arg.(value & flag & info [ "stats" ] ~doc)
   in
-  let run scale seed verify stats id =
-    Experiments.Harness.debug_verify := verify;
-    let h = Experiments.Harness.create ~seed ~scale () in
-    let selected =
-      if String.equal id "all" then Experiments.Catalog.all
-      else [ Experiments.Catalog.find_exn id ]
+  let jobs_arg =
+    let doc =
+      "Worker domains for per-query fan-out (1 = serial; 0 = the number of \
+       cores). Experiment output is byte-identical at any job count."
     in
-    List.iter
-      (fun (e : Experiments.Catalog.entry) ->
-        Printf.printf "=== %s ===\n%s\n%!" e.Experiments.Catalog.id
-          (e.Experiments.Catalog.render h))
-      selected;
-    if stats then
-      Printf.printf "--- %s\n%!" (Experiments.Harness.stats_summary h)
+    Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+  in
+  let run scale seed verify stats jobs id =
+    Experiments.Harness.debug_verify := verify;
+    let jobs =
+      if jobs < 0 then invalid_arg "jobench experiment: -j must be >= 0"
+      else if jobs = 0 then Domain.recommended_domain_count ()
+      else jobs
+    in
+    let h = Experiments.Harness.create ~seed ~scale ~jobs () in
+    Fun.protect
+      ~finally:(fun () -> Experiments.Harness.shutdown h)
+      (fun () ->
+        let selected =
+          if String.equal id "all" then Experiments.Catalog.all
+          else [ Experiments.Catalog.find_exn id ]
+        in
+        List.iter
+          (fun (e : Experiments.Catalog.entry) ->
+            Printf.printf "=== %s ===\n%s\n%!" e.Experiments.Catalog.id
+              (e.Experiments.Catalog.render h))
+          selected;
+        if stats then
+          Printf.printf "--- %s\n%!" (Experiments.Harness.stats_summary h))
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate a table or figure from the paper")
-    Term.(const run $ scale_arg $ seed_arg $ verify_flag $ stats_flag $ id_arg)
+    Term.(
+      const run $ scale_arg $ seed_arg $ verify_flag $ stats_flag $ jobs_arg
+      $ id_arg)
 
 let () =
   let doc = "Join Order Benchmark reproduction toolkit" in

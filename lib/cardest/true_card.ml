@@ -1,9 +1,13 @@
 module Bitset = Util.Bitset
 module QG = Query.Query_graph
 
+(* Subset-keyed memo with Bitset's own int hash (the polymorphic hash
+   would re-dispatch on every probe of the hottest table here). *)
+module Subset_table = Hashtbl.Make (Bitset)
+
 type t = {
   graph : QG.t;
-  cards : (Bitset.t, float) Hashtbl.t;
+  cards : float Subset_table.t;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -376,7 +380,7 @@ let compute graph =
   let n = QG.n_relations graph in
   let base_groups = Array.init n (base_compressed graph) in
   let subsets = QG.connected_subsets graph in
-  let cards = Hashtbl.create (Array.length subsets) in
+  let cards = Subset_table.create (Array.length subsets) in
   Array.iter
     (fun s ->
       let members = Bitset.to_list s in
@@ -401,12 +405,12 @@ let compute graph =
               count_acyclic rel_classes local_groups root
             else count_cyclic graph rel_classes local_groups members
       in
-      Hashtbl.add cards s card)
+      Subset_table.add cards s card)
     subsets;
   { graph; cards }
 
 let card t s =
-  match Hashtbl.find_opt t.cards s with
+  match Subset_table.find_opt t.cards s with
   | Some c -> c
   | None ->
       invalid_arg
@@ -418,4 +422,4 @@ let base t r = card t (Bitset.singleton r)
 let estimator t =
   Estimator.of_function ~name:"true" ~base:(base t) (card t)
 
-let subset_count t = Hashtbl.length t.cards
+let subset_count t = Subset_table.length t.cards

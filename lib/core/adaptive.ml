@@ -38,13 +38,24 @@ let probe_target observed est plan =
    sampled fraction of the work per observation. *)
 let sample_cache : (Storage.Database.t * Cardest.Join_sample.t) option ref = ref None
 
+(* Guards the cache: adaptive runs fan out per query across domains and
+   must not build (or tear) the shared sample concurrently. The sample
+   itself is deterministic per database, so whichever domain builds it
+   first, every run sees the same one. *)
+let sample_lock = Mutex.create ()
+
 let sample_for db =
-  match !sample_cache with
-  | Some (cached_db, sample) when cached_db == db -> sample
-  | _ ->
-      let sample = Cardest.Join_sample.create db in
-      sample_cache := Some (db, sample);
-      sample
+  Mutex.lock sample_lock;
+  let sample =
+    match !sample_cache with
+    | Some (cached_db, sample) when cached_db == db -> sample
+    | _ ->
+        let sample = Cardest.Join_sample.create db in
+        sample_cache := Some (db, sample);
+        sample
+  in
+  Mutex.unlock sample_lock;
+  sample
 
 let run ~db ~graph ~config ~model ~estimator ?(max_probes = 3)
     ?(projections = []) () =

@@ -15,22 +15,34 @@ type plan_choice = {
 }
 
 type stats = {
-  mutable plan_hits : int;
-  mutable plan_misses : int;
-  mutable plans_enumerated : int;
-  mutable estimators_built : int;
-  mutable estimators_reused : int;
-  mutable estimator_probes : int;
+  plan_hits : int;
+  plan_misses : int;
+  plans_enumerated : int;
+  estimators_built : int;
+  estimators_reused : int;
+  estimator_probes : int;
+}
+
+(* Live counters are atomics so [--stats] stays truthful when several
+   domains plan and probe concurrently; {!stats} takes a snapshot. *)
+type counters = {
+  c_plan_hits : int Atomic.t;
+  c_plan_misses : int Atomic.t;
+  c_plans_enumerated : int Atomic.t;
+  c_estimators_built : int Atomic.t;
+  c_estimators_reused : int Atomic.t;
+  c_estimator_probes : int Atomic.t;
 }
 
 type t = {
   db : Storage.Database.t;
   analyze : Dbstats.Analyze.t;
   coarse : Dbstats.Analyze.t;
-  truths : (string * string, Cardest.True_card.t Lazy.t) Hashtbl.t;
-  estimators : (string * string * string, Cardest.Estimator.t) Hashtbl.t;
-  plans : (plan_key, Plan.t * float) Hashtbl.t;
-  stats : stats;
+  lock : Mutex.t;
+  truths : (string * string, Cardest.True_card.t Util.Once.t) Hashtbl.t;
+  estimators : (string * string * string, Cardest.Estimator.t Util.Once.t) Hashtbl.t;
+  plans : (plan_key, (Plan.t * float) Util.Once.t) Hashtbl.t;
+  counters : counters;
 }
 
 and plan_key = {
@@ -50,58 +62,82 @@ let create db =
     db;
     analyze = Dbstats.Analyze.create db;
     coarse = Cardest.Systems.coarse_analyze db;
+    lock = Mutex.create ();
     truths = Hashtbl.create 128;
     estimators = Hashtbl.create 512;
     plans = Hashtbl.create 1024;
-    stats =
+    counters =
       {
-        plan_hits = 0;
-        plan_misses = 0;
-        plans_enumerated = 0;
-        estimators_built = 0;
-        estimators_reused = 0;
-        estimator_probes = 0;
+        c_plan_hits = Atomic.make 0;
+        c_plan_misses = Atomic.make 0;
+        c_plans_enumerated = Atomic.make 0;
+        c_estimators_built = Atomic.make 0;
+        c_estimators_reused = Atomic.make 0;
+        c_estimator_probes = Atomic.make 0;
       };
   }
 
 let db t = t.db
 
-let stats t = t.stats
+let stats t =
+  {
+    plan_hits = Atomic.get t.counters.c_plan_hits;
+    plan_misses = Atomic.get t.counters.c_plan_misses;
+    plans_enumerated = Atomic.get t.counters.c_plans_enumerated;
+    estimators_built = Atomic.get t.counters.c_estimators_built;
+    estimators_reused = Atomic.get t.counters.c_estimators_reused;
+    estimator_probes = Atomic.get t.counters.c_estimator_probes;
+  }
 
 let reset_stats t =
-  let s = t.stats in
-  s.plan_hits <- 0;
-  s.plan_misses <- 0;
-  s.plans_enumerated <- 0;
-  s.estimators_built <- 0;
-  s.estimators_reused <- 0;
-  s.estimator_probes <- 0
+  Atomic.set t.counters.c_plan_hits 0;
+  Atomic.set t.counters.c_plan_misses 0;
+  Atomic.set t.counters.c_plans_enumerated 0;
+  Atomic.set t.counters.c_estimators_built 0;
+  Atomic.set t.counters.c_estimators_reused 0;
+  Atomic.set t.counters.c_estimator_probes 0
 
 let stats_summary t =
-  let s = t.stats in
+  let s = stats t in
   Printf.sprintf
     "plan cache: %d hits, %d misses (%d plans enumerated) | estimators: %d \
      built, %d reused, %d probes"
     s.plan_hits s.plan_misses s.plans_enumerated s.estimators_built
     s.estimators_reused s.estimator_probes
 
+(* Find-or-create a memo cell under the pipeline lock; the (possibly
+   expensive) computation itself runs outside it, guarded only by the
+   cell's own mutex, so concurrent requests for distinct keys never
+   serialize on each other. *)
+let find_or_add_cell t table key make =
+  Mutex.lock t.lock;
+  match Hashtbl.find_opt table key with
+  | Some c ->
+      Mutex.unlock t.lock;
+      (c, false)
+  | None ->
+      let c = Util.Once.make make in
+      Hashtbl.add table key c;
+      Mutex.unlock t.lock;
+      (c, true)
+
 (* ------------------------------------------------------------------ *)
 (* Exact cardinalities                                                 *)
 
-let truth_lazy t q =
+let truth_cell t q =
   let key = (q.name, q.sql) in
-  match Hashtbl.find_opt t.truths key with
-  | Some l -> l
-  | None ->
-      let l = lazy (Cardest.True_card.compute q.graph) in
-      Hashtbl.add t.truths key l;
-      l
+  fst
+    (find_or_add_cell t t.truths key (fun () ->
+         Cardest.True_card.compute q.graph))
 
-let truth t q = Lazy.force (truth_lazy t q)
+let truth t q = Util.Once.force (truth_cell t q)
 
 let truth_if_computed t q =
-  match Hashtbl.find_opt t.truths (q.name, q.sql) with
-  | Some l when Lazy.is_val l -> Some (Lazy.force l)
+  Mutex.lock t.lock;
+  let cell = Hashtbl.find_opt t.truths (q.name, q.sql) in
+  Mutex.unlock t.lock;
+  match cell with
+  | Some c when Util.Once.is_val c -> Some (Util.Once.force c)
   | _ -> None
 
 (* ------------------------------------------------------------------ *)
@@ -109,36 +145,90 @@ let truth_if_computed t q =
 
 let estimator t q system =
   let key = (q.name, q.sql, system) in
-  match Hashtbl.find_opt t.estimators key with
-  | Some est ->
-      t.stats.estimators_reused <- t.stats.estimators_reused + 1;
-      est
-  | None ->
-      let build = Registry.find_exn Registry.estimators system in
-      let est =
-        build
-          {
-            Registry.db = t.db;
-            analyze = t.analyze;
-            coarse = t.coarse;
-            graph = q.graph;
-            truth = truth_lazy t q;
-          }
-      in
-      (* Count subset probes through the shared instance; the memo table
-         inside [est.subset] keeps doing the actual caching. *)
-      let counted =
+  let cell, fresh =
+    find_or_add_cell t t.estimators key (fun () ->
+        let build = Registry.find_exn Registry.estimators system in
+        let est =
+          build
+            {
+              Registry.db = t.db;
+              analyze = t.analyze;
+              coarse = t.coarse;
+              graph = q.graph;
+              truth = truth_cell t q;
+            }
+        in
+        (* Count subset probes through the shared instance; the memo
+           table inside [est.subset] keeps doing the actual caching. The
+           instance mutex guards those internal memo tables: one
+           instance is shared by every domain working on this
+           (query, system) pair. *)
+        let m = Mutex.create () in
+        let locked f x =
+          Mutex.lock m;
+          match f x with
+          | v ->
+              Mutex.unlock m;
+              v
+          | exception e ->
+              let bt = Printexc.get_raw_backtrace () in
+              Mutex.unlock m;
+              Printexc.raise_with_backtrace e bt
+        in
         {
           est with
-          Cardest.Estimator.subset =
+          Cardest.Estimator.base = locked est.Cardest.Estimator.base;
+          subset =
             (fun s ->
-              t.stats.estimator_probes <- t.stats.estimator_probes + 1;
-              est.Cardest.Estimator.subset s);
-        }
-      in
-      t.stats.estimators_built <- t.stats.estimators_built + 1;
-      Hashtbl.add t.estimators key counted;
-      counted
+              Atomic.incr t.counters.c_estimator_probes;
+              locked est.Cardest.Estimator.subset s);
+        })
+  in
+  if fresh then Atomic.incr t.counters.c_estimators_built
+  else Atomic.incr t.counters.c_estimators_reused;
+  Util.Once.force cell
+
+(* ------------------------------------------------------------------ *)
+(* Statistics warming                                                  *)
+
+(* ANALYZE samples tables lazily on first touch, consuming a PRNG that
+   is shared across the instance's tables — so per-table statistics
+   depend on the order in which tables are first demanded. Replaying
+   the serial demand order up front (Table 1's base estimates, then
+   Figure 3's subset probes, PostgreSQL on the default statistics and
+   DBMS B on the coarse ones — the first code paths that touch each
+   instance in a full regeneration) freezes every table's sample before
+   any parallel work starts: afterwards both ANALYZE instances are
+   read-only, and experiment output cannot depend on domain scheduling.
+   The throwaway estimators used here issue exactly the probe sequence
+   of the serial first pass; they bypass the pipeline's caches and
+   counters. *)
+let warm_statistics t queries =
+  let sctx (q : query) = { Cardest.Systems.db = t.db; graph = q.graph } in
+  let base_pass est (q : query) =
+    Array.iter
+      (fun (r : QG.relation) ->
+        if r.QG.preds <> [] then ignore (est.Cardest.Estimator.base r.QG.idx))
+      (QG.relations q.graph)
+  in
+  let max_joins = 6 in
+  let subset_pass est (q : query) =
+    Array.iter
+      (fun s ->
+        if Util.Bitset.cardinal s - 1 <= max_joins then
+          ignore (est.Cardest.Estimator.subset s))
+      (QG.connected_subsets q.graph)
+  in
+  List.iter
+    (fun q -> base_pass (Cardest.Systems.postgres t.analyze (sctx q)) q)
+    queries;
+  List.iter (fun q -> base_pass (Cardest.Systems.dbms_b t.coarse (sctx q)) q) queries;
+  List.iter
+    (fun q -> subset_pass (Cardest.Systems.postgres t.analyze (sctx q)) q)
+    queries;
+  List.iter
+    (fun q -> subset_pass (Cardest.Systems.dbms_b t.coarse (sctx q)) q)
+    queries
 
 (* ------------------------------------------------------------------ *)
 (* Plans                                                               *)
@@ -161,29 +251,28 @@ let plan_with t q ~est ~model ?(enumerator = Registry.Exhaustive_dp)
       k_indexes = Storage.Database.index_config t.db;
     }
   in
-  match Hashtbl.find_opt t.plans key with
-  | Some entry ->
-      t.stats.plan_hits <- t.stats.plan_hits + 1;
-      entry
-  | None ->
-      t.stats.plan_misses <- t.stats.plan_misses + 1;
-      let search =
-        Planner.Search.create ~allow_nl ~allow_hash ~shape ~model ~graph:q.graph
-          ~db:t.db ~card:est.Cardest.Estimator.subset ()
-      in
-      let entry =
-        match enumerator with
-        | Registry.Exhaustive_dp -> Planner.Dp.optimize search
-        | Registry.Quickpick attempts ->
-            Planner.Quickpick.best_of search (Util.Prng.create seed) ~attempts
-        | Registry.Greedy_operator_ordering -> Planner.Goo.optimize search
-      in
-      t.stats.plans_enumerated <- t.stats.plans_enumerated + 1;
-      (* Every plan an enumerator emits is statically sanitized before it
-         can reach the cache, an executor, or a figure. *)
-      Verify.ensure_plan ~shape ~what:q.name q.graph (fst entry);
-      Hashtbl.add t.plans key entry;
-      entry
+  let cell, fresh =
+    find_or_add_cell t t.plans key (fun () ->
+        let search =
+          Planner.Search.create ~allow_nl ~allow_hash ~shape ~model
+            ~graph:q.graph ~db:t.db ~card:est.Cardest.Estimator.subset ()
+        in
+        let entry =
+          match enumerator with
+          | Registry.Exhaustive_dp -> Planner.Dp.optimize search
+          | Registry.Quickpick attempts ->
+              Planner.Quickpick.best_of search (Util.Prng.create seed) ~attempts
+          | Registry.Greedy_operator_ordering -> Planner.Goo.optimize search
+        in
+        Atomic.incr t.counters.c_plans_enumerated;
+        (* Every plan an enumerator emits is statically sanitized before
+           it can reach the cache, an executor, or a figure. *)
+        Verify.ensure_plan ~shape ~what:q.name q.graph (fst entry);
+        entry)
+  in
+  if fresh then Atomic.incr t.counters.c_plan_misses
+  else Atomic.incr t.counters.c_plan_hits;
+  Util.Once.force cell
 
 let estimator_by_name = estimator
 

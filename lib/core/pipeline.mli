@@ -19,6 +19,13 @@
     {!stats} and surfaced by [jobench experiment --stats] and
     [bench/main.exe].
 
+    The pipeline is domain-safe: the three memo tables are guarded by a
+    mutex and hold {!Util.Once} cells, so concurrent requests for the
+    same key compute it once (the requester that created the cell is
+    counted as the miss) while requests for distinct keys proceed in
+    parallel; counters are atomic. Shared estimator instances serialize
+    their internal memo tables on a per-instance mutex.
+
     Component names are resolved through {!Registry} — unknown names
     raise [Invalid_argument] with the structured registry error. *)
 
@@ -37,24 +44,36 @@ type plan_choice = {
 }
 
 type stats = {
-  mutable plan_hits : int;  (** Plan-cache lookups served from memory. *)
-  mutable plan_misses : int;  (** Lookups that had to enumerate. *)
-  mutable plans_enumerated : int;
+  plan_hits : int;  (** Plan-cache lookups served from memory. *)
+  plan_misses : int;  (** Lookups that had to enumerate. *)
+  plans_enumerated : int;
       (** Actual enumerator invocations (DP / GOO / Quickpick runs). *)
-  mutable estimators_built : int;
-  mutable estimators_reused : int;
-  mutable estimator_probes : int;
+  estimators_built : int;
+  estimators_reused : int;
+  estimator_probes : int;
       (** Subset-cardinality probes answered by cached estimators. *)
+}
+(** An immutable snapshot of the pipeline's atomic counters. *)
+
+type counters = {
+  c_plan_hits : int Atomic.t;
+  c_plan_misses : int Atomic.t;
+  c_plans_enumerated : int Atomic.t;
+  c_estimators_built : int Atomic.t;
+  c_estimators_reused : int Atomic.t;
+  c_estimator_probes : int Atomic.t;
 }
 
 type t = {
   db : Storage.Database.t;
   analyze : Dbstats.Analyze.t;  (** Default-settings ANALYZE. *)
   coarse : Dbstats.Analyze.t;  (** DBMS B's degraded statistics. *)
-  truths : (string * string, Cardest.True_card.t Lazy.t) Hashtbl.t;
-  estimators : (string * string * string, Cardest.Estimator.t) Hashtbl.t;
-  plans : (plan_key, Plan.t * float) Hashtbl.t;
-  stats : stats;
+  lock : Mutex.t;  (** Guards the three memo tables below. *)
+  truths : (string * string, Cardest.True_card.t Util.Once.t) Hashtbl.t;
+  estimators :
+    (string * string * string, Cardest.Estimator.t Util.Once.t) Hashtbl.t;
+  plans : (plan_key, (Plan.t * float) Util.Once.t) Hashtbl.t;
+  counters : counters;
 }
 
 and plan_key = {
@@ -70,8 +89,9 @@ and plan_key = {
 }
 
 val create : Storage.Database.t -> t
-(** Wrap a database: runs ANALYZE (default and DBMS B's coarse
-    configuration) once and starts with empty caches. *)
+(** Wrap a database: sets up the ANALYZE instances (default and DBMS B's
+    coarse configuration) and starts with empty caches. Statistics are
+    computed lazily per table; see {!warm_statistics}. *)
 
 val db : t -> Storage.Database.t
 
@@ -83,11 +103,23 @@ val stats_summary : t -> string
 (** One line, e.g. ["plan cache: 310 hits, 113 misses (113 plans
     enumerated) | estimators: 5 built, 108 reused, 201839 probes"]. *)
 
+val warm_statistics : t -> query list -> unit
+(** Force both ANALYZE instances over the given workload by replaying
+    the serial demand order (Table 1's base estimates, then Figure 3's
+    connected-subset probes). ANALYZE samples tables lazily from a
+    shared per-instance PRNG, so table statistics depend on first-touch
+    order; warming pins that order before any parallel fan-out, making
+    every downstream estimate independent of domain scheduling. Must be
+    called before statistics-based estimators are probed from more than
+    one domain. *)
+
 val truth : t -> query -> Cardest.True_card.t
 (** Exact cardinalities of every connected subexpression (cached per
     query). *)
 
-val truth_lazy : t -> query -> Cardest.True_card.t Lazy.t
+val truth_cell : t -> query -> Cardest.True_card.t Util.Once.t
+(** The query's memo cell: a domain-safe deferred computation
+    ([Stdlib.Lazy] cannot be forced concurrently). *)
 
 val truth_if_computed : t -> query -> Cardest.True_card.t option
 (** [Some] only when {!truth} has already been forced for this query. *)

@@ -91,7 +91,7 @@ type estimator_ctx = {
   analyze : Dbstats.Analyze.t;
   coarse : Dbstats.Analyze.t;
   graph : Query.Query_graph.t;
-  truth : Cardest.True_card.t Lazy.t;
+  truth : Cardest.True_card.t Util.Once.t;
 }
 
 let sctx c = { Cardest.Systems.db = c.db; graph = c.graph }
@@ -133,7 +133,7 @@ let estimators =
       {
         name = "true";
         doc = "exact cardinalities of every connected subset (the oracle)";
-        value = (fun c -> Cardest.True_card.estimator (Lazy.force c.truth));
+        value = (fun c -> Cardest.True_card.estimator (Util.Once.force c.truth));
       };
     ]
 

@@ -62,8 +62,9 @@ type estimator_ctx = {
   analyze : Dbstats.Analyze.t;  (** Default-settings ANALYZE. *)
   coarse : Dbstats.Analyze.t;  (** DBMS B's degraded statistics. *)
   graph : Query.Query_graph.t;
-  truth : Cardest.True_card.t Lazy.t;
-      (** Exact cardinalities, forced only by the ["true"] oracle. *)
+  truth : Cardest.True_card.t Util.Once.t;
+      (** Exact cardinalities, forced only by the ["true"] oracle (a
+          domain-safe {!Util.Once} cell, not [Lazy]). *)
 }
 (** Everything an estimator builder may need; shared by [Session] and
     [Harness] so the registry is the only dispatch point. *)

@@ -14,6 +14,7 @@ exception Timeout
 (* Row-major tuple store for intermediate results. *)
 type batch = {
   rels : int array;
+  slots : int array;  (* relation index -> slot, -1 when absent *)
   width : int;
   mutable data : int array;
   mutable nrows : int;
@@ -21,7 +22,12 @@ type batch = {
 
 let batch_create rels =
   let width = Array.length rels in
-  { rels; width; data = Array.make (max 16 (width * 16)) 0; nrows = 0 }
+  (* Direct rel -> slot lookup built once per batch; [slot_of] runs per
+     join-edge setup and per finish column, so no linear scans there. *)
+  let max_rel = Array.fold_left max 0 rels in
+  let slots = Array.make (max_rel + 1) (-1) in
+  Array.iteri (fun i rel -> slots.(rel) <- i) rels;
+  { rels; slots; width; data = Array.make (max 16 (width * 16)) 0; nrows = 0 }
 
 let batch_reserve b extra_rows =
   let needed = (b.nrows + extra_rows) * b.width in
@@ -33,12 +39,9 @@ let batch_reserve b extra_rows =
   end
 
 let slot_of b rel =
-  let rec go i =
-    if i >= b.width then invalid_arg "Executor: relation not in batch"
-    else if b.rels.(i) = rel then i
-    else go (i + 1)
-  in
-  go 0
+  if rel >= Array.length b.slots || b.slots.(rel) < 0 then
+    invalid_arg "Executor: relation not in batch"
+  else b.slots.(rel)
 
 let null = Storage.Value.null_code
 

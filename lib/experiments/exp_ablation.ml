@@ -61,26 +61,35 @@ let damping_sweep (h : Harness.t) =
   let rows =
     List.map
       (fun damping ->
-        (* Median signed error of deep (>= 4-join) subexpressions. *)
-        let errors = ref [] in
-        Array.iter
-          (fun (q : Harness.qctx) ->
-            let ctx =
-              { Cardest.Systems.db = h.Harness.db; graph = q.Harness.graph }
-            in
-            let est = Cardest.Systems.dbms_a_damped damping analyze ctx in
-            let tc = Harness.truth q in
-            Array.iter
-              (fun s ->
-                if Bitset.cardinal s >= 5 then
-                  errors :=
-                    Util.Stat.signed_error
-                      ~estimate:(floored (est.Cardest.Estimator.subset s))
-                      ~truth:(floored (Cardest.True_card.card tc s))
-                    :: !errors)
-              (QG.connected_subsets q.Harness.graph))
-          h.Harness.queries;
-        let e = Array.of_list !errors in
+        (* Median signed error of deep (>= 4-join) subexpressions. Each
+           worker builds its own estimator instance (per-instance sample
+           PRNG), so per-query fan-out stays deterministic; the fold
+           replays the serial push order. *)
+        let per_query =
+          Harness.par_map h
+            (fun (q : Harness.qctx) ->
+              let ctx =
+                { Cardest.Systems.db = h.Harness.db; graph = q.Harness.graph }
+              in
+              let est = Cardest.Systems.dbms_a_damped damping analyze ctx in
+              let tc = Harness.truth q in
+              let items = ref [] in
+              Array.iter
+                (fun s ->
+                  if Bitset.cardinal s >= 5 then
+                    items :=
+                      Util.Stat.signed_error
+                        ~estimate:(floored (est.Cardest.Estimator.subset s))
+                        ~truth:(floored (Cardest.True_card.card tc s))
+                      :: !items)
+                (QG.connected_subsets q.Harness.graph);
+              !items)
+            h.Harness.queries
+        in
+        let e =
+          Array.of_list
+            (Array.fold_left (fun acc items -> items @ acc) [] per_query)
+        in
         if Array.length e = 0 then [ Printf.sprintf "%.2f" damping; "-"; "-"; "-" ]
         else begin
           let under =
@@ -129,7 +138,7 @@ let bucket_floor (h : Harness.t) =
               }
             in
             let slowdowns =
-              List.map
+              Harness.par_map_list h
                 (fun q ->
                   let est = Harness.estimator h q "PostgreSQL" in
                   Harness.slowdown_vs_optimal h q ~est
@@ -259,7 +268,7 @@ let join_algorithms (h : Harness.t) =
         List.map
           (fun (label, allow_hash) ->
             let runtimes =
-              List.filter_map
+              Harness.par_map_list h
                 (fun (q : Harness.qctx) ->
                   let oracle = Harness.estimator h q "true" in
                   let plan, _ =
@@ -274,6 +283,7 @@ let join_algorithms (h : Harness.t) =
                   if r.Exec.Executor.timed_out then None
                   else Some (Float.max 0.01 r.Exec.Executor.runtime_ms))
                 sample_queries
+              |> List.filter_map Fun.id
             in
             [
               label;

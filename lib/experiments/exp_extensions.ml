@@ -11,21 +11,29 @@ let join_sampling (h : Harness.t) =
   let max_joins = 6 in
   let collect make_est =
     let by_joins = Array.make (max_joins + 1) [] in
+    (* Per-query error lists compute in parallel; the serial replay in
+       query order reproduces the original bin push order. *)
+    let per_query =
+      Harness.par_map h
+        (fun (q : Harness.qctx) ->
+          let est = make_est q in
+          let tc = Harness.truth q in
+          Array.to_list (QG.connected_subsets q.Harness.graph)
+          |> List.filter_map (fun s ->
+                 let joins = Bitset.cardinal s - 1 in
+                 if joins > max_joins then None
+                 else
+                   Some
+                     ( joins,
+                       Util.Stat.signed_error
+                         ~estimate:(floored (est.Cardest.Estimator.subset s))
+                         ~truth:(floored (Cardest.True_card.card tc s)) )))
+        h.Harness.queries
+    in
     Array.iter
-      (fun (q : Harness.qctx) ->
-        let est = make_est q in
-        let tc = Harness.truth q in
-        Array.iter
-          (fun s ->
-            let joins = Bitset.cardinal s - 1 in
-            if joins <= max_joins then
-              by_joins.(joins) <-
-                Util.Stat.signed_error
-                  ~estimate:(floored (est.Cardest.Estimator.subset s))
-                  ~truth:(floored (Cardest.True_card.card tc s))
-                :: by_joins.(joins))
-          (QG.connected_subsets q.Harness.graph))
-      h.Harness.queries;
+      (List.iter
+         (fun (joins, err) -> by_joins.(joins) <- err :: by_joins.(joins)))
+      per_query;
     by_joins
   in
   let pg = collect (fun q -> Harness.estimator h q "PostgreSQL") in
@@ -74,7 +82,7 @@ let adaptive (h : Harness.t) =
   Harness.with_index_config h Storage.Database.Pk_only (fun () ->
       let measure use_adaptive =
         queries
-        |> List.map (fun (q : Harness.qctx) ->
+        |> Harness.par_map_list h (fun (q : Harness.qctx) ->
                let est = Harness.estimator h q "PostgreSQL" in
                let oracle = Harness.estimator h q "true" in
                let optimal_plan, _ =
@@ -140,22 +148,30 @@ let qerror_bound (h : Harness.t) =
   Harness.with_index_config h Storage.Database.No_indexes (fun () ->
       let rows = ref [] in
       let holds = ref 0 and total = ref 0 in
+      let per_query =
+        Harness.par_map h
+          (fun (q : Harness.qctx) ->
+            let est = Harness.estimator h q "PostgreSQL" in
+            let truth = Harness.truth q in
+            let qmax = Cardest.Qbound.worst_q ~truth est q.Harness.graph in
+            let plan, _ =
+              Harness.plan_with h q ~est ~model:Cost.Cost_model.cmm ()
+            in
+            let oracle = Harness.estimator h q "true" in
+            let _, optimal =
+              Harness.plan_with h q ~est:oracle ~model:Cost.Cost_model.cmm ()
+            in
+            let actual = Harness.true_cost h q plan /. Float.max 1e-9 optimal in
+            let bound = Cardest.Qbound.cost_ratio_bound ~q:qmax in
+            (qmax, actual, bound))
+          h.Harness.queries
+      in
       Array.iter
-        (fun (q : Harness.qctx) ->
-          let est = Harness.estimator h q "PostgreSQL" in
-          let truth = Harness.truth q in
-          let qmax = Cardest.Qbound.worst_q ~truth est q.Harness.graph in
-          let plan, _ = Harness.plan_with h q ~est ~model:Cost.Cost_model.cmm () in
-          let oracle = Harness.estimator h q "true" in
-          let _, optimal =
-            Harness.plan_with h q ~est:oracle ~model:Cost.Cost_model.cmm ()
-          in
-          let actual = Harness.true_cost h q plan /. Float.max 1e-9 optimal in
-          let bound = Cardest.Qbound.cost_ratio_bound ~q:qmax in
+        (fun (qmax, actual, bound) ->
           incr total;
           if actual <= bound +. 1e-6 then incr holds;
           rows := (qmax, actual, bound) :: !rows)
-        h.Harness.queries;
+        per_query;
       let actuals = Array.of_list (List.map (fun (_, a, _) -> a) !rows) in
       let slack =
         Array.of_list (List.map (fun (_, a, b) -> b /. Float.max 1.0 a) !rows)

@@ -26,13 +26,20 @@ let measure (h : Harness.t) ~max_joins =
   List.map
     (fun system ->
       let by_joins = Array.make (max_joins + 1) [] in
+      (* Per-query error lists compute in parallel; pushing them into the
+         join-count bins serially, in query order, replays the original
+         accumulation exactly. *)
+      let per_query =
+        Harness.par_map h
+          (fun q ->
+            let est = Harness.estimator h q system in
+            signed_errors_for h q est ~max_joins)
+          h.Harness.queries
+      in
       Array.iter
-        (fun q ->
-          let est = Harness.estimator h q system in
-          List.iter
-            (fun (joins, err) -> by_joins.(joins) <- err :: by_joins.(joins))
-            (signed_errors_for h q est ~max_joins))
-        h.Harness.queries;
+        (List.iter
+           (fun (joins, err) -> by_joins.(joins) <- err :: by_joins.(joins)))
+        per_query;
       let cells =
         List.init (max_joins + 1) (fun joins ->
             let errs = Array.of_list by_joins.(joins) in

@@ -1,12 +1,18 @@
 let max_joins = 6
 
 let collect (h : Harness.t) system =
-  let errors = ref [] in
-  Array.iter
-    (fun q ->
-      let est = Harness.estimator h q system in
-      errors := Exp_fig3.signed_errors_for h q est ~max_joins @ !errors)
-    h.Harness.queries;
+  (* Per-query error lists compute in parallel; the fold replays the
+     serial [errors := list @ !errors] accumulation order. *)
+  let per_query =
+    Harness.par_map h
+      (fun q ->
+        let est = Harness.estimator h q system in
+        Exp_fig3.signed_errors_for h q est ~max_joins)
+      h.Harness.queries
+  in
+  let errors =
+    ref (Array.fold_left (fun acc items -> items @ acc) [] per_query)
+  in
   List.init (max_joins + 1) (fun joins ->
       let errs =
         List.filter_map (fun (j, e) -> if j = joins then Some e else None) !errors

@@ -15,11 +15,13 @@ let measure (h : Harness.t) =
       List.map
         (fun (label, engine) ->
           let slowdowns =
-            Array.to_list h.Harness.queries
-            |> List.map (fun q ->
+            Array.to_list
+              (Harness.par_map h
+                 (fun q ->
                    let est = Harness.estimator h q "PostgreSQL" in
                    Harness.slowdown_vs_optimal h q ~est
                      ~model:Cost.Cost_model.postgres ~engine)
+                 h.Harness.queries)
           in
           let counts =
             Util.Stat.bucketize ~edges:bucket_edges

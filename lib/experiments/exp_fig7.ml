@@ -9,12 +9,14 @@ let measure (h : Harness.t) =
     (fun (label, config) ->
       Harness.with_index_config h config (fun () ->
           let slowdowns =
-            Array.to_list h.Harness.queries
-            |> List.map (fun q ->
+            Array.to_list
+              (Harness.par_map h
+                 (fun q ->
                    let est = Harness.estimator h q "PostgreSQL" in
                    Harness.slowdown_vs_optimal h q ~est
                      ~model:Cost.Cost_model.postgres
                      ~engine:Exec.Engine_config.robust)
+                 h.Harness.queries)
           in
           let counts =
             Util.Stat.bucketize ~edges:Exp_fig6.bucket_edges

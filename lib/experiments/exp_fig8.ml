@@ -25,24 +25,29 @@ let measure (h : Harness.t) =
               let points = ref [] in
               let runtimes = ref [] in
               let timeouts = ref 0 in
+              (* Plan + execute per query in parallel; the serial replay
+                 below restores the original push order. *)
+              let per_query =
+                Harness.par_map h
+                  (fun q ->
+                    let est = Harness.estimator h q system in
+                    let plan, cost = Harness.plan_with h q ~est ~model () in
+                    let result =
+                      Harness.execute h q ~plan
+                        ~size_est:est.Cardest.Estimator.subset
+                        ~engine:Exec.Engine_config.robust
+                    in
+                    if result.Exec.Executor.timed_out then None
+                    else Some (cost, result.Exec.Executor.runtime_ms))
+                  h.Harness.queries
+              in
               Array.iter
-                (fun q ->
-                  let est = Harness.estimator h q system in
-                  let plan, cost =
-                    Harness.plan_with h q ~est ~model ()
-                  in
-                  let result =
-                    Harness.execute h q ~plan
-                      ~size_est:est.Cardest.Estimator.subset
-                      ~engine:Exec.Engine_config.robust
-                  in
-                  if result.Exec.Executor.timed_out then incr timeouts
-                  else begin
-                    points := (cost, result.Exec.Executor.runtime_ms) :: !points;
-                    runtimes :=
-                      Float.max 0.01 result.Exec.Executor.runtime_ms :: !runtimes
-                  end)
-                h.Harness.queries;
+                (function
+                  | None -> incr timeouts
+                  | Some (cost, runtime_ms) ->
+                      points := (cost, runtime_ms) :: !points;
+                      runtimes := Float.max 0.01 runtime_ms :: !runtimes)
+                per_query;
               let points = Array.of_list !points in
               let fit = Util.Stat.linear_regression points in
               let errors =

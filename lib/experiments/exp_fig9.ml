@@ -43,21 +43,35 @@ let summarize (h : Harness.t) ~attempts =
       Harness.with_index_config h config (fun () ->
           let within = ref 0 and total = ref 0 in
           let widths = ref [] in
+          (* The index-config sweep stays serial (it mutates the shared
+             database); per-query sampling inside one config fans out.
+             Each query seeds its own PRNG, so results are deterministic
+             regardless of scheduling. *)
+          let per_query =
+            Harness.par_map h
+              (fun q ->
+                let s = search h q in
+                let optimal = optimal_cost h q in
+                let prng = Util.Prng.create 777 in
+                let costs =
+                  Planner.Quickpick.sample_costs s prng ~attempts
+                in
+                let within_q =
+                  Array.fold_left
+                    (fun acc c -> if c <= 1.5 *. optimal then acc + 1 else acc)
+                    0 costs
+                in
+                let worst = Util.Stat.maximum costs
+                and best = Float.max 1e-9 (Util.Stat.minimum costs) in
+                (within_q, Array.length costs, worst /. best))
+              h.Harness.queries
+          in
           Array.iter
-            (fun q ->
-              let s = search h q in
-              let optimal = optimal_cost h q in
-              let prng = Util.Prng.create 777 in
-              let costs = Planner.Quickpick.sample_costs s prng ~attempts in
-              Array.iter
-                (fun c ->
-                  incr total;
-                  if c <= 1.5 *. optimal then incr within)
-                costs;
-              let worst = Util.Stat.maximum costs
-              and best = Float.max 1e-9 (Util.Stat.minimum costs) in
-              widths := (worst /. best) :: !widths)
-            h.Harness.queries;
+            (fun (within_q, total_q, width) ->
+              within := !within + within_q;
+              total := !total + total_q;
+              widths := width :: !widths)
+            per_query;
           {
             config;
             frac_within_1_5 = Util.Stat.fraction !within !total;

@@ -5,11 +5,13 @@ let bucket_labels =
 
 let slowdowns (h : Harness.t) system ~engine =
   Harness.with_index_config h Storage.Database.Pk_only (fun () ->
-      Array.to_list h.Harness.queries
-      |> List.map (fun q ->
+      Array.to_list
+        (Harness.par_map h
+           (fun q ->
              let est = Harness.estimator h q system in
              Harness.slowdown_vs_optimal h q ~est
-               ~model:Cost.Cost_model.postgres ~engine))
+               ~model:Cost.Cost_model.postgres ~engine)
+           h.Harness.queries))
 
 let fractions values =
   let counts =

@@ -17,21 +17,29 @@ let floored x = Float.max 1.0 x
 let measure (h : Harness.t) =
   List.map
     (fun system ->
-      let errors = ref [] in
-      Array.iter
-        (fun (q : Harness.qctx) ->
-          let est = Harness.estimator h q system in
-          let tc = Harness.truth q in
-          Array.iter
-            (fun (r : QG.relation) ->
-              if r.QG.preds <> [] then begin
-                let estimate = floored (est.Cardest.Estimator.base r.QG.idx) in
-                let truth = floored (Cardest.True_card.base tc r.QG.idx) in
-                errors := Util.Stat.q_error ~estimate ~truth :: !errors
-              end)
-            (QG.relations q.Harness.graph))
-        h.Harness.queries;
-      let errors = Array.of_list !errors in
+      (* Per-query q-errors fan out across domains; the serial merge
+         below replays the original accumulation order exactly. *)
+      let per_query =
+        Harness.par_map h
+          (fun (q : Harness.qctx) ->
+            let est = Harness.estimator h q system in
+            let tc = Harness.truth q in
+            let items = ref [] in
+            Array.iter
+              (fun (r : QG.relation) ->
+                if r.QG.preds <> [] then begin
+                  let estimate = floored (est.Cardest.Estimator.base r.QG.idx) in
+                  let truth = floored (Cardest.True_card.base tc r.QG.idx) in
+                  items := Util.Stat.q_error ~estimate ~truth :: !items
+                end)
+              (QG.relations q.Harness.graph);
+            !items)
+          h.Harness.queries
+      in
+      let errors =
+        Array.of_list
+          (Array.fold_left (fun acc items -> items @ acc) [] per_query)
+      in
       {
         system;
         median = Util.Stat.median errors;

@@ -21,7 +21,7 @@ let measure (h : Harness.t) =
       Harness.with_index_config h config (fun () ->
           let per_query =
             Array.to_list h.Harness.queries
-            |> List.map (fun q ->
+            |> Harness.par_map_list h (fun q ->
                    let oracle = Harness.estimator h q "true" in
                    let _, bushy =
                      Harness.plan_with h q ~est:oracle ~model:Cost.Cost_model.cmm ()

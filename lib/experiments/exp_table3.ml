@@ -29,7 +29,7 @@ let measure (h : Harness.t) =
               (* slowdown per query per algorithm *)
               let per_query =
                 Array.to_list h.Harness.queries
-                |> List.map (fun q ->
+                |> Harness.par_map_list h (fun q ->
                        let est = Harness.estimator h q system in
                        let oracle = Harness.estimator h q "true" in
                        let optimal =

@@ -4,7 +4,7 @@ type qctx = {
   query : Workload.Job.query;
   graph : QG.t;
   projections : (int * int) list;
-  truth : Cardest.True_card.t Lazy.t;
+  truth : Cardest.True_card.t Util.Once.t;
 }
 
 type t = {
@@ -14,6 +14,10 @@ type t = {
   queries : qctx array;
   pipeline : Core.Pipeline.t;
   verify_memo : (string, unit) Hashtbl.t;
+  verify_lock : Mutex.t;
+  mutable jobs : int;
+  mutable pool : Util.Domain_pool.t option;
+  pool_lock : Mutex.t;
 }
 
 (* The pipeline's view of a bound benchmark query. *)
@@ -25,7 +29,9 @@ let pquery (q : qctx) =
     projections = q.projections;
   }
 
-let create ?(seed = 42) ?(scale = 1.0) ?(queries = Workload.Job.all) () =
+let create ?(seed = 42) ?(scale = 1.0) ?(queries = Workload.Job.all) ?(jobs = 1)
+    () =
+  if jobs < 1 then invalid_arg "Harness.create: jobs must be >= 1";
   let db = Datagen.Imdb_gen.generate ~seed ~scale () in
   let pipeline = Core.Pipeline.create db in
   let queries =
@@ -42,10 +48,14 @@ let create ?(seed = 42) ?(scale = 1.0) ?(queries = Workload.Job.all) () =
              query = q;
              graph;
              projections;
-             truth = Core.Pipeline.truth_lazy pipeline pq;
+             truth = Core.Pipeline.truth_cell pipeline pq;
            })
          queries)
   in
+  (* Pin every ANALYZE sample to the serial demand order before any
+     parallel fan-out; see {!Core.Pipeline.warm_statistics}. *)
+  Core.Pipeline.warm_statistics pipeline
+    (Array.to_list (Array.map pquery queries));
   {
     db;
     analyze = pipeline.Core.Pipeline.analyze;
@@ -53,7 +63,51 @@ let create ?(seed = 42) ?(scale = 1.0) ?(queries = Workload.Job.all) () =
     queries;
     pipeline;
     verify_memo = Hashtbl.create 64;
+    verify_lock = Mutex.create ();
+    jobs;
+    pool = None;
+    pool_lock = Mutex.create ();
   }
+
+(* ------------------------------------------------------------------ *)
+(* The domain pool: created lazily on first parallel map, so harnesses
+   that stay serial (jobs = 1 spawns no domains either way) cost
+   nothing, and shut down explicitly — domains are a bounded resource. *)
+
+let pool t =
+  Mutex.lock t.pool_lock;
+  let p =
+    match t.pool with
+    | Some p -> p
+    | None ->
+        let p = Util.Domain_pool.create ~domains:t.jobs in
+        t.pool <- Some p;
+        p
+  in
+  Mutex.unlock t.pool_lock;
+  p
+
+let jobs t = t.jobs
+
+let set_jobs t n =
+  if n < 1 then invalid_arg "Harness.set_jobs: jobs must be >= 1";
+  Mutex.lock t.pool_lock;
+  (match t.pool with Some p -> Util.Domain_pool.shutdown p | None -> ());
+  t.pool <- None;
+  t.jobs <- n;
+  Mutex.unlock t.pool_lock
+
+let shutdown t =
+  Mutex.lock t.pool_lock;
+  (match t.pool with Some p -> Util.Domain_pool.shutdown p | None -> ());
+  t.pool <- None;
+  Mutex.unlock t.pool_lock
+
+let par_map t f xs = Util.Domain_pool.map_array (pool t) f xs
+
+let par_map_list t f xs = Util.Domain_pool.map_list (pool t) f xs
+
+(* ------------------------------------------------------------------ *)
 
 let find t name =
   match
@@ -72,7 +126,7 @@ let find t name =
                |> List.map (fun q -> q.query.Workload.Job.name);
            })
 
-let truth qctx = Lazy.force qctx.truth
+let truth qctx = Util.Once.force qctx.truth
 
 let estimator t qctx name = Core.Pipeline.estimator t.pipeline (pquery qctx) name
 
@@ -111,12 +165,18 @@ let verify_choice t qctx ~est ~model ~shape (plan, cost) =
         (Storage.Database.index_config_to_string
            (Storage.Database.index_config t.db))
     in
+    (* Claim the subject under the lock; the (expensive) estimate pass
+       itself runs outside it. *)
+    let fresh_subject =
+      Mutex.lock t.verify_lock;
+      let fresh = not (Hashtbl.mem t.verify_memo subject) in
+      if fresh then Hashtbl.add t.verify_memo subject ();
+      Mutex.unlock t.verify_lock;
+      fresh
+    in
     let est_report =
-      if Hashtbl.mem t.verify_memo subject then Verify.Violation.empty
-      else begin
-        Hashtbl.add t.verify_memo subject ();
-        Verify.check_estimates ~subject qctx.graph est
-      end
+      if fresh_subject then Verify.check_estimates ~subject qctx.graph est
+      else Verify.Violation.empty
     in
     let env =
       {

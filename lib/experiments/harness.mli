@@ -10,13 +10,19 @@
     (query, system) and plan choices per
     (query, estimator, cost model, enumerator, shape, allow_nl, index
     configuration), so a full 13-experiment regeneration computes each
-    distinct plan exactly once. {!stats} exposes the cache counters. *)
+    distinct plan exactly once. {!stats} exposes the cache counters.
+
+    Per-query work fans out over a {!Util.Domain_pool} via {!par_map}:
+    [jobs = 1] (the default) replays the serial path bit-for-bit, and
+    because pool results always land by input index and statistics are
+    warmed at creation ({!Core.Pipeline.warm_statistics}), every
+    experiment renders byte-identical output at any job count. *)
 
 type qctx = {
   query : Workload.Job.query;
   graph : Query.Query_graph.t;
   projections : (int * int) list;
-  truth : Cardest.True_card.t Lazy.t;
+  truth : Cardest.True_card.t Util.Once.t;
 }
 
 type t = {
@@ -30,11 +36,42 @@ type t = {
   verify_memo : (string, unit) Hashtbl.t;
       (** Estimate-sanitizer memo, scoped to this harness instance and
           keyed on query x estimator x index configuration. *)
+  verify_lock : Mutex.t;  (** Guards {!verify_memo}. *)
+  mutable jobs : int;
+  mutable pool : Util.Domain_pool.t option;
+      (** Created lazily on the first {!par_map}. *)
+  pool_lock : Mutex.t;
 }
 
 val create :
-  ?seed:int -> ?scale:float -> ?queries:Workload.Job.query list -> unit -> t
-(** Defaults: seed 42, scale 1.0, the full 113-query workload. *)
+  ?seed:int ->
+  ?scale:float ->
+  ?queries:Workload.Job.query list ->
+  ?jobs:int ->
+  unit ->
+  t
+(** Defaults: seed 42, scale 1.0, the full 113-query workload, one job
+    (serial). Warms both ANALYZE instances over the workload in the
+    serial demand order, so later parallel probes cannot reorder the
+    statistics sampling. *)
+
+val jobs : t -> int
+
+val set_jobs : t -> int -> unit
+(** Change the parallelism; shuts down any existing pool (a fresh one is
+    spawned lazily by the next {!par_map}). *)
+
+val shutdown : t -> unit
+(** Join the worker domains, if any were spawned. The harness remains
+    usable; the next {!par_map} spawns a fresh pool. *)
+
+val par_map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** Fan a per-item function (typically per query) out over the harness
+    pool; results are in input order. With [jobs = 1] this is a plain
+    serial loop. *)
+
+val par_map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+(** {!par_map} over an arbitrary work list. *)
 
 val find : t -> string -> qctx
 (** Query context by JOB name (e.g. ["16d"]); raises [Invalid_argument]
@@ -58,7 +95,9 @@ val stats_summary : t -> string
 
 val with_index_config :
   t -> Storage.Database.index_config -> (unit -> 'a) -> 'a
-(** Run a thunk under a physical design, restoring the previous one. *)
+(** Run a thunk under a physical design, restoring the previous one.
+    Not domain-safe: experiments keep configuration sweeps serial and
+    fan out only within one configuration. *)
 
 val debug_verify : bool ref
 (** When true, every {!plan_with} call also runs the estimate and cost

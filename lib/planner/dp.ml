@@ -1,12 +1,17 @@
 module Bitset = Util.Bitset
 module QG = Query.Query_graph
 
+(* The DP memo keyed by relation subsets with Bitset's own (int) hash,
+   rather than the polymorphic one — this table sits on the innermost
+   enumeration loop. *)
+module Subset_table = Hashtbl.Make (Bitset)
+
 let build_table (t : Search.t) =
   let graph = t.Search.env.Cost.Cost_model.graph in
   let n = QG.n_relations graph in
-  let table : (Bitset.t, Plan.t * float) Hashtbl.t = Hashtbl.create 1024 in
+  let table : (Plan.t * float) Subset_table.t = Subset_table.create 1024 in
   for r = 0 to n - 1 do
-    Hashtbl.add table (Bitset.singleton r) (Search.scan_entry t r)
+    Subset_table.add table (Bitset.singleton r) (Search.scan_entry t r)
   done;
   let subsets = QG.connected_subsets graph in
   Array.iter
@@ -15,7 +20,9 @@ let build_table (t : Search.t) =
         let best = ref None in
         Bitset.subsets_iter s (fun s1 ->
             let s2 = Bitset.diff s s1 in
-            match (Hashtbl.find_opt table s1, Hashtbl.find_opt table s2) with
+            match
+              (Subset_table.find_opt table s1, Subset_table.find_opt table s2)
+            with
             | Some outer, Some inner ->
                 (* Both connected; require at least one join edge across. *)
                 if not (Bitset.disjoint (QG.neighbors graph s1) s2) then begin
@@ -29,7 +36,7 @@ let build_table (t : Search.t) =
             | _ -> ())
           ;
         match !best with
-        | Some entry -> Hashtbl.add table s entry
+        | Some entry -> Subset_table.add table s entry
         | None -> ()
       end)
     subsets;
@@ -38,7 +45,7 @@ let build_table (t : Search.t) =
 let optimize t =
   let graph = t.Search.env.Cost.Cost_model.graph in
   let table = build_table t in
-  match Hashtbl.find_opt table (QG.full_set graph) with
+  match Subset_table.find_opt table (QG.full_set graph) with
   | Some entry -> entry
   | None ->
       invalid_arg

@@ -4,10 +4,14 @@
     the search context turn the same machinery into the left-deep /
     right-deep / zig-zag enumerators of Section 6.2. *)
 
+module Subset_table : Hashtbl.S with type key = Util.Bitset.t
+(** The DP memo table type: subsets hashed with {!Util.Bitset.hash}
+    instead of the polymorphic hash. *)
+
 val optimize : Search.t -> Plan.t * float
 (** Optimal plan and its estimated cost for the full relation set.
     Raises [Invalid_argument] if no plan exists (cannot happen for
     connected graphs with hash joins enabled). *)
 
-val optimize_all_subsets : Search.t -> (Util.Bitset.t, Plan.t * float) Hashtbl.t
+val optimize_all_subsets : Search.t -> (Plan.t * float) Subset_table.t
 (** The full DP table, for experiments that inspect sub-plans. *)

@@ -8,11 +8,20 @@ let index_config_to_string = function
 type t = {
   tables : (string, Table.t) Hashtbl.t;
   index_cache : (string * int, Index.t) Hashtbl.t;
+  (* Guards [index_cache]: indexes are built lazily and the executor
+     runs on several domains. Values are deterministic per (table, col),
+     so only the table structure needs protection. *)
+  index_mutex : Mutex.t;
   mutable config : index_config;
 }
 
 let create () =
-  { tables = Hashtbl.create 32; index_cache = Hashtbl.create 64; config = Pk_only }
+  {
+    tables = Hashtbl.create 32;
+    index_cache = Hashtbl.create 64;
+    index_mutex = Mutex.create ();
+    config = Pk_only;
+  }
 
 let add_table t table =
   let table_name = Table.name table in
@@ -33,12 +42,18 @@ let set_index_config t config = t.config <- config
 let index_config t = t.config
 
 let cached_index t ~table ~col =
+  Mutex.lock t.index_mutex;
   match Hashtbl.find_opt t.index_cache (table, col) with
-  | Some idx -> idx
-  | None ->
-      let idx = Index.build (find_table t table) ~col in
-      Hashtbl.add t.index_cache (table, col) idx;
+  | Some idx ->
+      Mutex.unlock t.index_mutex;
       idx
+  | None ->
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.index_mutex)
+        (fun () ->
+          let idx = Index.build (find_table t table) ~col in
+          Hashtbl.add t.index_cache (table, col) idx;
+          idx)
 
 let configured_columns t table =
   let tbl = find_table t table in

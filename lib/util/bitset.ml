@@ -22,8 +22,42 @@ let lowest_bit s =
 
 let lowest s =
   assert (s <> 0);
-  let rec go bit i = if s land bit <> 0 then i else go (bit lsl 1) (i + 1) in
-  go 1 0
+  (* Isolate the least set bit, then locate it with a constant six-step
+     binary search (an OCaml int has 63 bits). *)
+  let b = s land -s in
+  let i = ref 0 in
+  let b = ref b in
+  if !b land 0xFFFFFFFF = 0 then begin
+    i := !i + 32;
+    b := !b lsr 32
+  end;
+  if !b land 0xFFFF = 0 then begin
+    i := !i + 16;
+    b := !b lsr 16
+  end;
+  if !b land 0xFF = 0 then begin
+    i := !i + 8;
+    b := !b lsr 8
+  end;
+  if !b land 0xF = 0 then begin
+    i := !i + 4;
+    b := !b lsr 4
+  end;
+  if !b land 0x3 = 0 then begin
+    i := !i + 2;
+    b := !b lsr 2
+  end;
+  if !b land 0x1 = 0 then incr i;
+  !i
+
+let equal (a : t) (b : t) = a = b
+
+let hash (s : t) =
+  (* Multiplicative mixing (golden-ratio constant truncated to 61 bits);
+     the identity hash would put the dense consecutive masks the DP
+     enumerates into colliding buckets. *)
+  let h = s * 0x1E3779B97F4A7C15 in
+  (h lxor (h lsr 29)) land max_int
 
 let full n =
   assert (n >= 0 && n <= 62);

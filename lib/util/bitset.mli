@@ -21,8 +21,17 @@ val subset : t -> t -> bool
 
 val disjoint : t -> t -> bool
 val cardinal : t -> int
+
+val equal : t -> t -> bool
+
+val hash : t -> int
+(** Mixed (non-identity) hash. Together with {!equal} this makes the
+    module a ready-made [Hashtbl.HashedType], so subset memo tables can
+    use [Hashtbl.Make (Bitset)] instead of polymorphic hashing. *)
+
 val lowest : t -> int
-(** Index of the least set bit. Requires a non-empty set. *)
+(** Index of the least set bit, in constant time. Requires a non-empty
+    set. *)
 
 val lowest_bit : t -> t
 (** The least set bit as a singleton set. Requires a non-empty set. *)

@@ -1,0 +1,34 @@
+(** A fixed pool of worker domains with order-preserving map combinators.
+
+    The experiment harness fans per-query work units out over this pool.
+    Items are claimed dynamically (an atomic index counter), but every
+    result lands at its input index, so the output of {!map_array} and
+    {!map_list} is identical to the serial map regardless of completion
+    order — a prerequisite for byte-identical experiment output under
+    [-j N].
+
+    The calling domain participates in the work, so a pool created with
+    [~domains:n] spawns [n - 1] workers; [~domains:1] spawns none and
+    maps degrade to a plain left-to-right serial loop. *)
+
+type t
+
+val create : domains:int -> t
+(** Spawn the pool. [domains] is the total parallelism including the
+    caller; raises [Invalid_argument] when [< 1]. *)
+
+val size : t -> int
+(** Total parallelism ([domains] as passed to {!create}). *)
+
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+(** Parallel map with results in input order. If any [f x] raises, the
+    pool stops claiming new items, waits for in-flight items, and
+    re-raises the exception of the lowest-indexed failing item with its
+    original backtrace. Nested calls (from inside a running map) run
+    serially. *)
+
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+
+val shutdown : t -> unit
+(** Stop and join all worker domains. Further maps raise
+    [Invalid_argument]. Idempotent. *)

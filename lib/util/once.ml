@@ -1,0 +1,39 @@
+type 'a state = Pending of (unit -> 'a) | Done of 'a | Failed of exn
+
+type 'a t = { mutex : Mutex.t; mutable state : 'a state }
+
+let make f = { mutex = Mutex.create (); state = Pending f }
+
+let of_val v = { mutex = Mutex.create (); state = Done v }
+
+let force t =
+  Mutex.lock t.mutex;
+  match t.state with
+  | Done v ->
+      Mutex.unlock t.mutex;
+      v
+  | Failed e ->
+      Mutex.unlock t.mutex;
+      raise e
+  | Pending f -> (
+      (* The computation runs under the cell's own mutex: concurrent
+         forcers block until the first one finishes, exactly once. Cells
+         guard independent computations, so holding the lock during the
+         call cannot deadlock unless the thunk re-enters its own cell —
+         the same programs that [Lazy] rejects with [Undefined]. *)
+      match f () with
+      | v ->
+          t.state <- Done v;
+          Mutex.unlock t.mutex;
+          v
+      | exception e ->
+          let bt = Printexc.get_raw_backtrace () in
+          t.state <- Failed e;
+          Mutex.unlock t.mutex;
+          Printexc.raise_with_backtrace e bt)
+
+let is_val t =
+  Mutex.lock t.mutex;
+  let r = match t.state with Done _ -> true | _ -> false in
+  Mutex.unlock t.mutex;
+  r

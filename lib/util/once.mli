@@ -1,0 +1,23 @@
+(** A domain-safe memoized thunk.
+
+    [Stdlib.Lazy] is not safe to force from several domains (concurrent
+    forcing raises [Undefined] / corrupts the cell); this is the same
+    idea behind a mutex, for the places where the pipeline shares
+    deferred computations — exact-cardinality oracles, estimator
+    construction — across a {!Domain_pool}.
+
+    The first {!force} runs the thunk; every later (or concurrent) call
+    waits for it and returns the same value. An exception escaping the
+    thunk is cached and re-raised by every subsequent force. *)
+
+type 'a t
+
+val make : (unit -> 'a) -> 'a t
+
+val of_val : 'a -> 'a t
+(** An already-forced cell. *)
+
+val force : 'a t -> 'a
+
+val is_val : 'a t -> bool
+(** True once {!force} has completed successfully. *)

@@ -13,6 +13,7 @@ let () =
       ("planner", Test_planner.suite);
       ("verify", Test_verify.suite);
       ("registry", Test_registry.suite);
+      ("parallel", Test_parallel.suite);
       ("exec", Test_exec.suite);
       ("workload", Test_workload.suite);
       ("experiments", Test_experiments.suite);

@@ -1,0 +1,201 @@
+(* Tests for the multicore harness: the domain pool's ordering, failure
+   and reuse semantics, pipeline cache counters under concurrent probes,
+   and — the load-bearing guarantee — byte-identical experiment output
+   at every job count. *)
+
+module Pool = Util.Domain_pool
+module Harness = Experiments.Harness
+
+let with_pool ~domains f =
+  let pool = Pool.create ~domains in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f pool)
+
+(* Uneven per-item work, so items finish out of claim order. *)
+let spin_weight i =
+  let rounds = 1 + ((i * 7919) mod 23) * 400 in
+  let acc = ref 0 in
+  for k = 1 to rounds do
+    acc := (!acc + k) land 0xFFFF
+  done;
+  !acc
+
+let test_map_array_ordering () =
+  with_pool ~domains:4 (fun pool ->
+      let xs = Array.init 200 Fun.id in
+      let expect = Array.map (fun i -> (i, spin_weight i)) xs in
+      let got = Pool.map_array pool (fun i -> (i, spin_weight i)) xs in
+      Alcotest.(check (array (pair int int)))
+        "results land by input index" expect got)
+
+let test_map_list_ordering () =
+  with_pool ~domains:3 (fun pool ->
+      let xs = List.init 57 string_of_int in
+      Alcotest.(check (list string))
+        "list map preserves order" xs
+        (Pool.map_list pool Fun.id xs))
+
+let test_map_edge_sizes () =
+  with_pool ~domains:4 (fun pool ->
+      Alcotest.(check (array int)) "empty" [||] (Pool.map_array pool succ [||]);
+      Alcotest.(check (array int))
+        "singleton" [| 8 |]
+        (Pool.map_array pool succ [| 7 |]))
+
+let test_exception_propagation () =
+  with_pool ~domains:4 (fun pool ->
+      match
+        Pool.map_array pool
+          (fun i ->
+            ignore (spin_weight i);
+            if i = 3 || i = 7 then failwith (Printf.sprintf "boom%d" i);
+            i)
+          (Array.init 64 Fun.id)
+      with
+      | _ -> Alcotest.fail "expected the worker failure to propagate"
+      | exception Failure msg ->
+          (* Items are claimed in index order, so index 3 runs (and its
+             error wins) even when index 7 fails first on another domain. *)
+          Alcotest.(check string) "lowest-indexed failure wins" "boom3" msg)
+
+let test_pool_reuse () =
+  with_pool ~domains:4 (fun pool ->
+      let xs = Array.init 40 Fun.id in
+      let a = Pool.map_array pool (fun x -> x * 2) xs in
+      (* A failed map must leave the pool usable. *)
+      (try ignore (Pool.map_array pool (fun _ -> failwith "once") xs)
+       with Failure _ -> ());
+      let b = Pool.map_array pool (fun x -> x * 3) xs in
+      Alcotest.(check (array int)) "first map" (Array.map (fun x -> x * 2) xs) a;
+      Alcotest.(check (array int)) "after failure" (Array.map (fun x -> x * 3) xs) b)
+
+let test_nested_maps () =
+  with_pool ~domains:4 (fun pool ->
+      let got =
+        Pool.map_array pool
+          (fun i ->
+            (* Nested maps degrade to the serial path instead of
+               deadlocking on the single task slot. *)
+            Array.to_list (Pool.map_array pool (fun j -> (10 * i) + j)
+                             (Array.init 5 Fun.id)))
+          (Array.init 6 Fun.id)
+      in
+      let expect =
+        Array.init 6 (fun i -> List.init 5 (fun j -> (10 * i) + j))
+      in
+      Alcotest.(check (array (list int))) "nested results" expect got)
+
+let test_serial_pool () =
+  with_pool ~domains:1 (fun pool ->
+      Alcotest.(check int) "no workers spawned" 1 (Pool.size pool);
+      let order = ref [] in
+      let got =
+        Pool.map_array pool
+          (fun i ->
+            order := i :: !order;
+            i + 1)
+          (Array.init 10 Fun.id)
+      in
+      Alcotest.(check (array int)) "serial map" (Array.init 10 succ) got;
+      Alcotest.(check (list int))
+        "strict left-to-right evaluation"
+        (List.init 10 (fun i -> 9 - i))
+        !order)
+
+let test_shutdown_idempotent () =
+  let pool = Pool.create ~domains:3 in
+  ignore (Pool.map_array pool succ (Array.init 8 Fun.id));
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  match Pool.map_array pool succ [| 1; 2 |] with
+  | _ -> Alcotest.fail "map after shutdown should raise"
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline cache counters under concurrent probes                     *)
+
+(* Figure 4 and 9 look up their queries by name; figure 9 additionally
+   needs "13a". *)
+let mini_names = [ "1a"; "2b"; "3a"; "6a"; "13a"; "16d"; "17b"; "25c" ]
+
+let mini_queries =
+  List.filter
+    (fun q -> List.mem q.Workload.Job.name mini_names)
+    Workload.Job.all
+
+let probe_everything h =
+  ignore
+    (Harness.par_map h
+       (fun (q : Harness.qctx) ->
+         List.iter
+           (fun system ->
+             let est = Harness.estimator h q system in
+             ignore
+               (est.Cardest.Estimator.subset
+                  (Query.Query_graph.full_set q.Harness.graph)))
+           [ "PostgreSQL"; "DBMS A"; "true" ];
+         ignore
+           (Harness.plan_with h q
+              ~est:(Harness.estimator h q "true")
+              ~model:Cost.Cost_model.cmm ()))
+       h.Harness.queries);
+  Harness.stats h
+
+let test_counters_match_serial () =
+  let run jobs =
+    let h =
+      Harness.create ~seed:11 ~scale:0.03 ~queries:mini_queries ~jobs ()
+    in
+    Fun.protect
+      ~finally:(fun () -> Harness.shutdown h)
+      (fun () -> probe_everything h)
+  in
+  let serial = run 1 and parallel = run 4 in
+  let check what f =
+    Alcotest.(check int) what (f serial) (f parallel)
+  in
+  check "estimators built" (fun s -> s.Core.Pipeline.estimators_built);
+  check "estimators reused" (fun s -> s.Core.Pipeline.estimators_reused);
+  check "estimator probes" (fun s -> s.Core.Pipeline.estimator_probes);
+  check "plan hits" (fun s -> s.Core.Pipeline.plan_hits);
+  check "plan misses" (fun s -> s.Core.Pipeline.plan_misses);
+  check "plans enumerated" (fun s -> s.Core.Pipeline.plans_enumerated)
+
+(* ------------------------------------------------------------------ *)
+(* The determinism guarantee: every catalog experiment byte-identical   *)
+
+let test_catalog_deterministic () =
+  let render_all jobs =
+    let h =
+      Harness.create ~seed:11 ~scale:0.03 ~queries:mini_queries ~jobs ()
+    in
+    Fun.protect
+      ~finally:(fun () -> Harness.shutdown h)
+      (fun () ->
+        List.map
+          (fun (e : Experiments.Catalog.entry) ->
+            (e.Experiments.Catalog.id, e.Experiments.Catalog.render h))
+          Experiments.Catalog.all)
+  in
+  let serial = render_all 1 and parallel = render_all 4 in
+  List.iter2
+    (fun (id, a) (_, b) ->
+      Alcotest.(check string)
+        (Printf.sprintf "%s is byte-identical at -j 1 and -j 4" id)
+        a b)
+    serial parallel
+
+let suite =
+  [
+    Alcotest.test_case "map_array ordering" `Quick test_map_array_ordering;
+    Alcotest.test_case "map_list ordering" `Quick test_map_list_ordering;
+    Alcotest.test_case "empty and singleton" `Quick test_map_edge_sizes;
+    Alcotest.test_case "exception propagation" `Quick test_exception_propagation;
+    Alcotest.test_case "pool reuse after failure" `Quick test_pool_reuse;
+    Alcotest.test_case "nested maps run serial" `Quick test_nested_maps;
+    Alcotest.test_case "single-domain pool is serial" `Quick test_serial_pool;
+    Alcotest.test_case "shutdown is idempotent" `Quick test_shutdown_idempotent;
+    Alcotest.test_case "cache counters match serial" `Slow
+      test_counters_match_serial;
+    Alcotest.test_case "catalog byte-identical under -j" `Slow
+      test_catalog_deterministic;
+  ]

@@ -191,7 +191,7 @@ let test_dp_subsets_table () =
       Alcotest.(check bool)
         (Format.asprintf "entry for %a" Bitset.pp s)
         true
-        (Hashtbl.mem table s))
+        (Planner.Dp.Subset_table.mem table s))
     (QG.connected_subsets g)
 
 let suite =
