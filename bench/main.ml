@@ -7,12 +7,16 @@
    domains — reporting wall-clock for both and the speedup, and writing
    the machine-readable BENCH_parallel.json. Two harnesses keep the
    comparison honest: a second render on one harness would be served
-   almost entirely from its plan and estimator caches.
+   almost entirely from its plan and estimator caches. --repeat N runs
+   the whole comparison N times on fresh harness pairs and reports the
+   per-experiment per-side median (still cold-cache times — the repeats
+   only strip scheduler and GC-pacing noise).
 
      dune exec bench/main.exe                 -- everything, full scale
      dune exec bench/main.exe -- --scale 0.2  -- smaller database
      dune exec bench/main.exe -- -j 1         -- serial, no comparison
-     dune exec bench/main.exe -- --only figure-3
+     dune exec bench/main.exe -- --only figure-3,table-2
+     dune exec bench/main.exe -- --repeat 3   -- median over 3 cold runs
      dune exec bench/main.exe -- --skip-micro *)
 
 (* The experiment list is the catalog in lib/experiments — one source of
@@ -130,6 +134,203 @@ let run_micro h =
     (micro_tests h)
 
 (* ------------------------------------------------------------------ *)
+(* Kernel microbenchmarks: the two allocation-sensitive hot paths,
+   before/after-visible. The executor kernel executes full plans with
+   the scan predicate path toggled between the legacy row-at-a-time
+   closures ([Exec.Executor.reference_scan]) and the vectorized
+   selection vectors; the true-card kernel groups a fact table's rows
+   with the legacy boxed representation (a polymorphic Hashtbl over
+   fresh int-array keys, what True_card used before Group_table) versus
+   Group_table's packed scratch keys. Both report wall clock and
+   GC-allocated bytes per run, written to BENCH_exec.json.              *)
+
+let time_alloc ~runs f =
+  f (); (* warm-up: populate caches and size the scratch pools *)
+  (* Start every kernel measurement at zero GC debt — otherwise a major
+     slice owed by whatever ran before lands in this kernel's wall
+     clock. *)
+  Gc.full_major ();
+  let a0 = Gc.allocated_bytes () in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to runs do
+    f ()
+  done;
+  let ms = (Unix.gettimeofday () -. t0) *. 1e3 /. float_of_int runs in
+  let alloc = (Gc.allocated_bytes () -. a0) /. float_of_int runs in
+  (ms, alloc)
+
+type kernel_row = {
+  kernel : string;
+  reference_ms : float;
+  reference_alloc : float;
+  new_ms : float;
+  new_alloc : float;
+  work_units : int;  (* deterministic work, identical on both paths *)
+}
+
+let bench_exec_kernel (h : Experiments.Harness.t) =
+  let engine = Exec.Engine_config.robust in
+  let prepared =
+    List.map
+      (fun name ->
+        let q = Experiments.Harness.find h name in
+        let est = Experiments.Harness.estimator h q "true" in
+        let plan, _ =
+          Experiments.Harness.plan_with h q ~est ~model:Cost.Cost_model.cmm ()
+        in
+        (q, plan, est))
+      [ "1a"; "3a"; "6a"; "16d"; "17b" ]
+  in
+  let work = ref 0 in
+  let run_all () =
+    work := 0;
+    List.iter
+      (fun (q, plan, est) ->
+        let r =
+          Experiments.Harness.execute h q ~plan
+            ~size_est:est.Cardest.Estimator.subset ~engine
+        in
+        work := !work + r.Exec.Executor.work)
+      prepared
+  in
+  let measure flag =
+    Exec.Executor.reference_scan := flag;
+    Fun.protect
+      ~finally:(fun () -> Exec.Executor.reference_scan := false)
+      (fun () -> time_alloc ~runs:10 run_all)
+  in
+  let reference_ms, reference_alloc = measure true in
+  let new_ms, new_alloc = measure false in
+  {
+    kernel = "executor scan path (5 queries, robust engine)";
+    reference_ms;
+    reference_alloc;
+    new_ms;
+    new_alloc;
+    work_units = !work;
+  }
+
+(* The merge-join sort side, before vs after: the seed built a boxed
+   (hash, row) pair list per side — an option per key, a cons and a
+   tuple per non-NULL row, sorted with polymorphic compare — where the
+   executor now fills a flat int key array and sorts a row-index
+   permutation with a monomorphic comparator. *)
+let bench_sortside_kernel (h : Experiments.Harness.t) =
+  let table =
+    Storage.Database.find_table h.Experiments.Harness.db "cast_info"
+  in
+  let a =
+    (Storage.Table.column table (Storage.Table.column_index table "movie_id"))
+      .Storage.Column.data
+  in
+  let n = Storage.Table.row_count table in
+  let null = Storage.Value.null_code in
+  let sink = ref 0 in
+  let legacy () =
+    let pairs = ref [] in
+    for i = n - 1 downto 0 do
+      let key = if a.(i) = null then None else Some (Exec.Join_table.mix a.(i)) in
+      match key with Some hash -> pairs := (hash, i) :: !pairs | None -> ()
+    done;
+    let arr = Array.of_list !pairs in
+    Array.sort compare arr;
+    sink := Array.length arr
+  in
+  let packed () =
+    let keys = Array.make n 0 in
+    let m = ref 0 in
+    for i = 0 to n - 1 do
+      let hash = if a.(i) = null then -1 else Exec.Join_table.mix a.(i) in
+      keys.(i) <- hash;
+      if hash >= 0 then incr m
+    done;
+    let idx = Array.make (max 1 !m) 0 in
+    let k = ref 0 in
+    for i = 0 to n - 1 do
+      if keys.(i) >= 0 then begin
+        idx.(!k) <- i;
+        incr k
+      end
+    done;
+    Array.sort
+      (fun x y ->
+        let c = Int.compare keys.(x) keys.(y) in
+        if c <> 0 then c else Int.compare x y)
+      idx;
+    sink := Array.length idx
+  in
+  let reference_ms, reference_alloc = time_alloc ~runs:20 legacy in
+  let new_ms, new_alloc = time_alloc ~runs:20 packed in
+  {
+    kernel = Printf.sprintf "merge-join sort side (cast_info, %d rows)" n;
+    reference_ms;
+    reference_alloc;
+    new_ms;
+    new_alloc;
+    work_units = n;
+  }
+
+let bench_truecard_kernel (h : Experiments.Harness.t) =
+  let table =
+    Storage.Database.find_table h.Experiments.Harness.db "cast_info"
+  in
+  let col name =
+    (Storage.Table.column table (Storage.Table.column_index table name))
+      .Storage.Column.data
+  in
+  let a = col "movie_id" and b = col "role_id" in
+  let n = Storage.Table.row_count table in
+  (* Several passes over the table per run, so the steady state — every
+     probe after the first pass hits an existing group, True_card's
+     message-passing access pattern — dominates the one-time table
+     setup on both sides. *)
+  let reps = max 2 (100_000 / max 1 n) in
+  (* The legacy kernel: one boxed int-array key allocated per probe,
+     float refs as counts — the shape True_card grouped with before
+     Group_table. *)
+  let legacy_groups = ref 0 in
+  let legacy () =
+    let tbl : (int array, float ref) Hashtbl.t = Hashtbl.create 1024 in
+    for _ = 1 to reps do
+      for row = 0 to n - 1 do
+        let key = [| a.(row); b.(row) |] in
+        match Hashtbl.find_opt tbl key with
+        | Some r -> r := !r +. 1.0
+        | None -> Hashtbl.add tbl key (ref 1.0)
+      done
+    done;
+    legacy_groups := Hashtbl.length tbl
+  in
+  let packed_groups = ref 0 in
+  let packed () =
+    let gt = Cardest.Group_table.create ~arity:2 () in
+    let scratch = Cardest.Group_table.scratch gt in
+    for _ = 1 to reps do
+      for row = 0 to n - 1 do
+        scratch.(0) <- a.(row);
+        scratch.(1) <- b.(row);
+        Cardest.Group_table.add_scratch gt 1.0
+      done
+    done;
+    packed_groups := Cardest.Group_table.groups gt
+  in
+  let reference_ms, reference_alloc = time_alloc ~runs:10 legacy in
+  let new_ms, new_alloc = time_alloc ~runs:10 packed in
+  if !legacy_groups <> !packed_groups then
+    Printf.printf "WARNING: group counts differ (legacy %d, packed %d)\n%!"
+      !legacy_groups !packed_groups;
+  {
+    kernel =
+      Printf.sprintf "true-card grouping (cast_info, %d rows x %d passes)" n
+        reps;
+    reference_ms;
+    reference_alloc;
+    new_ms;
+    new_alloc;
+    work_units = n * reps;
+  }
+
+(* ------------------------------------------------------------------ *)
 (* The wall-clock baseline: serial vs parallel, as JSON                 *)
 
 let json_escape s =
@@ -146,12 +347,12 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let write_bench_json ~path ~jobs ~scale ~seed rows =
+let write_bench_json ~path ~jobs ~scale ~seed ~repeats rows =
   let oc = open_out path in
   Printf.fprintf oc
     "{\n  \"jobs\": %d,\n  \"scale\": %g,\n  \"seed\": %d,\n  \
-     \"experiments\": [\n"
-    jobs scale seed;
+     \"repeats\": %d,\n  \"experiments\": [\n"
+    jobs scale seed repeats;
   List.iteri
     (fun i (id, serial_ms, parallel_ms) ->
       Printf.fprintf oc
@@ -166,11 +367,35 @@ let write_bench_json ~path ~jobs ~scale ~seed rows =
   close_out oc;
   Printf.printf "wrote %s\n%!" path
 
+let write_exec_json ~path ~scale ~seed rows =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"scale\": %g,\n  \"seed\": %d,\n  \"kernels\": [\n"
+    scale seed;
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    {\"kernel\": \"%s\", \"reference_ms_per_run\": %.3f, \
+         \"new_ms_per_run\": %.3f, \"speedup\": %.3f, \
+         \"reference_alloc_bytes_per_run\": %.0f, \
+         \"new_alloc_bytes_per_run\": %.0f, \"alloc_reduction\": %.3f, \
+         \"work_units\": %d}%s\n"
+        (json_escape r.kernel) r.reference_ms r.new_ms
+        (r.reference_ms /. Float.max 1e-9 r.new_ms)
+        r.reference_alloc r.new_alloc
+        (r.reference_alloc /. Float.max 1.0 r.new_alloc)
+        r.work_units
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  output_string oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path
+
 let () =
   let scale = ref 1.0 in
   let seed = ref 42 in
   let only = ref None in
   let skip_micro = ref false in
+  let repeat = ref 1 in
   let jobs = ref (Domain.recommended_domain_count ()) in
   let rec parse = function
     | [] -> ()
@@ -186,6 +411,9 @@ let () =
     | "--skip-micro" :: rest ->
         skip_micro := true;
         parse rest
+    | "--repeat" :: v :: rest ->
+        repeat := int_of_string v;
+        parse rest
     | ("-j" | "--jobs") :: v :: rest ->
         jobs := int_of_string v;
         parse rest
@@ -193,57 +421,148 @@ let () =
   in
   parse (List.tl (Array.to_list Sys.argv));
   if !jobs < 1 then failwith "-j must be >= 1";
+  (* Pool workers tune their GC on spawn; the main domain executes the
+     serial halves and its share of parallel maps, so it runs under the
+     same regime. *)
+  Util.Domain_pool.tune_gc ();
   let t0 = Unix.gettimeofday () in
   Printf.printf
     "Join Order Benchmark reproduction - regenerating all paper results\n\
      (scale %.2f, seed %d, %d queries, %d jobs)\n\n%!"
     !scale !seed Workload.Job.query_count !jobs;
-  let h = Experiments.Harness.create ~seed:!seed ~scale:!scale () in
-  Printf.printf "database: %d tables, %d rows\n\n%!"
-    (List.length (Storage.Database.table_names h.Experiments.Harness.db))
-    (Storage.Database.total_rows h.Experiments.Harness.db);
   let selected =
     match !only with
     | None -> experiments
-    | Some id -> List.filter (fun (i, _) -> String.equal i id) experiments
+    | Some ids ->
+        let wanted = String.split_on_char ',' ids |> List.map String.trim in
+        List.filter (fun (i, _) -> List.mem i wanted) experiments
   in
-  (* The parallel twin: same seed and scale, its own caches. Each
-     experiment renders on both at an identical cache state (both have
-     rendered exactly the same prior experiments). *)
-  let h_par =
-    if !jobs > 1 then
-      Some (Experiments.Harness.create ~seed:!seed ~scale:!scale ~jobs:!jobs ())
-    else None
+  (* id -> per-repeat (serial_ms, parallel_ms) samples. Each repeat is a
+     fully cold pair of harnesses, so every sample is a cold-run time —
+     the reported per-side median just strips scheduler and GC-pacing
+     noise, which on a small box can dwarf the quantity being
+     measured. *)
+  let samples : (string, (float * float) list) Hashtbl.t =
+    Hashtbl.create 16
   in
-  let timings = ref [] in
-  List.iter
-    (fun (id, render) ->
-      let t1 = Unix.gettimeofday () in
-      let output = render h in
-      let serial_ms = (Unix.gettimeofday () -. t1) *. 1e3 in
-      match h_par with
-      | None ->
-          Printf.printf "=== %s ===\n%s\n(%.1fs)\n\n%!" id output
-            (serial_ms /. 1e3)
-      | Some hp ->
-          let t2 = Unix.gettimeofday () in
-          let par_output = render hp in
-          let parallel_ms = (Unix.gettimeofday () -. t2) *. 1e3 in
-          if not (String.equal output par_output) then
-            Printf.printf
-              "WARNING: %s output differs between -j 1 and -j %d\n%!" id !jobs;
-          timings := (id, serial_ms, parallel_ms) :: !timings;
+  let mismatches = ref [] in
+  let last_h = ref None in
+  for r = 1 to !repeat do
+    (* Drop the previous repeat's harness before building the next pair:
+       keeping it alive would grow the live heap every repeat, and major
+       GC marks the whole live set — the extra marking lands inside the
+       timed windows. Compacting returns the freed pools to a dense
+       heap, so repeat r starts from the same memory state as repeat
+       1. *)
+    (match !last_h with
+    | Some prev ->
+        Experiments.Harness.shutdown prev;
+        last_h := None;
+        Gc.compact ()
+    | None -> ());
+    let h = Experiments.Harness.create ~seed:!seed ~scale:!scale () in
+    if r = 1 then
+      Printf.printf "database: %d tables, %d rows\n\n%!"
+        (List.length (Storage.Database.table_names h.Experiments.Harness.db))
+        (Storage.Database.total_rows h.Experiments.Harness.db);
+    (* The parallel twin: same seed and scale, its own caches. Each
+       experiment renders on both at an identical cache state (both have
+       rendered exactly the same prior experiments). *)
+    let h_par =
+      if !jobs > 1 then
+        Some
+          (Experiments.Harness.create ~seed:!seed ~scale:!scale ~jobs:!jobs ())
+      else None
+    in
+    (* Spawn the parallel pool's worker domains before any timed region:
+       the first par_map otherwise pays domain spawn + minor-arena
+       first-touch inside experiment 1's parallel window. *)
+    (match h_par with
+    | Some hp when Experiments.Harness.jobs hp > 1 ->
+        ignore (Experiments.Harness.par_map hp Fun.id [| 0; 1; 2; 3 |])
+    | _ -> ());
+    List.iter
+      (fun (id, render) ->
+        (* Collect before each timed window so GC debt accrued by one
+           render is not billed to the next (serial and parallel windows
+           alternate on twin harnesses — without this, a major slice
+           triggered by the previous render lands in the current one's
+           wall clock and the speedup column turns into noise). *)
+        Gc.full_major ();
+        let t1 = Unix.gettimeofday () in
+        let output = render h in
+        let serial_ms = (Unix.gettimeofday () -. t1) *. 1e3 in
+        match h_par with
+        | None ->
+            if r = 1 then
+              Printf.printf "=== %s ===\n%s\n(%.1fs)\n\n%!" id output
+                (serial_ms /. 1e3)
+            else Printf.printf "repeat %d: %s %.1fs\n%!" r id (serial_ms /. 1e3)
+        | Some hp ->
+            Gc.full_major ();
+            let t2 = Unix.gettimeofday () in
+            let par_output = render hp in
+            let parallel_ms = (Unix.gettimeofday () -. t2) *. 1e3 in
+            if not (String.equal output par_output) then begin
+              if not (List.mem id !mismatches) then
+                mismatches := id :: !mismatches;
+              Printf.printf
+                "ERROR: %s output differs between -j 1 and -j %d\n%!" id !jobs
+            end;
+            Hashtbl.replace samples id
+              ((serial_ms, parallel_ms)
+              ::
+              (match Hashtbl.find_opt samples id with
+              | Some l -> l
+              | None -> []));
+            if r = 1 then
+              Printf.printf
+                "=== %s ===\n%s\n(serial %.1fs, %d jobs %.1fs, speedup \
+                 %.2fx)\n\n%!"
+                id output (serial_ms /. 1e3) !jobs (parallel_ms /. 1e3)
+                (serial_ms /. Float.max 1e-9 parallel_ms)
+            else
+              Printf.printf "repeat %d: %s serial %.1fs, %d jobs %.1fs\n%!" r
+                id (serial_ms /. 1e3) !jobs (parallel_ms /. 1e3))
+      selected;
+    (match h_par with
+    | Some hp -> Experiments.Harness.shutdown hp
+    | None -> ());
+    last_h := Some h
+  done;
+  let h = Option.get !last_h in
+  Printf.printf "\n--- %s\n\n%!" (Experiments.Harness.stats_summary h);
+  if !jobs > 1 then begin
+    let median xs =
+      let a = Array.of_list xs in
+      Array.sort Float.compare a;
+      a.(Array.length a / 2)
+    in
+    let rows =
+      List.map
+        (fun (id, _) ->
+          let l = Hashtbl.find samples id in
+          (id, median (List.map fst l), median (List.map snd l)))
+        selected
+    in
+    if !repeat > 1 then
+      List.iter
+        (fun (id, s, p) ->
           Printf.printf
-            "=== %s ===\n%s\n(serial %.1fs, %d jobs %.1fs, speedup %.2fx)\n\n%!"
-            id output (serial_ms /. 1e3) !jobs (parallel_ms /. 1e3)
-            (serial_ms /. Float.max 1e-9 parallel_ms))
-    selected;
-  Printf.printf "--- %s\n\n%!" (Experiments.Harness.stats_summary h);
-  (match h_par with
-  | Some hp ->
-      Experiments.Harness.shutdown hp;
-      write_bench_json ~path:"BENCH_parallel.json" ~jobs:!jobs ~scale:!scale
-        ~seed:!seed (List.rev !timings)
-  | None -> ());
+            "median of %d: %s serial %.1fs, %d jobs %.1fs, speedup %.2fx\n%!"
+            !repeat id (s /. 1e3) !jobs (p /. 1e3) (s /. Float.max 1e-9 p))
+        rows;
+    write_bench_json ~path:"BENCH_parallel.json" ~jobs:!jobs ~scale:!scale
+      ~seed:!seed ~repeats:!repeat rows
+  end;
+  write_exec_json ~path:"BENCH_exec.json" ~scale:!scale ~seed:!seed
+    [ bench_exec_kernel h; bench_sortside_kernel h; bench_truecard_kernel h ];
   if not !skip_micro then run_micro h;
-  Printf.printf "\ntotal: %.1fs\n" (Unix.gettimeofday () -. t0)
+  Printf.printf "\ntotal: %.1fs\n" (Unix.gettimeofday () -. t0);
+  (* The determinism guard: any -j 1 vs -j N divergence fails the run
+     (and, in CI, the build). *)
+  if !mismatches <> [] then begin
+    Printf.printf "FAILED: non-deterministic output for %s\n"
+      (String.concat ", " (List.rev !mismatches));
+    exit 1
+  end

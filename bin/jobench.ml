@@ -374,7 +374,18 @@ let experiment_cmd =
     in
     Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
   in
-  let run scale seed verify stats jobs id =
+  let gc_stats_flag =
+    let doc =
+      "After rendering, print this domain's GC counters (allocated words, \
+       minor/major collections) — the figure of merit for the \
+       allocation-free executor and true-cardinality kernels."
+    in
+    Arg.(value & flag & info [ "gc-stats" ] ~doc)
+  in
+  let run scale seed verify stats gc_stats jobs id =
+    (* Workers tune their GC on spawn; the caller participates in every
+       parallel map, so it needs the same treatment. *)
+    Util.Domain_pool.tune_gc ();
     Experiments.Harness.debug_verify := verify;
     let jobs =
       if jobs < 0 then invalid_arg "jobench experiment: -j must be >= 0"
@@ -395,13 +406,22 @@ let experiment_cmd =
               (e.Experiments.Catalog.render h))
           selected;
         if stats then
-          Printf.printf "--- %s\n%!" (Experiments.Harness.stats_summary h))
+          Printf.printf "--- %s\n%!" (Experiments.Harness.stats_summary h);
+        if gc_stats then begin
+          let g = Gc.quick_stat () in
+          Printf.printf
+            "--- gc: %.1f MB minor + %.1f MB major allocated, %d minor \
+             collections, %d major collections, %d compactions\n%!"
+            (g.Gc.minor_words *. 8.0 /. 1048576.0)
+            ((g.Gc.major_words -. g.Gc.promoted_words) *. 8.0 /. 1048576.0)
+            g.Gc.minor_collections g.Gc.major_collections g.Gc.compactions
+        end)
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate a table or figure from the paper")
     Term.(
-      const run $ scale_arg $ seed_arg $ verify_flag $ stats_flag $ jobs_arg
-      $ id_arg)
+      const run $ scale_arg $ seed_arg $ verify_flag $ stats_flag
+      $ gc_stats_flag $ jobs_arg $ id_arg)
 
 let () =
   let doc = "Join Order Benchmark reproduction toolkit" in

@@ -1,5 +1,6 @@
 module Bitset = Util.Bitset
 module QG = Query.Query_graph
+module GT = Group_table
 
 (* Subset-keyed memo with Bitset's own int hash (the polymorphic hash
    would re-dispatch on every probe of the hottest table here). *)
@@ -32,11 +33,13 @@ module Classes = struct
 
   let ensure uf x = if not (Hashtbl.mem uf.parents x) then Hashtbl.add uf.parents x x
 
-  (* Per-relation (class_id, col) lists for one subset, derived from the
-     join edges {e inside} that subset only. Using in-subset edges (not
-     the whole query's transitive closure) matches the semantics of the
-     executor and the enumerator: a subexpression applies exactly the
-     join predicates whose both sides it contains. *)
+  (* Per-relation sorted (class id, column) pairs for one subset — as
+     two parallel arrays, since the counting kernels scan them in tight
+     loops — derived from the join edges {e inside} that subset only.
+     Using in-subset edges (not the whole query's transitive closure)
+     matches the semantics of the executor and the enumerator: a
+     subexpression applies exactly the join predicates whose both sides
+     it contains. *)
   let build_subset graph s =
     let uf = { parents = Hashtbl.create 16 } in
     let in_subset (e : QG.edge) =
@@ -63,77 +66,98 @@ module Classes = struct
           id
     in
     let n = QG.n_relations graph in
-    let rel_classes = Array.make n [] in
+    let pairs = Array.make n [] in
     List.iter
       (fun (e : QG.edge) ->
         List.iter
           (fun (r, col) ->
             let c = class_id (r, col) in
-            if not (List.mem_assoc c rel_classes.(r)) then
-              rel_classes.(r) <- (c, col) :: rel_classes.(r))
+            if not (List.mem_assoc c pairs.(r)) then
+              pairs.(r) <- (c, col) :: pairs.(r))
           [ (e.QG.left, e.QG.left_col); (e.QG.right, e.QG.right_col) ])
       edges;
-    Array.iteri (fun r pairs -> rel_classes.(r) <- List.sort compare pairs) rel_classes;
-    rel_classes
+    Array.map
+      (fun ps ->
+        let ps = List.sort compare ps in
+        (Array.of_list (List.map fst ps), Array.of_list (List.map snd ps)))
+      pairs
 end
+
+let array_mem x a = Array.exists (fun y -> y = x) a
 
 (* ------------------------------------------------------------------ *)
 (* Compressed relations: multiplicity per join-class value tuple       *)
 
 type compressed = {
-  classes : int list; (* sorted class ids; key positions correspond *)
-  groups : (int array, float) Hashtbl.t;
+  classes : int array; (* sorted class ids; key positions correspond *)
+  groups : GT.t;
 }
 
 let positions ~from ~wanted =
-  let arr = Array.of_list from in
-  Array.of_list
-    (List.map
-       (fun c ->
-         let rec go i =
-           if i >= Array.length arr then
-             invalid_arg "True_card.positions: class not present"
-           else if arr.(i) = c then i
-           else go (i + 1)
-         in
-         go 0)
-       wanted)
+  Array.map
+    (fun c ->
+      let rec go i =
+        if i >= Array.length from then
+          invalid_arg "True_card.positions: class not present"
+        else if from.(i) = c then i
+        else go (i + 1)
+      in
+      go 0)
+    wanted
 
-let add_to tbl key v =
-  match Hashtbl.find_opt tbl key with
-  | Some prior -> Hashtbl.replace tbl key (prior +. v)
-  | None -> Hashtbl.add tbl key v
+(* Copy the key fields of group [id] selected by [pos] into [dst]. *)
+let extract src id pos dst =
+  for f = 0 to Array.length pos - 1 do
+    dst.(f) <- GT.component src id pos.(f)
+  done
 
 let project c ~onto =
   if onto = c.classes then c
   else begin
     let pos = positions ~from:c.classes ~wanted:onto in
-    let groups = Hashtbl.create (Hashtbl.length c.groups) in
-    Hashtbl.iter
-      (fun key count -> add_to groups (Array.map (fun p -> key.(p)) pos) count)
-      c.groups;
+    let groups = GT.create ~arity:(Array.length onto) ~expected:(GT.groups c.groups) () in
+    let dst = GT.scratch groups in
+    GT.iter c.groups (fun id count ->
+        extract c.groups id pos dst;
+        GT.add_scratch groups count);
     { classes = onto; groups }
   end
 
-let total c = Hashtbl.fold (fun _ n acc -> acc +. n) c.groups 0.0
+let total c = GT.total c.groups
 
 (* Base groups are keyed by raw column ids (every join column of the
    relation); per-subset localization projects onto the columns the
-   subset's own edges mention and relabels them to local class ids. *)
+   subset's own edges mention and relabels them to local class ids.
+   The row loop is the single hottest spot of Table 1: predicates run
+   through a selection vector (one compaction pass per atom instead of
+   a closure call per row), and each surviving row aggregates through
+   the table's scratch key without allocating. *)
 let base_compressed graph r =
   let relation = QG.relation graph r in
   let table = relation.QG.table in
-  let pred = Query.Predicate.compile table relation.QG.preds in
-  let classes = QG.join_columns graph r in
-  let cols = Array.of_list classes in
+  let classes = Array.of_list (QG.join_columns graph r) in
   let col_data =
-    Array.map (fun c -> (Storage.Table.column table c).Storage.Column.data) cols
+    Array.map (fun c -> (Storage.Table.column table c).Storage.Column.data) classes
   in
-  let groups = Hashtbl.create 1024 in
+  let nfields = Array.length classes in
+  let groups = GT.create ~arity:nfields ~expected:1024 () in
+  let key = GT.scratch groups in
+  let fill = Query.Predicate.compile_selector table relation.QG.preds in
   let nrows = Storage.Table.row_count table in
-  for row = 0 to nrows - 1 do
-    if pred row then
-      add_to groups (Array.map (fun data -> data.(row)) col_data) 1.0
+  let chunk = 4096 in
+  let sel = Array.make chunk 0 in
+  let row = ref 0 in
+  while !row < nrows do
+    let stop = min nrows (!row + chunk) in
+    let m = fill sel !row stop in
+    for k = 0 to m - 1 do
+      let r = Array.unsafe_get sel k in
+      for f = 0 to nfields - 1 do
+        Array.unsafe_set key f (Array.unsafe_get (Array.unsafe_get col_data f) r)
+      done;
+      GT.add_scratch groups 1.0
+    done;
+    row := stop
   done;
   { classes; groups }
 
@@ -151,8 +175,24 @@ module Join_tree = struct
   }
 
   let shared_classes rel_classes r1 r2 =
-    let c2 = List.map fst rel_classes.(r2) in
-    List.filter (fun (c, _) -> List.mem c c2) rel_classes.(r1) |> List.map fst
+    let c1, _ = rel_classes.(r1) and c2, _ = rel_classes.(r2) in
+    let count =
+      Array.fold_left (fun acc c -> if array_mem c c2 then acc + 1 else acc) 0 c1
+    in
+    let out = Array.make count 0 in
+    let k = ref 0 in
+    Array.iter
+      (fun c ->
+        if array_mem c c2 then begin
+          out.(!k) <- c;
+          incr k
+        end)
+      c1;
+    out
+
+  let n_shared rel_classes r1 r2 =
+    let c1, _ = rel_classes.(r1) and c2, _ = rel_classes.(r2) in
+    Array.fold_left (fun acc c -> if array_mem c c2 then acc + 1 else acc) 0 c1
 
   (* Maximum spanning tree (Prim) over the subset's relations, weights =
      number of shared classes. Returns the root node, or None when the
@@ -181,7 +221,7 @@ module Join_tree = struct
             (fun o ->
               List.iter
                 (fun i ->
-                  let w = List.length (shared_classes rel_classes i o) in
+                  let w = n_shared rel_classes i o in
                   if w > 0 then
                     match !best with
                     | Some (bw, _, _) when bw >= w -> ()
@@ -204,7 +244,9 @@ module Join_tree = struct
     let ok = ref true in
     let all_classes = Hashtbl.create 16 in
     let rec collect n =
-      List.iter (fun (c, _) -> Hashtbl.replace all_classes c ()) rel_classes.(n.rel);
+      Array.iter
+        (fun c -> Hashtbl.replace all_classes c ())
+        (fst rel_classes.(n.rel));
       List.iter collect n.children
     in
     collect root;
@@ -214,7 +256,7 @@ module Join_tree = struct
            tree; a component starts at a mentioning node whose parent
            does not mention it. *)
         let components = ref 0 in
-        let mentions r = List.exists (fun (c, _) -> c = cls) rel_classes.(r) in
+        let mentions r = array_mem cls (fst rel_classes.(r)) in
         let rec walk parent_mentions n =
           let m = mentions n.rel in
           if m && not parent_mentions then incr components;
@@ -230,58 +272,68 @@ end
    sizes of the base groups, never materializing any joint distribution
    wider than a single relation's own key. *)
 let count_acyclic rel_classes base_groups root =
+  (* Multiplicity of group [id] of [g] after multiplying in every child
+     subtree's message; 0.0 as soon as any child has no partners. *)
+  let combined_weight g child_info id count =
+    let w = ref count in
+    List.iter
+      (fun (pos, msg) ->
+        if !w > 0.0 then begin
+          extract g id pos (GT.scratch msg);
+          w := !w *. GT.find_scratch msg
+        end)
+      child_info;
+    !w
+  in
   (* Message from the subtree rooted at [n], keyed by the classes shared
-     with [parent_rel] ([None] for the root: scalar total). *)
-  let rec message (n : Join_tree.node) ~parent_rel =
-    let g : compressed = base_groups.(n.Join_tree.rel) in
+     with its parent [p]. *)
+  let rec message (n : Join_tree.node) ~parent:p =
+    let g = base_groups.(n.Join_tree.rel).groups in
+    let classes = base_groups.(n.Join_tree.rel).classes in
     let child_info =
       List.map
         (fun (c : Join_tree.node) ->
           let shared =
             Join_tree.shared_classes rel_classes n.Join_tree.rel c.Join_tree.rel
           in
-          let msg = message c ~parent_rel:(Some n.Join_tree.rel) in
-          (positions ~from:g.classes ~wanted:shared, msg))
+          let msg = message c ~parent:n.Join_tree.rel in
+          (positions ~from:classes ~wanted:shared, msg))
         n.Join_tree.children
     in
     let out_pos =
-      match parent_rel with
-      | None -> [||]
-      | Some p ->
-          positions ~from:g.classes
-            ~wanted:(Join_tree.shared_classes rel_classes n.Join_tree.rel p)
+      positions ~from:classes
+        ~wanted:(Join_tree.shared_classes rel_classes n.Join_tree.rel p)
     in
-    let out = Hashtbl.create 256 in
-    let scalar = ref 0.0 in
-    Hashtbl.iter
-      (fun key count ->
-        let weight = ref count in
-        List.iter
-          (fun (pos, (msg : (int array, float) Hashtbl.t)) ->
-            if !weight > 0.0 then
-              match Hashtbl.find_opt msg (Array.map (fun p -> key.(p)) pos) with
-              | Some w -> weight := !weight *. w
-              | None -> weight := 0.0)
-          child_info;
-        if !weight > 0.0 then
-          match parent_rel with
-          | None -> scalar := !scalar +. !weight
-          | Some _ -> add_to out (Array.map (fun p -> key.(p)) out_pos) !weight)
-      g.groups;
-    match parent_rel with
-    | None ->
-        let result = Hashtbl.create 1 in
-        Hashtbl.add result [||] !scalar;
-        result
-    | Some _ -> out
+    let out = GT.create ~arity:(Array.length out_pos) ~expected:256 () in
+    GT.iter g (fun id count ->
+        let w = combined_weight g child_info id count in
+        if w > 0.0 then begin
+          extract g id out_pos (GT.scratch out);
+          GT.add_scratch out w
+        end);
+    out
   in
-  let result = message root ~parent_rel:None in
-  match Hashtbl.find_opt result [||] with Some v -> v | None -> 0.0
+  let g = base_groups.(root.Join_tree.rel).groups in
+  let classes = base_groups.(root.Join_tree.rel).classes in
+  let child_info =
+    List.map
+      (fun (c : Join_tree.node) ->
+        let shared =
+          Join_tree.shared_classes rel_classes root.Join_tree.rel c.Join_tree.rel
+        in
+        let msg = message c ~parent:root.Join_tree.rel in
+        (positions ~from:classes ~wanted:shared, msg))
+      root.Join_tree.children
+  in
+  let scalar = ref 0.0 in
+  GT.iter g (fun id count ->
+      scalar := !scalar +. combined_weight g child_info id count);
+  !scalar
 
 (* Fallback for cyclic subsets (e.g. TPC-H Q5): left-deep pairwise joins
    of the compressed relations, projecting after every step onto the
    classes still referenced by the remaining relations. *)
-let count_cyclic graph rel_classes base_groups members =
+let count_cyclic rel_classes base_groups members =
   match members with
   | [] -> invalid_arg "True_card.count_cyclic: empty"
   | first :: rest ->
@@ -293,88 +345,98 @@ let count_cyclic graph rel_classes base_groups members =
           List.find
             (fun r ->
               List.exists
-                (fun i ->
-                  Join_tree.shared_classes rel_classes i r <> [])
+                (fun i -> Join_tree.n_shared rel_classes i r > 0)
                 !order)
             !remaining
         in
         order := !order @ [ next ];
         remaining := List.filter (fun r -> r <> next) !remaining
       done;
-      ignore graph;
       let order = !order in
       let classes_of rs =
-        List.concat_map (fun r -> List.map fst rel_classes.(r)) rs
-        |> List.sort_uniq compare
+        List.concat_map (fun r -> Array.to_list (fst rel_classes.(r))) rs
+        |> List.sort_uniq compare |> Array.of_list
+      in
+      let filter_mem a keep =
+        Array.of_list (List.filter (fun c -> array_mem c keep) (Array.to_list a))
       in
       let rec go acc = function
         | [] -> total acc
         | r :: rest ->
             let g = base_groups.(r) in
-            let shared =
-              List.filter (fun c -> List.mem c acc.classes) g.classes
-            in
+            let shared = filter_mem g.classes acc.classes in
             (* Classes still needed: mentioned by relations after r. *)
             let future = classes_of rest in
-            let out_classes =
-              List.filter
-                (fun c -> List.mem c future)
-                (List.sort_uniq compare (acc.classes @ g.classes))
+            let all =
+              Array.of_list
+                (List.sort_uniq compare
+                   (Array.to_list acc.classes @ Array.to_list g.classes))
             in
-            let keep side =
-              List.filter
-                (fun c -> List.mem c shared || List.mem c out_classes)
-                side.classes
+            let out_classes = filter_mem all future in
+            let keep (side : compressed) =
+              Array.of_list
+                (List.filter
+                   (fun c -> array_mem c shared || array_mem c out_classes)
+                   (Array.to_list side.classes))
             in
             let a = project acc ~onto:(keep acc) in
             let b = project g ~onto:(keep g) in
             let spa = positions ~from:a.classes ~wanted:shared in
             let spb = positions ~from:b.classes ~wanted:shared in
-            let index = Hashtbl.create (Hashtbl.length b.groups) in
-            Hashtbl.iter
-              (fun key count ->
-                let sk = Array.map (fun p -> key.(p)) spb in
+            (* Multimap from shared-key tuple to b's group ids. *)
+            let index = Hashtbl.create (max 16 (GT.groups b.groups)) in
+            GT.iter b.groups (fun id _ ->
+                let sk = Array.make (Array.length spb) 0 in
+                extract b.groups id spb sk;
                 let prior =
                   match Hashtbl.find_opt index sk with Some l -> l | None -> []
                 in
-                Hashtbl.replace index sk ((key, count) :: prior))
-              b.groups;
+                Hashtbl.replace index sk (id :: prior));
+            (* Where each output class comes from: a's key or b's key. *)
             let out_source =
-              Array.of_list
-                (List.map
-                   (fun c ->
-                     let rec idx i = function
-                       | [] -> None
-                       | x :: r -> if x = c then Some i else idx (i + 1) r
-                     in
-                     match idx 0 a.classes with
-                     | Some i -> `A i
-                     | None -> `B (Option.get (idx 0 b.classes)))
-                   out_classes)
+              Array.map
+                (fun c ->
+                  let rec idx i arr =
+                    if i >= Array.length arr then None
+                    else if arr.(i) = c then Some i
+                    else idx (i + 1) arr
+                  in
+                  match idx 0 a.classes with
+                  | Some i -> `A i
+                  | None -> `B (Option.get (idx 0 b.classes)))
+                out_classes
             in
-            let groups = Hashtbl.create (Hashtbl.length a.groups) in
-            Hashtbl.iter
-              (fun a_key a_count ->
-                let sk = Array.map (fun p -> a_key.(p)) spa in
+            let groups =
+              GT.create ~arity:(Array.length out_classes)
+                ~expected:(GT.groups a.groups) ()
+            in
+            let dst = GT.scratch groups in
+            let sk = Array.make (Array.length spa) 0 in
+            GT.iter a.groups (fun a_id a_count ->
+                extract a.groups a_id spa sk;
                 match Hashtbl.find_opt index sk with
                 | None -> ()
                 | Some partners ->
                     List.iter
-                      (fun (b_key, b_count) ->
-                        let out_key =
-                          Array.map
-                            (function `A i -> a_key.(i) | `B i -> b_key.(i))
-                            out_source
-                        in
-                        add_to groups out_key (a_count *. b_count))
-                      partners)
-              a.groups;
+                      (fun b_id ->
+                        Array.iteri
+                          (fun f src ->
+                            dst.(f) <-
+                              (match src with
+                              | `A i -> GT.component a.groups a_id i
+                              | `B i -> GT.component b.groups b_id i))
+                          out_source;
+                        GT.add_scratch groups (a_count *. GT.count b.groups b_id))
+                      partners);
             go { classes = out_classes; groups } rest
       in
       let g0 = base_groups.(List.hd order) in
       go g0 (List.tl order)
 
 (* ------------------------------------------------------------------ *)
+
+let empty_compressed =
+  { classes = [||]; groups = GT.create ~arity:0 ~expected:1 () }
 
 let compute graph =
   let n = QG.n_relations graph in
@@ -392,18 +454,17 @@ let compute graph =
             let rel_classes = Classes.build_subset graph s in
             (* Localize base groups: project onto the columns this
                subset's edges mention and relabel them to class ids. *)
-            let local_groups = Array.make n { classes = []; groups = Hashtbl.create 0 } in
+            let local_groups = Array.make n empty_compressed in
             List.iter
               (fun r ->
-                let wanted_cols = List.map snd rel_classes.(r) in
+                let class_ids, wanted_cols = rel_classes.(r) in
                 let projected = project base_groups.(r) ~onto:wanted_cols in
-                local_groups.(r) <-
-                  { projected with classes = List.map fst rel_classes.(r) })
+                local_groups.(r) <- { projected with classes = class_ids })
               members;
             let root = Join_tree.build rel_classes members in
             if Join_tree.running_intersection rel_classes root then
               count_acyclic rel_classes local_groups root
-            else count_cyclic graph rel_classes local_groups members
+            else count_cyclic rel_classes local_groups members
       in
       Subset_table.add cards s card)
     subsets;

@@ -36,26 +36,30 @@ let probe_target observed est plan =
    database and cached: a real system would keep such a sample resident,
    exactly like the table samples of Section 3.1, and pay only the
    sampled fraction of the work per observation. *)
-let sample_cache : (Storage.Database.t * Cardest.Join_sample.t) option ref = ref None
+let sample_cache :
+    (Storage.Database.t * Cardest.Join_sample.t Util.Once.t) option ref =
+  ref None
 
-(* Guards the cache: adaptive runs fan out per query across domains and
-   must not build (or tear) the shared sample concurrently. The sample
+(* Guards the cache slot only: adaptive runs fan out per query across
+   domains, and the expensive sample build runs outside this lock,
+   serialized by the cell, so domains that arrive while it is underway
+   block on the cell rather than on every later cache probe. The sample
    itself is deterministic per database, so whichever domain builds it
    first, every run sees the same one. *)
 let sample_lock = Mutex.create ()
 
 let sample_for db =
   Mutex.lock sample_lock;
-  let sample =
+  let cell =
     match !sample_cache with
-    | Some (cached_db, sample) when cached_db == db -> sample
+    | Some (cached_db, cell) when cached_db == db -> cell
     | _ ->
-        let sample = Cardest.Join_sample.create db in
-        sample_cache := Some (db, sample);
-        sample
+        let cell = Util.Once.make (fun () -> Cardest.Join_sample.create db) in
+        sample_cache := Some (db, cell);
+        cell
   in
   Mutex.unlock sample_lock;
-  sample
+  Util.Once.force cell
 
 let run ~db ~graph ~config ~model ~estimator ?(max_probes = 3)
     ?(projections = []) () =

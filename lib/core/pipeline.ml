@@ -38,10 +38,10 @@ type t = {
   db : Storage.Database.t;
   analyze : Dbstats.Analyze.t;
   coarse : Dbstats.Analyze.t;
-  lock : Mutex.t;
-  truths : (string * string, Cardest.True_card.t Util.Once.t) Hashtbl.t;
-  estimators : (string * string * string, Cardest.Estimator.t Util.Once.t) Hashtbl.t;
-  plans : (plan_key, (Plan.t * float) Util.Once.t) Hashtbl.t;
+  truths : (string * string, Cardest.True_card.t Util.Once.t) Util.Shard_map.t;
+  estimators :
+    (string * string * string, Cardest.Estimator.t Util.Once.t) Util.Shard_map.t;
+  plans : (plan_key, (Plan.t * float) Util.Once.t) Util.Shard_map.t;
   counters : counters;
 }
 
@@ -62,10 +62,9 @@ let create db =
     db;
     analyze = Dbstats.Analyze.create db;
     coarse = Cardest.Systems.coarse_analyze db;
-    lock = Mutex.create ();
-    truths = Hashtbl.create 128;
-    estimators = Hashtbl.create 512;
-    plans = Hashtbl.create 1024;
+    truths = Util.Shard_map.create ();
+    estimators = Util.Shard_map.create ();
+    plans = Util.Shard_map.create ~shards:32 ();
     counters =
       {
         c_plan_hits = Atomic.make 0;
@@ -105,21 +104,13 @@ let stats_summary t =
     s.plan_hits s.plan_misses s.plans_enumerated s.estimators_built
     s.estimators_reused s.estimator_probes
 
-(* Find-or-create a memo cell under the pipeline lock; the (possibly
-   expensive) computation itself runs outside it, guarded only by the
-   cell's own mutex, so concurrent requests for distinct keys never
-   serialize on each other. *)
-let find_or_add_cell t table key make =
-  Mutex.lock t.lock;
-  match Hashtbl.find_opt table key with
-  | Some c ->
-      Mutex.unlock t.lock;
-      (c, false)
-  | None ->
-      let c = Util.Once.make make in
-      Hashtbl.add table key c;
-      Mutex.unlock t.lock;
-      (c, true)
+(* Find-or-create a memo cell; only the cheap cell allocation runs
+   under the shard lock. The (possibly expensive) computation itself is
+   guarded by the cell's own mutex, so concurrent requests for distinct
+   keys never serialize on each other — and with the tables sharded,
+   neither do concurrent lookups of unrelated keys. *)
+let find_or_add_cell table key make =
+  Util.Shard_map.find_or_add table key (fun () -> Util.Once.make make)
 
 (* ------------------------------------------------------------------ *)
 (* Exact cardinalities                                                 *)
@@ -127,16 +118,13 @@ let find_or_add_cell t table key make =
 let truth_cell t q =
   let key = (q.name, q.sql) in
   fst
-    (find_or_add_cell t t.truths key (fun () ->
+    (find_or_add_cell t.truths key (fun () ->
          Cardest.True_card.compute q.graph))
 
 let truth t q = Util.Once.force (truth_cell t q)
 
 let truth_if_computed t q =
-  Mutex.lock t.lock;
-  let cell = Hashtbl.find_opt t.truths (q.name, q.sql) in
-  Mutex.unlock t.lock;
-  match cell with
+  match Util.Shard_map.find_opt t.truths (q.name, q.sql) with
   | Some c when Util.Once.is_val c -> Some (Util.Once.force c)
   | _ -> None
 
@@ -146,7 +134,7 @@ let truth_if_computed t q =
 let estimator t q system =
   let key = (q.name, q.sql, system) in
   let cell, fresh =
-    find_or_add_cell t t.estimators key (fun () ->
+    find_or_add_cell t.estimators key (fun () ->
         let build = Registry.find_exn Registry.estimators system in
         let est =
           build
@@ -252,7 +240,7 @@ let plan_with t q ~est ~model ?(enumerator = Registry.Exhaustive_dp)
     }
   in
   let cell, fresh =
-    find_or_add_cell t t.plans key (fun () ->
+    find_or_add_cell t.plans key (fun () ->
         let search =
           Planner.Search.create ~allow_nl ~allow_hash ~shape ~model
             ~graph:q.graph ~db:t.db ~card:est.Cardest.Estimator.subset ()

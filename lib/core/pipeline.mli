@@ -19,11 +19,12 @@
     {!stats} and surfaced by [jobench experiment --stats] and
     [bench/main.exe].
 
-    The pipeline is domain-safe: the three memo tables are guarded by a
-    mutex and hold {!Util.Once} cells, so concurrent requests for the
-    same key compute it once (the requester that created the cell is
-    counted as the miss) while requests for distinct keys proceed in
-    parallel; counters are atomic. Shared estimator instances serialize
+    The pipeline is domain-safe: the three memo tables are sharded
+    ({!Util.Shard_map}) and hold {!Util.Once} cells, so concurrent
+    requests for the same key compute it once (the requester that
+    created the cell is counted as the miss) while requests for
+    distinct keys proceed in parallel without contending on a global
+    lock; counters are atomic. Shared estimator instances serialize
     their internal memo tables on a per-instance mutex.
 
     Component names are resolved through {!Registry} — unknown names
@@ -68,11 +69,10 @@ type t = {
   db : Storage.Database.t;
   analyze : Dbstats.Analyze.t;  (** Default-settings ANALYZE. *)
   coarse : Dbstats.Analyze.t;  (** DBMS B's degraded statistics. *)
-  lock : Mutex.t;  (** Guards the three memo tables below. *)
-  truths : (string * string, Cardest.True_card.t Util.Once.t) Hashtbl.t;
+  truths : (string * string, Cardest.True_card.t Util.Once.t) Util.Shard_map.t;
   estimators :
-    (string * string * string, Cardest.Estimator.t Util.Once.t) Hashtbl.t;
-  plans : (plan_key, (Plan.t * float) Util.Once.t) Hashtbl.t;
+    (string * string * string, Cardest.Estimator.t Util.Once.t) Util.Shard_map.t;
+  plans : (plan_key, (Plan.t * float) Util.Once.t) Util.Shard_map.t;
   counters : counters;
 }
 

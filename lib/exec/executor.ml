@@ -11,6 +11,12 @@ type result = {
 
 exception Timeout
 
+(* Test-only escape hatch: evaluate scan predicates with the original
+   row-at-a-time closures instead of selection vectors. The cross-check
+   test runs the full workload through both paths and asserts identical
+   results; nothing in the library or the binaries sets this. *)
+let reference_scan = ref false
+
 (* Row-major tuple store for intermediate results. *)
 type batch = {
   rels : int array;
@@ -20,30 +26,17 @@ type batch = {
   mutable nrows : int;
 }
 
-let batch_create rels =
-  let width = Array.length rels in
-  (* Direct rel -> slot lookup built once per batch; [slot_of] runs per
-     join-edge setup and per finish column, so no linear scans there. *)
-  let max_rel = Array.fold_left max 0 rels in
-  let slots = Array.make (max_rel + 1) (-1) in
-  Array.iteri (fun i rel -> slots.(rel) <- i) rels;
-  { rels; slots; width; data = Array.make (max 16 (width * 16)) 0; nrows = 0 }
-
-let batch_reserve b extra_rows =
-  let needed = (b.nrows + extra_rows) * b.width in
-  if needed > Array.length b.data then begin
-    let capacity = max needed (2 * Array.length b.data) in
-    let bigger = Array.make capacity 0 in
-    Array.blit b.data 0 bigger 0 (b.nrows * b.width);
-    b.data <- bigger
-  end
-
 let slot_of b rel =
   if rel >= Array.length b.slots || b.slots.(rel) < 0 then
     invalid_arg "Executor: relation not in batch"
   else b.slots.(rel)
 
 let null = Storage.Value.null_code
+
+(* Composite hashes are non-negative ({!Join_table.mix} masks the sign
+   bit), so a negative sentinel marks "some key column is NULL" without
+   allocating an option per row. *)
+let null_key = -1
 
 let run ~db ~graph ~config ~size_est ?(projections = []) plan =
   let work = ref 0 in
@@ -59,37 +52,94 @@ let run ~db ~graph ~config ~size_est ?(projections = []) plan =
   let column_data rel col =
     (Storage.Table.column (QG.relation graph rel).QG.table col).Storage.Column.data
   in
-  (* (slot, column data) accessors for each join edge, per side. *)
-  let key_columns batch side edges =
-    Array.of_list
-      (List.map
-         (fun (e : QG.edge) ->
-           match side with
-           | `Outer -> (slot_of batch e.QG.left, column_data e.QG.left e.QG.left_col)
-           | `Inner -> (slot_of batch e.QG.right, column_data e.QG.right e.QG.right_col))
-         edges)
+
+  (* Scratch pool: int arrays retired by consumed intermediate batches
+     (and key/selection buffers), reused for the next intermediate. A
+     bushy plan stops reallocating its working set once the first few
+     joins have sized it. Arrays are never zeroed on reuse — every
+     consumer writes before it reads. *)
+  let pool = ref [] in
+  let pool_acquire min_len =
+    let rec go acc = function
+      | [] -> Array.make (max 1024 min_len) 0
+      | a :: rest when Array.length a >= min_len ->
+          pool := List.rev_append acc rest;
+          a
+      | a :: rest -> go (a :: acc) rest
+    in
+    go [] !pool
   in
-  (* Composite hash of a tuple's join-key columns; None if any is NULL. *)
-  let tuple_key batch cols i =
+  let pool_release a = if Array.length a >= 1024 then pool := a :: !pool in
+  let retire b = pool_release b.data in
+
+  let batch_create rels =
+    let width = Array.length rels in
+    (* Direct rel -> slot lookup built once per batch; [slot_of] runs per
+       join-edge setup and per finish column, so no linear scans there. *)
+    let max_rel = Array.fold_left max 0 rels in
+    let slots = Array.make (max_rel + 1) (-1) in
+    Array.iteri (fun i rel -> slots.(rel) <- i) rels;
+    {
+      rels;
+      slots;
+      width;
+      data = pool_acquire (max 16 (width * 16));
+      nrows = 0;
+    }
+  in
+  let batch_reserve b extra_rows =
+    let needed = (b.nrows + extra_rows) * b.width in
+    if needed > Array.length b.data then begin
+      let bigger = pool_acquire (max needed (2 * Array.length b.data)) in
+      Array.blit b.data 0 bigger 0 (b.nrows * b.width);
+      pool_release b.data;
+      b.data <- bigger
+    end
+  in
+
+  (* Join-key accessors per edge, preextracted into flat parallel arrays
+     (slot and column data), so the per-row key loop touches no lists,
+     no tuples, and no closures. *)
+  let key_arrays batch side edges =
+    let k = List.length edges in
+    let slots = Array.make k 0 in
+    let datas = Array.make k [||] in
+    List.iteri
+      (fun idx (e : QG.edge) ->
+        match side with
+        | `Outer ->
+            slots.(idx) <- slot_of batch e.QG.left;
+            datas.(idx) <- column_data e.QG.left e.QG.left_col
+        | `Inner ->
+            slots.(idx) <- slot_of batch e.QG.right;
+            datas.(idx) <- column_data e.QG.right e.QG.right_col)
+      edges;
+    (slots, datas)
+  in
+  (* Composite hash of a tuple's join-key columns; [null_key] if any is
+     NULL. *)
+  let tuple_key batch slots datas i =
+    let base = i * batch.width in
     let h = ref 0 in
     let ok = ref true in
-    Array.iter
-      (fun (slot, data) ->
-        let v = data.(batch.data.((i * batch.width) + slot)) in
-        if v = null then ok := false else h := Join_table.combine !h v)
-      cols;
-    if !ok then Some !h else None
+    for k = 0 to Array.length slots - 1 do
+      let v =
+        (Array.unsafe_get datas k).(batch.data.(base + Array.unsafe_get slots k))
+      in
+      if v = null then ok := false else h := Join_table.combine !h v
+    done;
+    if !ok then !h else null_key
   in
-  let keys_equal outer ocols i inner icols j =
-    let eq = ref true in
-    Array.iteri
-      (fun k (oslot, odata) ->
-        let islot, idata = icols.(k) in
-        let ov = odata.(outer.data.((i * outer.width) + oslot)) in
-        let iv = idata.(inner.data.((j * inner.width) + islot)) in
-        if ov <> iv || ov = null then eq := false)
-      ocols;
-    !eq
+  let keys_equal outer oslots odatas i inner islots idatas j =
+    let obase = i * outer.width and ibase = j * inner.width in
+    let rec go k =
+      if k = Array.length oslots then true
+      else
+        let ov = odatas.(k).(outer.data.(obase + oslots.(k))) in
+        let iv = idatas.(k).(inner.data.(ibase + islots.(k))) in
+        ov = iv && ov <> null && go (k + 1)
+    in
+    go 0
   in
   let emit_joined out outer i inner j =
     batch_reserve out 1;
@@ -101,26 +151,49 @@ let run ~db ~graph ~config ~size_est ?(projections = []) plan =
     check_rows out
   in
 
+  let chunk = 4096 in
+  (* One selection vector for the whole run: plan evaluation is
+     sequential, so scans never overlap. Lazy, so reference-path runs
+     (and plans that are pure index nested loops) skip the allocation. *)
+  let scan_sel = lazy (Array.make chunk 0) in
   let scan rel =
     let relation = QG.relation graph rel in
     let table = relation.QG.table in
-    let pred = Query.Predicate.compile table relation.QG.preds in
     let out = batch_create [| rel |] in
     let n = Storage.Table.row_count table in
-    let chunk = 4096 in
-    let row = ref 0 in
-    while !row < n do
-      let stop = min n (!row + chunk) in
-      spend (stop - !row);
-      for r = !row to stop - 1 do
-        if pred r then begin
-          batch_reserve out 1;
-          out.data.(out.nrows) <- r;
-          out.nrows <- out.nrows + 1
-        end
-      done;
-      row := stop
-    done;
+    if !reference_scan then begin
+      (* Reference path: one closure call per row. *)
+      let pred = Query.Predicate.compile table relation.QG.preds in
+      let row = ref 0 in
+      while !row < n do
+        let stop = min n (!row + chunk) in
+        spend (stop - !row);
+        for r = !row to stop - 1 do
+          if pred r then begin
+            batch_reserve out 1;
+            out.data.(out.nrows) <- r;
+            out.nrows <- out.nrows + 1
+          end
+        done;
+        row := stop
+      done
+    end
+    else begin
+      (* Vectorized path: fill a selection vector per chunk (one
+         compaction pass per predicate atom), then append it whole. *)
+      let fill = Query.Predicate.compile_selector table relation.QG.preds in
+      let sel = Lazy.force scan_sel in
+      let row = ref 0 in
+      while !row < n do
+        let stop = min n (!row + chunk) in
+        spend (stop - !row);
+        let m = fill sel !row stop in
+        batch_reserve out m;
+        Array.blit sel 0 out.data out.nrows m;
+        out.nrows <- out.nrows + m;
+        row := stop
+      done
+    end;
     out
   in
 
@@ -133,34 +206,38 @@ let run ~db ~graph ~config ~size_est ?(projections = []) plan =
   let hash_match ~oset ~iset ~charge_hash ~table_size outer inner =
     let edges = QG.edges_between graph oset iset in
     if edges = [] then invalid_arg "Executor: cross product";
-    let ocols = key_columns outer `Outer edges in
-    let icols = key_columns inner `Inner edges in
+    let oslots, odatas = key_arrays outer `Outer edges in
+    let islots, idatas = key_arrays inner `Inner edges in
     let jt =
       Join_table.create ~bucket_floor:config.Engine_config.hash_bucket_floor
         ~estimated_rows:table_size
         ~resizable:config.Engine_config.resize_hash_tables ()
     in
     for j = 0 to inner.nrows - 1 do
-      match tuple_key inner icols j with
-      | Some h ->
-          let w = Join_table.insert jt ~hash:h ~payload:j in
-          if charge_hash then spend w
-      | None -> if charge_hash then spend 1
+      let h = tuple_key inner islots idatas j in
+      if h <> null_key then begin
+        let w = Join_table.insert jt ~hash:h ~payload:j in
+        if charge_hash then spend w
+      end
+      else if charge_hash then spend 1
     done;
     let out = batch_create (Array.append outer.rels inner.rels) in
     for i = 0 to outer.nrows - 1 do
-      match tuple_key outer ocols i with
-      | Some h ->
-          let w =
-            Join_table.probe jt ~hash:h ~f:(fun j ->
-                if keys_equal outer ocols i inner icols j then begin
-                  emit_joined out outer i inner j;
-                  spend emit_cost
-                end)
-          in
-          if charge_hash then spend w
-      | None -> if charge_hash then spend 1
+      let h = tuple_key outer oslots odatas i in
+      if h <> null_key then begin
+        let w =
+          Join_table.probe jt ~hash:h ~f:(fun j ->
+              if keys_equal outer oslots odatas i inner islots idatas j then begin
+                emit_joined out outer i inner j;
+                spend emit_cost
+              end)
+        in
+        if charge_hash then spend w
+      end
+      else if charge_hash then spend 1
     done;
+    retire outer;
+    retire inner;
     out
   in
 
@@ -170,48 +247,64 @@ let run ~db ~graph ~config ~size_est ?(projections = []) plan =
   let merge_join ~oset ~iset outer inner =
     let edges = QG.edges_between graph oset iset in
     if edges = [] then invalid_arg "Executor: cross product";
-    let ocols = key_columns outer `Outer edges in
-    let icols = key_columns inner `Inner edges in
-    let sort_side batch cols =
-      let keyed = ref [] in
-      for i = batch.nrows - 1 downto 0 do
-        match tuple_key batch cols i with
-        | Some h -> keyed := (h, i) :: !keyed
-        | None -> ()
+    let oslots, odatas = key_arrays outer `Outer edges in
+    let islots, idatas = key_arrays inner `Inner edges in
+    (* Per-row keys land in a pooled buffer; the sorted side is a
+       permutation of the non-NULL row ids ordered by (key, row) —
+       exactly the order the former boxed (key, row) pair sort produced,
+       without building a list or allocating a tuple per row. *)
+    let sort_side batch slots datas =
+      let nrows = batch.nrows in
+      let keys = pool_acquire (max 1 nrows) in
+      let m = ref 0 in
+      for i = 0 to nrows - 1 do
+        let h = tuple_key batch slots datas i in
+        keys.(i) <- h;
+        if h <> null_key then incr m
       done;
-      let arr = Array.of_list !keyed in
-      Array.sort compare arr;
-      let n = float_of_int (Array.length arr) in
+      let idx = Array.make (max 1 !m) 0 in
+      let k = ref 0 in
+      for i = 0 to nrows - 1 do
+        if keys.(i) <> null_key then begin
+          idx.(!k) <- i;
+          incr k
+        end
+      done;
+      Array.sort
+        (fun a b ->
+          let c = Int.compare keys.(a) keys.(b) in
+          if c <> 0 then c else Int.compare a b)
+        idx;
+      let n = float_of_int !m in
       let comparisons =
         if n <= 2.0 then n else n *. (Float.log n /. Float.log 2.0)
       in
       spend (int_of_float comparisons);
-      arr
+      (keys, idx, !m)
     in
-    let os = sort_side outer ocols in
-    let is = sort_side inner icols in
+    let okeys, oidx, no = sort_side outer oslots odatas in
+    let ikeys, iidx, ni = sort_side inner islots idatas in
     let out = batch_create (Array.append outer.rels inner.rels) in
-    let no = Array.length os and ni = Array.length is in
     let i = ref 0 and j = ref 0 in
     while !i < no && !j < ni do
       spend 1;
-      let oh, _ = os.(!i) and ih, _ = is.(!j) in
+      let oh = okeys.(oidx.(!i)) and ih = ikeys.(iidx.(!j)) in
       if oh < ih then incr i
       else if oh > ih then incr j
       else begin
         (* Matching run: find the extent of equal hashes on both sides. *)
         let i_end = ref !i and j_end = ref !j in
-        while !i_end < no && fst os.(!i_end) = oh do
+        while !i_end < no && okeys.(oidx.(!i_end)) = oh do
           incr i_end
         done;
-        while !j_end < ni && fst is.(!j_end) = ih do
+        while !j_end < ni && ikeys.(iidx.(!j_end)) = ih do
           incr j_end
         done;
         for a = !i to !i_end - 1 do
           for b = !j to !j_end - 1 do
             spend 1;
-            let _, oi = os.(a) and _, ij = is.(b) in
-            if keys_equal outer ocols oi inner icols ij then begin
+            let oi = oidx.(a) and ij = iidx.(b) in
+            if keys_equal outer oslots odatas oi inner islots idatas ij then begin
               emit_joined out outer oi inner ij;
               spend emit_cost
             end
@@ -221,6 +314,10 @@ let run ~db ~graph ~config ~size_est ?(projections = []) plan =
         j := !j_end
       end
     done;
+    pool_release okeys;
+    pool_release ikeys;
+    retire outer;
+    retire inner;
     out
   in
 
@@ -277,17 +374,26 @@ let run ~db ~graph ~config ~size_est ?(projections = []) plan =
     let other_edges = List.filter (fun e -> e != indexed_edge) edges in
     let outer_key_slot = slot_of ob indexed_edge.QG.left in
     let outer_key_data = column_data indexed_edge.QG.left indexed_edge.QG.left_col in
-    let filters =
-      List.map
-        (fun (e : QG.edge) ->
-          let oslot = slot_of ob e.QG.left in
-          let odata = column_data e.QG.left e.QG.left_col in
-          let idata = column_data e.QG.right e.QG.right_col in
-          fun i inner_row ->
-            let ov = odata.(ob.data.((i * ob.width) + oslot)) in
-            let iv = idata.(inner_row) in
-            ov <> null && ov = iv)
-        other_edges
+    (* Post-filter edges, preextracted like the join keys above. *)
+    let nf = List.length other_edges in
+    let f_oslots = Array.make nf 0 in
+    let f_odatas = Array.make nf [||] in
+    let f_idatas = Array.make nf [||] in
+    List.iteri
+      (fun k (e : QG.edge) ->
+        f_oslots.(k) <- slot_of ob e.QG.left;
+        f_odatas.(k) <- column_data e.QG.left e.QG.left_col;
+        f_idatas.(k) <- column_data e.QG.right e.QG.right_col)
+      other_edges;
+    let filters_pass i inner_row =
+      let base = i * ob.width in
+      let rec go k =
+        if k = nf then true
+        else
+          let ov = f_odatas.(k).(ob.data.(base + f_oslots.(k))) in
+          ov <> null && ov = f_idatas.(k).(inner_row) && go (k + 1)
+      in
+      go 0
     in
     let out = batch_create (Array.append ob.rels [| inner_rel |]) in
     for i = 0 to ob.nrows - 1 do
@@ -298,8 +404,7 @@ let run ~db ~graph ~config ~size_est ?(projections = []) plan =
         spend (Array.length matches);
         Array.iter
           (fun inner_row ->
-            if pred inner_row && List.for_all (fun f -> f i inner_row) filters
-            then begin
+            if pred inner_row && filters_pass i inner_row then begin
               batch_reserve out 1;
               let base = out.nrows * out.width in
               Array.blit ob.data (i * ob.width) out.data base ob.width;
@@ -311,6 +416,7 @@ let run ~db ~graph ~config ~size_est ?(projections = []) plan =
           matches
       end
     done;
+    retire ob;
     out
   in
 

@@ -29,6 +29,13 @@ type result = {
       (** MIN() of each requested projection, when the query finished. *)
 }
 
+val reference_scan : bool ref
+(** Test-only: when set, scans evaluate predicates with the original
+    row-at-a-time compiled closures instead of selection vectors. Both
+    paths select identical rows and charge identical work; the kernel
+    cross-check test runs the full workload through each and asserts
+    equality. Defaults to [false]. *)
+
 val run :
   db:Storage.Database.t ->
   graph:Query.Query_graph.t ->

@@ -13,8 +13,7 @@ type t = {
   coarse : Dbstats.Analyze.t;
   queries : qctx array;
   pipeline : Core.Pipeline.t;
-  verify_memo : (string, unit) Hashtbl.t;
-  verify_lock : Mutex.t;
+  verify_memo : (string, unit) Util.Shard_map.t;
   mutable jobs : int;
   mutable pool : Util.Domain_pool.t option;
   pool_lock : Mutex.t;
@@ -62,8 +61,7 @@ let create ?(seed = 42) ?(scale = 1.0) ?(queries = Workload.Job.all) ?(jobs = 1)
     coarse = pipeline.Core.Pipeline.coarse;
     queries;
     pipeline;
-    verify_memo = Hashtbl.create 64;
-    verify_lock = Mutex.create ();
+    verify_memo = Util.Shard_map.create ();
     jobs;
     pool = None;
     pool_lock = Mutex.create ();
@@ -165,14 +163,10 @@ let verify_choice t qctx ~est ~model ~shape (plan, cost) =
         (Storage.Database.index_config_to_string
            (Storage.Database.index_config t.db))
     in
-    (* Claim the subject under the lock; the (expensive) estimate pass
-       itself runs outside it. *)
+    (* Claim the subject under its shard lock; the (expensive) estimate
+       pass itself runs outside it. *)
     let fresh_subject =
-      Mutex.lock t.verify_lock;
-      let fresh = not (Hashtbl.mem t.verify_memo subject) in
-      if fresh then Hashtbl.add t.verify_memo subject ();
-      Mutex.unlock t.verify_lock;
-      fresh
+      snd (Util.Shard_map.find_or_add t.verify_memo subject (fun () -> ()))
     in
     let est_report =
       if fresh_subject then Verify.check_estimates ~subject qctx.graph est

@@ -33,10 +33,9 @@ type t = {
   pipeline : Core.Pipeline.t;
       (** The cache-aware planning pipeline every estimator and plan
           request goes through. *)
-  verify_memo : (string, unit) Hashtbl.t;
+  verify_memo : (string, unit) Util.Shard_map.t;
       (** Estimate-sanitizer memo, scoped to this harness instance and
           keyed on query x estimator x index configuration. *)
-  verify_lock : Mutex.t;  (** Guards {!verify_memo}. *)
   mutable jobs : int;
   mutable pool : Util.Domain_pool.t option;
       (** Created lazily on the first {!par_map}. *)

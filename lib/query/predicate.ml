@@ -100,6 +100,97 @@ let compile table preds =
   | [ f ] -> f
   | fns -> fun row -> List.for_all (fun f -> f row) fns
 
+(* ------------------------------------------------------------------ *)
+(* Selection vectors                                                   *)
+
+(* A refiner compacts a selection vector in place: rows [sel.(0..n-1)]
+   come in, the surviving prefix goes out. Each atom compiles to one
+   refiner with the comparison specialized per operator, so the hot
+   loop tests a plain int against a constant — no closure dispatch and
+   no allocation per row. *)
+let refiner_of_atom table atom =
+  let data col = (Storage.Table.column table col).Storage.Column.data in
+  let null = Storage.Value.null_code in
+  (* One compaction loop per operator; [keep] must be a simple value
+     test so the compiler can inline it at each instantiation site. *)
+  let compact d keep sel n =
+    let m = ref 0 in
+    for k = 0 to n - 1 do
+      let row = Array.unsafe_get sel k in
+      let v = Array.unsafe_get d row in
+      if keep v then begin
+        Array.unsafe_set sel !m row;
+        incr m
+      end
+    done;
+    !m
+  in
+  match atom with
+  | Cmp { col; op; code } -> (
+      let d = data col in
+      match op with
+      | Eq -> compact d (fun v -> v <> null && v = code)
+      | Ne -> compact d (fun v -> v <> null && v <> code)
+      | Lt -> compact d (fun v -> v <> null && v < code)
+      | Le -> compact d (fun v -> v <> null && v <= code)
+      | Gt -> compact d (fun v -> v <> null && v > code)
+      | Ge -> compact d (fun v -> v <> null && v >= code))
+  | Between { col; lo; hi } ->
+      let d = data col in
+      compact d (fun v -> v <> null && v >= lo && v <= hi)
+  | In { col; codes } ->
+      let d = data col in
+      let set = Hashtbl.create (List.length codes) in
+      List.iter (fun c -> Hashtbl.replace set c ()) codes;
+      compact d (fun v -> v <> null && Hashtbl.mem set v)
+  | Is_null { col; negated } ->
+      let d = data col in
+      if negated then compact d (fun v -> v <> null)
+      else compact d (fun v -> v = null)
+  | Str_cmp { col; op; value } -> (
+      let column = Storage.Table.column table col in
+      match column.Storage.Column.dict with
+      | None ->
+          invalid_arg "Predicate.compile: string comparison on an integer column"
+      | Some dict ->
+          let bitmap =
+            Storage.Dict.matching_codes dict (fun s ->
+                eval_cmp op (String.compare s value) 0)
+          in
+          compact column.Storage.Column.data (fun v -> v <> null && bitmap.(v)))
+  | Like { col; pattern; negated } -> (
+      let column = Storage.Table.column table col in
+      match column.Storage.Column.dict with
+      | None -> invalid_arg "Predicate.compile: LIKE on an integer column"
+      | Some dict ->
+          let bitmap =
+            Storage.Dict.matching_codes dict (fun s ->
+                Like_match.matches ~pattern s)
+          in
+          compact column.Storage.Column.data (fun v ->
+              v <> null && bitmap.(v) <> negated))
+  | (Or _ | Const_false) as atom ->
+      let f = compile_atom table atom in
+      fun sel n ->
+        let m = ref 0 in
+        for k = 0 to n - 1 do
+          let row = Array.unsafe_get sel k in
+          if f row then begin
+            Array.unsafe_set sel !m row;
+            incr m
+          end
+        done;
+        !m
+
+let compile_selector table preds =
+  let refiners = List.map (refiner_of_atom table) preds in
+  fun sel lo hi ->
+    let n = hi - lo in
+    for k = 0 to n - 1 do
+      Array.unsafe_set sel k (lo + k)
+    done;
+    List.fold_left (fun n refine -> refine sel n) n refiners
+
 let column_name table col =
   (Storage.Table.column table col).Storage.Column.name
 

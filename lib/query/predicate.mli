@@ -41,6 +41,15 @@ val compile : Storage.Table.t -> t -> int -> bool
 
 val compile_atom : Storage.Table.t -> atom -> int -> bool
 
+val compile_selector : Storage.Table.t -> t -> int array -> int -> int -> int
+(** [compile_selector table preds] returns [fill] such that
+    [fill sel lo hi] writes the rows of [\[lo, hi)] passing [preds] into
+    [sel.(0 ..)] in ascending order and returns their count. [sel] must
+    have at least [hi - lo] slots. One compaction pass per atom over the
+    selection vector replaces the per-row closure dispatch of {!compile}
+    on the executor's hot scan path; both paths select exactly the same
+    rows. *)
+
 val pp_atom : Storage.Table.t -> Format.formatter -> atom -> unit
 
 val pp : Storage.Table.t -> Format.formatter -> t -> unit

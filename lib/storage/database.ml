@@ -7,10 +7,14 @@ let index_config_to_string = function
 
 type t = {
   tables : (string, Table.t) Hashtbl.t;
-  index_cache : (string * int, Index.t) Hashtbl.t;
-  (* Guards [index_cache]: indexes are built lazily and the executor
-     runs on several domains. Values are deterministic per (table, col),
-     so only the table structure needs protection. *)
+  (* Read-mostly snapshot: lookups read the current table without any
+     lock (the executor and the cost models probe indexes from several
+     domains, and after warm-up every probe is a hit). A miss installs a
+     {!Util.Once} cell under [index_mutex] by publishing a fresh copy of
+     the table; the build itself runs outside the mutex, guarded only by
+     the cell, so two domains demanding different indexes never
+     serialize on each other's builds. *)
+  index_cache : (string * int, Index.t Util.Once.t) Hashtbl.t Atomic.t;
   index_mutex : Mutex.t;
   mutable config : index_config;
 }
@@ -18,7 +22,7 @@ type t = {
 let create () =
   {
     tables = Hashtbl.create 32;
-    index_cache = Hashtbl.create 64;
+    index_cache = Atomic.make (Hashtbl.create 64);
     index_mutex = Mutex.create ();
     config = Pk_only;
   }
@@ -42,18 +46,31 @@ let set_index_config t config = t.config <- config
 let index_config t = t.config
 
 let cached_index t ~table ~col =
-  Mutex.lock t.index_mutex;
-  match Hashtbl.find_opt t.index_cache (table, col) with
-  | Some idx ->
-      Mutex.unlock t.index_mutex;
-      idx
-  | None ->
-      Fun.protect
-        ~finally:(fun () -> Mutex.unlock t.index_mutex)
-        (fun () ->
-          let idx = Index.build (find_table t table) ~col in
-          Hashtbl.add t.index_cache (table, col) idx;
-          idx)
+  let key = (table, col) in
+  let cell =
+    match Hashtbl.find_opt (Atomic.get t.index_cache) key with
+    | Some cell -> cell
+    | None ->
+        Mutex.lock t.index_mutex;
+        let current = Atomic.get t.index_cache in
+        let cell =
+          (* Re-check: another domain may have published the cell while
+             we waited for the mutex. *)
+          match Hashtbl.find_opt current key with
+          | Some cell -> cell
+          | None ->
+              let cell =
+                Util.Once.make (fun () -> Index.build (find_table t table) ~col)
+              in
+              let next = Hashtbl.copy current in
+              Hashtbl.add next key cell;
+              Atomic.set t.index_cache next;
+              cell
+        in
+        Mutex.unlock t.index_mutex;
+        cell
+  in
+  Util.Once.force cell
 
 let configured_columns t table =
   let tbl = find_table t table in

@@ -13,6 +13,15 @@
 
 type t
 
+val tune_gc : unit -> unit
+(** Raise the calling domain's minor-heap size and major-heap slack
+    (never lowering user-configured values). Applied automatically in
+    every pool worker; call it once from the main domain of a
+    throughput-sensitive binary so the caller's share of the work runs
+    under the same GC regime. Results never depend on it — minor
+    collections are stop-the-world across domains in OCaml 5, so fewer
+    of them means less cross-domain stalling. *)
+
 val create : domains:int -> t
 (** Spawn the pool. [domains] is the total parallelism including the
     caller; raises [Invalid_argument] when [< 1]. *)

@@ -1,0 +1,54 @@
+type ('a, 'b) t = {
+  mask : int;
+  locks : Mutex.t array;
+  tables : ('a, 'b) Hashtbl.t array;
+}
+
+let create ?(shards = 16) () =
+  if shards < 1 then invalid_arg "Shard_map.create: shards must be >= 1";
+  let n = ref 1 in
+  while !n < shards do
+    n := !n * 2
+  done;
+  {
+    mask = !n - 1;
+    locks = Array.init !n (fun _ -> Mutex.create ());
+    tables = Array.init !n (fun _ -> Hashtbl.create 32);
+  }
+
+let shard t k = Hashtbl.hash k land t.mask
+
+let find_opt t k =
+  let s = shard t k in
+  Mutex.lock t.locks.(s);
+  let r = Hashtbl.find_opt t.tables.(s) k in
+  Mutex.unlock t.locks.(s);
+  r
+
+let length t =
+  let n = ref 0 in
+  Array.iteri
+    (fun s table ->
+      Mutex.lock t.locks.(s);
+      n := !n + Hashtbl.length table;
+      Mutex.unlock t.locks.(s))
+    t.tables;
+  !n
+
+let find_or_add t k make =
+  let s = shard t k in
+  Mutex.lock t.locks.(s);
+  match Hashtbl.find_opt t.tables.(s) k with
+  | Some v ->
+      Mutex.unlock t.locks.(s);
+      (v, false)
+  | None -> (
+      match make () with
+      | v ->
+          Hashtbl.add t.tables.(s) k v;
+          Mutex.unlock t.locks.(s);
+          (v, true)
+      | exception e ->
+          let bt = Printexc.get_raw_backtrace () in
+          Mutex.unlock t.locks.(s);
+          Printexc.raise_with_backtrace e bt)

@@ -1,0 +1,28 @@
+(** A hash table sharded over independently locked segments.
+
+    Concurrent lookups and insertions for keys landing in different
+    shards never contend; within a shard, operations serialize on the
+    shard's mutex. The intended use is memo tables of {!Once} cells:
+    {!find_or_add}'s [make] runs under the shard lock, so it must be
+    cheap — allocate the cell under the lock, force it outside.
+
+    Iteration order is unspecified; this container deliberately has no
+    [iter] — the pipeline's determinism argument rests on values being
+    addressed by key only. *)
+
+type ('a, 'b) t
+
+val create : ?shards:int -> unit -> ('a, 'b) t
+(** [shards] (default 16) is rounded up to a power of two. *)
+
+val find_opt : ('a, 'b) t -> 'a -> 'b option
+
+val length : ('a, 'b) t -> int
+(** Total bindings across all shards. Not a consistent snapshot under
+    concurrent insertion (shards are summed one lock at a time). *)
+
+val find_or_add : ('a, 'b) t -> 'a -> (unit -> 'b) -> 'b * bool
+(** [find_or_add t k make] returns the value bound to [k], binding
+    [make ()] first when absent. The boolean is [true] iff this call
+    created the binding. [make] runs under the shard lock: keep it
+    cheap and non-reentrant. *)

@@ -15,6 +15,7 @@ let () =
       ("registry", Test_registry.suite);
       ("parallel", Test_parallel.suite);
       ("exec", Test_exec.suite);
+      ("kernels", Test_kernels.suite);
       ("workload", Test_workload.suite);
       ("experiments", Test_experiments.suite);
       ("extensions", Test_extensions.suite);

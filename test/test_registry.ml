@@ -221,16 +221,16 @@ let test_verify_memo_scoped () =
       ignore
         (Experiments.Harness.plan_with h q ~est ~model:Cost.Cost_model.cmm ());
       Alcotest.(check int) "one entry per query x estimator x config" 1
-        (Hashtbl.length h.Experiments.Harness.verify_memo);
+        (Util.Shard_map.length h.Experiments.Harness.verify_memo);
       Experiments.Harness.with_index_config h Storage.Database.Pk_fk (fun () ->
           ignore
             (Experiments.Harness.plan_with h q ~est ~model:Cost.Cost_model.cmm
                ()));
       Alcotest.(check int) "re-verified under the new physical design" 2
-        (Hashtbl.length h.Experiments.Harness.verify_memo);
+        (Util.Shard_map.length h.Experiments.Harness.verify_memo);
       let h2 = Experiments.Harness.create ~seed:11 ~scale:0.03 ~queries () in
       Alcotest.(check int) "a fresh harness starts with an empty memo" 0
-        (Hashtbl.length h2.Experiments.Harness.verify_memo))
+        (Util.Shard_map.length h2.Experiments.Harness.verify_memo))
 
 let suite =
   [
