@@ -261,10 +261,12 @@ let verify_cmd =
     Arg.(value & opt string "all" & info [ "queries"; "q" ] ~docv:"NAMES" ~doc)
   in
   let enumerators_arg =
-    let doc = "Comma-separated enumerators to verify (dp, goo, quickpick:N)." in
+    let doc =
+      "Comma-separated enumerators to verify (dp, goo, quickpick:N, simpli)."
+    in
     Arg.(
       value
-      & opt string "dp,goo,quickpick:10"
+      & opt string "dp,goo,quickpick:10,simpli"
       & info [ "enumerators" ] ~docv:"ES" ~doc)
   in
   let estimators_arg =
@@ -382,11 +384,24 @@ let experiment_cmd =
     in
     Arg.(value & flag & info [ "gc-stats" ] ~doc)
   in
-  let run scale seed verify stats gc_stats jobs id =
+  let reopt_threshold_arg =
+    let doc =
+      "Q-error trip point for the 'reopt' experiment's main table: a \
+       checkpoint whose observed cardinality is off from its estimate by \
+       more than this factor abandons the attempt and re-plans. Must be >= \
+       1.0."
+    in
+    Arg.(
+      value & opt float 2.0 & info [ "reopt-threshold" ] ~docv:"FACTOR" ~doc)
+  in
+  let run scale seed verify stats gc_stats reopt_threshold jobs id =
     (* Workers tune their GC on spawn; the caller participates in every
        parallel map, so it needs the same treatment. *)
     Util.Domain_pool.tune_gc ();
     Experiments.Harness.debug_verify := verify;
+    if reopt_threshold < 1.0 then
+      invalid_arg "jobench experiment: --reopt-threshold must be >= 1.0";
+    Experiments.Exp_reopt.threshold := reopt_threshold;
     let jobs =
       if jobs < 0 then invalid_arg "jobench experiment: -j must be >= 0"
       else if jobs = 0 then Domain.recommended_domain_count ()
@@ -421,7 +436,7 @@ let experiment_cmd =
     (Cmd.info "experiment" ~doc:"Regenerate a table or figure from the paper")
     Term.(
       const run $ scale_arg $ seed_arg $ verify_flag $ stats_flag
-      $ gc_stats_flag $ jobs_arg $ id_arg)
+      $ gc_stats_flag $ reopt_threshold_arg $ jobs_arg $ id_arg)
 
 let () =
   let doc = "Join Order Benchmark reproduction toolkit" in

@@ -144,6 +144,7 @@ let estimator t q system =
               coarse = t.coarse;
               graph = q.graph;
               truth = truth_cell t q;
+              feedback = None;
             }
         in
         (* Count subset probes through the shared instance; the memo
@@ -251,6 +252,7 @@ let plan_with t q ~est ~model ?(enumerator = Registry.Exhaustive_dp)
           | Registry.Quickpick attempts ->
               Planner.Quickpick.best_of search (Util.Prng.create seed) ~attempts
           | Registry.Greedy_operator_ordering -> Planner.Goo.optimize search
+          | Registry.Simpli_squared -> Planner.Simpli.optimize search
         in
         Atomic.incr t.counters.c_plans_enumerated;
         (* Every plan an enumerator emits is statically sanitized before

@@ -46,17 +46,23 @@ let find_exn t input =
 (* ------------------------------------------------------------------ *)
 (* Enumerators                                                         *)
 
-type enumerator = Exhaustive_dp | Quickpick of int | Greedy_operator_ordering
+type enumerator =
+  | Exhaustive_dp
+  | Quickpick of int
+  | Greedy_operator_ordering
+  | Simpli_squared
 
 let enumerator_name = function
   | Exhaustive_dp -> "dp"
   | Greedy_operator_ordering -> "goo"
   | Quickpick n -> Printf.sprintf "quickpick:%d" n
+  | Simpli_squared -> "simpli"
 
 let verify_enumerator = function
   | Exhaustive_dp -> Verify.Dp
   | Greedy_operator_ordering -> Verify.Goo
   | Quickpick n -> Verify.Quickpick n
+  | Simpli_squared -> Verify.Simpli
 
 let enumerators =
   make ~kind:"enumerator"
@@ -81,6 +87,13 @@ let enumerators =
         doc = "best of N random join orders (Waas & Pellenkoft)";
         value = Quickpick 100;
       };
+      {
+        name = "simpli";
+        doc =
+          "Simpli-Squared: join order from raw table sizes only, no \
+           cardinality estimates (Datta et al.)";
+        value = Simpli_squared;
+      };
     ]
 
 (* ------------------------------------------------------------------ *)
@@ -92,6 +105,7 @@ type estimator_ctx = {
   coarse : Dbstats.Analyze.t;
   graph : Query.Query_graph.t;
   truth : Cardest.True_card.t Util.Once.t;
+  feedback : Reopt.Feedback.t option;
 }
 
 let sctx c = { Cardest.Systems.db = c.db; graph = c.graph }
@@ -134,6 +148,22 @@ let estimators =
         name = "true";
         doc = "exact cardinalities of every connected subset (the oracle)";
         value = (fun c -> Cardest.True_card.estimator (Util.Once.force c.truth));
+      };
+      {
+        name = "feedback";
+        doc =
+          "execution-time feedback overlay: observed subgraphs exact, the \
+           rest delegated to PostgreSQL's estimator";
+        value =
+          (fun c ->
+            let store =
+              match c.feedback with
+              | Some fb -> fb
+              | None -> Reopt.Feedback.create ()
+            in
+            Reopt.Feedback.overlay
+              ~fallback:(Cardest.Systems.postgres c.analyze (sctx c))
+              store);
       };
     ]
 

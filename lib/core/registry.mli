@@ -47,12 +47,17 @@ val find_exn : 'a t -> string -> 'a
 (* ------------------------------------------------------------------ *)
 (* The optimizer component registries                                  *)
 
-type enumerator = Exhaustive_dp | Quickpick of int | Greedy_operator_ordering
-(** Plan-space enumeration strategies (Section 6 of the paper). *)
+type enumerator =
+  | Exhaustive_dp
+  | Quickpick of int
+  | Greedy_operator_ordering
+  | Simpli_squared
+(** Plan-space enumeration strategies (Section 6 of the paper), plus the
+    Simpli-Squared no-estimates baseline (Datta et al., PAPERS.md). *)
 
 val enumerator_name : enumerator -> string
 (** Canonical name, usable as a cache key: ["dp"], ["goo"],
-    ["quickpick:N"]. *)
+    ["quickpick:N"], ["simpli"]. *)
 
 val verify_enumerator : enumerator -> Verify.enumerator
 (** The sanitizer's view of the same component. *)
@@ -65,13 +70,19 @@ type estimator_ctx = {
   truth : Cardest.True_card.t Util.Once.t;
       (** Exact cardinalities, forced only by the ["true"] oracle (a
           domain-safe {!Util.Once} cell, not [Lazy]). *)
+  feedback : Reopt.Feedback.t option;
+      (** Execution-time cardinality feedback for the ["feedback"]
+          overlay estimator; [None] (an empty store) everywhere the
+          re-optimization driver is not supplying one. *)
 }
 (** Everything an estimator builder may need; shared by [Session] and
     [Harness] so the registry is the only dispatch point. *)
 
 val estimators : (estimator_ctx -> Cardest.Estimator.t) t
 (** The paper's five systems plus ["PostgreSQL (true distinct)"]
-    (Figure 5) and ["true"] (the exact oracle). *)
+    (Figure 5), ["true"] (the exact oracle), and ["feedback"] (the
+    re-optimization overlay; with no store attached it behaves exactly
+    like ["PostgreSQL"]). *)
 
 val cost_models : Cost.Cost_model.t t
 (** ["PostgreSQL"], ["tuned"], ["Cmm"]. *)

@@ -31,6 +31,7 @@ type enumerator = Registry.enumerator =
   | Exhaustive_dp
   | Quickpick of int
   | Greedy_operator_ordering
+  | Simpli_squared
 
 type plan_choice = Pipeline.plan_choice = {
   plan : Plan.t;

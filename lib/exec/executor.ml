@@ -38,7 +38,7 @@ let null = Storage.Value.null_code
    allocating an option per row. *)
 let null_key = -1
 
-let run ~db ~graph ~config ~size_est ?(projections = []) plan =
+let run ~db ~graph ~config ~size_est ?observe ?(projections = []) plan =
   let work = ref 0 in
   let limit = config.Engine_config.work_limit in
   let row_limit = config.Engine_config.row_limit in
@@ -321,7 +321,26 @@ let run ~db ~graph ~config ~size_est ?(projections = []) plan =
     out
   in
 
+  (* Checkpoint instrumentation: after a node's result is materialized,
+     report its exact cardinality and the work spent so far. [observe]
+     defaults to [None], in which case the hook is a single option match
+     per plan node — no closure, no allocation. An Index_nl_join's inner
+     scan is never materialized on its own, so it reports no checkpoint;
+     the joined result does. Observer exceptions propagate to the caller
+     (only {!Timeout} is caught below) — the re-optimization driver uses
+     exactly that to abandon a doomed plan mid-flight. *)
+  let checkpoint set (b : batch) =
+    match observe with
+    | None -> b
+    | Some f ->
+        f set ~rows:b.nrows ~work:!work;
+        b
+  in
+
   let rec eval (p : Plan.t) : batch =
+    checkpoint p.Plan.set (eval_op p)
+
+  and eval_op (p : Plan.t) : batch =
     match p.Plan.op with
     | Plan.Scan rel -> scan rel
     | Plan.Join { algo = Plan.Merge_join; outer = op; inner = ip } ->

@@ -41,9 +41,18 @@ val run :
   graph:Query.Query_graph.t ->
   config:Engine_config.t ->
   size_est:(Util.Bitset.t -> float) ->
+  ?observe:(Util.Bitset.t -> rows:int -> work:int -> unit) ->
   ?projections:(int * int) list ->
   Plan.t ->
   result
 (** Raises [Invalid_argument] when the plan needs an index the current
     physical design does not provide, or uses a nested-loop join under a
-    configuration that forbids it. *)
+    configuration that forbids it.
+
+    [observe] is the checkpoint hook: called once per materialized plan
+    node — in bottom-up execution order — with the node's relation
+    subset, its exact row count, and the cumulative work spent so far.
+    Off by default and allocation-free when disabled. Exceptions raised
+    by the observer abort the run and propagate to the caller (they are
+    {e not} converted into a timeout result); [lib/reopt] relies on this
+    to cut execution short when a cardinality mis-estimate is detected. *)

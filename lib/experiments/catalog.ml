@@ -60,6 +60,12 @@ let all =
              re-optimization";
       render = Exp_extensions.render;
     };
+    {
+      id = "reopt";
+      doc = "mid-query re-optimization: cardinality feedback off/on, \
+             re-plan counts, threshold sweep";
+      render = Exp_reopt.render;
+    };
   ]
 
 let registry =

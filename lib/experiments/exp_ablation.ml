@@ -1,8 +1,6 @@
 module QG = Query.Query_graph
 module Bitset = Util.Bitset
 
-let floored x = Float.max 1.0 x
-
 (* ------------------------------------------------------------------ *)
 (* Statistics knobs: which per-attribute statistic buys what            *)
 
@@ -18,8 +16,8 @@ let base_qerrors (h : Harness.t) analyze =
           if r.QG.preds <> [] then
             errors :=
               Util.Stat.q_error
-                ~estimate:(floored (est.Cardest.Estimator.base r.QG.idx))
-                ~truth:(floored (Cardest.True_card.base tc r.QG.idx))
+                ~estimate:(Util.Stat.floored (est.Cardest.Estimator.base r.QG.idx))
+                ~truth:(Util.Stat.floored (Cardest.True_card.base tc r.QG.idx))
               :: !errors)
         (QG.relations q.Harness.graph))
     h.Harness.queries;
@@ -79,8 +77,8 @@ let damping_sweep (h : Harness.t) =
                   if Bitset.cardinal s >= 5 then
                     items :=
                       Util.Stat.signed_error
-                        ~estimate:(floored (est.Cardest.Estimator.subset s))
-                        ~truth:(floored (Cardest.True_card.card tc s))
+                        ~estimate:(Util.Stat.floored (est.Cardest.Estimator.subset s))
+                        ~truth:(Util.Stat.floored (Cardest.True_card.card tc s))
                       :: !items)
                 (QG.connected_subsets q.Harness.graph);
               !items)
@@ -226,7 +224,7 @@ let syntactic_order (h : Harness.t) =
   let truth =
     let bound = Sqlfront.Binder.bind h.Harness.db ~name:"footnote6" parsed in
     let graph = bound.Sqlfront.Binder.graph in
-    floored
+    Util.Stat.floored
       (Cardest.True_card.card (Cardest.True_card.compute graph)
          (QG.full_set graph))
   in

@@ -1,8 +1,6 @@
 module QG = Query.Query_graph
 module Bitset = Util.Bitset
 
-let floored x = Float.max 1.0 x
-
 (* ------------------------------------------------------------------ *)
 (* Extension 1: join sampling                                          *)
 
@@ -26,8 +24,8 @@ let join_sampling (h : Harness.t) =
                    Some
                      ( joins,
                        Util.Stat.signed_error
-                         ~estimate:(floored (est.Cardest.Estimator.subset s))
-                         ~truth:(floored (Cardest.True_card.card tc s)) )))
+                         ~estimate:(Util.Stat.floored (est.Cardest.Estimator.subset s))
+                         ~truth:(Util.Stat.floored (Cardest.True_card.card tc s)) )))
         h.Harness.queries
     in
     Array.iter

@@ -8,8 +8,6 @@ type cell = {
   frac_wrong_10x : float;
 }
 
-let floored x = Float.max 1.0 x
-
 let signed_errors_for (_h : Harness.t) (q : Harness.qctx) est ~max_joins =
   let tc = Harness.truth q in
   let subsets = QG.connected_subsets q.Harness.graph in
@@ -18,8 +16,8 @@ let signed_errors_for (_h : Harness.t) (q : Harness.qctx) est ~max_joins =
          let joins = Bitset.cardinal s - 1 in
          if joins > max_joins then None
          else
-           let estimate = floored (est.Cardest.Estimator.subset s) in
-           let truth = floored (Cardest.True_card.card tc s) in
+           let estimate = Util.Stat.floored (est.Cardest.Estimator.subset s) in
+           let truth = Util.Stat.floored (Cardest.True_card.card tc s) in
            Some (joins, Util.Stat.signed_error ~estimate ~truth))
 
 let measure (h : Harness.t) ~max_joins =

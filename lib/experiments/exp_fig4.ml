@@ -16,8 +16,6 @@ let boxes_of_errors errors =
       in
       (joins, box))
 
-let floored x = Float.max 1.0 x
-
 (* Signed errors for a stand-alone query (used for TPC-H, which lives
    outside the IMDB harness and gets its own pipeline). *)
 let errors_of_query pipeline (q : Core.Pipeline.query) =
@@ -31,8 +29,8 @@ let errors_of_query pipeline (q : Core.Pipeline.query) =
            Some
              ( joins,
                Util.Stat.signed_error
-                 ~estimate:(floored (est.Cardest.Estimator.subset s))
-                 ~truth:(floored (Cardest.True_card.card tc s)) ))
+                 ~estimate:(Util.Stat.floored (est.Cardest.Estimator.subset s))
+                 ~truth:(Util.Stat.floored (Cardest.True_card.card tc s)) ))
 
 let measure (h : Harness.t) =
   let job_rows =

@@ -1,0 +1,36 @@
+(** Mid-query re-optimization (Perron et al., PAPERS.md): slowdown
+    distributions vs the true-cardinality optimum for the five emulated
+    estimators with execution-time cardinality feedback off and on, plus
+    the Simpli-Squared no-estimates baseline, re-plan counts, and a
+    q-error threshold sweep. Both arms run with checkpoints enabled and
+    must return identical query results — enforced per execution. *)
+
+val buckets : float array
+
+val bucket_labels : string list
+
+val threshold : float ref
+(** Q-error trip point for the main table (default 2.0); set by
+    [jobench experiment --reopt-threshold]. *)
+
+type summary = {
+  system : string;
+  off_slows : float array;
+  on_slows : float array;
+  replans : int;
+  replanned_queries : int;
+  off_ms : float;
+  on_ms : float;
+  comparable : int;
+  best_query : string;
+  best_off : float;
+  best_on : float;
+}
+
+val last_summaries : summary list ref
+(** Per-system aggregates of the most recent {!render}/{!measure}, read
+    by [bench/main.exe] to write BENCH_reopt.json without re-measuring. *)
+
+val measure : Harness.t -> summary list
+
+val render : Harness.t -> string

@@ -12,8 +12,6 @@ type row = {
 (* Cardinalities are floored at one row before computing q-errors so that
    deliberately empty selections stay finite (the paper's truths were
    tiny but non-zero). *)
-let floored x = Float.max 1.0 x
-
 let measure (h : Harness.t) =
   List.map
     (fun system ->
@@ -28,8 +26,8 @@ let measure (h : Harness.t) =
             Array.iter
               (fun (r : QG.relation) ->
                 if r.QG.preds <> [] then begin
-                  let estimate = floored (est.Cardest.Estimator.base r.QG.idx) in
-                  let truth = floored (Cardest.True_card.base tc r.QG.idx) in
+                  let estimate = Util.Stat.floored (est.Cardest.Estimator.base r.QG.idx) in
+                  let truth = Util.Stat.floored (Cardest.True_card.base tc r.QG.idx) in
                   items := Util.Stat.q_error ~estimate ~truth :: !items
                 end)
               (QG.relations q.Harness.graph);

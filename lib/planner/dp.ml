@@ -6,17 +6,36 @@ module QG = Query.Query_graph
    enumeration loop. *)
 module Subset_table = Hashtbl.Make (Bitset)
 
-let build_table (t : Search.t) =
+(* The one DP over connected subsets, optionally seeded with
+   already-materialized fragments (re-optimization restarts). A seed's
+   subgraph enters the table atomically: no singleton inside it is
+   seeded, so any subset that overlaps a fragment without containing it
+   whole has no constructible split and never enters the table — the
+   fragment behaves exactly like a base relation whose scan plan is the
+   fragment's plan at the seed's (sunk) cost. *)
+let build_table_seeded (t : Search.t) ~seeds =
   let graph = t.Search.env.Cost.Cost_model.graph in
   let n = QG.n_relations graph in
   let table : (Plan.t * float) Subset_table.t = Subset_table.create 1024 in
+  let covered =
+    List.fold_left
+      (fun acc ((p : Plan.t), _) ->
+        if not (Bitset.disjoint acc p.Plan.set) then
+          invalid_arg "Dp.build_table_seeded: overlapping seed fragments";
+        Bitset.union acc p.Plan.set)
+      Bitset.empty seeds
+  in
+  List.iter
+    (fun ((p : Plan.t), cost) -> Subset_table.add table p.Plan.set (p, cost))
+    seeds;
   for r = 0 to n - 1 do
-    Subset_table.add table (Bitset.singleton r) (Search.scan_entry t r)
+    if not (Bitset.mem r covered) then
+      Subset_table.add table (Bitset.singleton r) (Search.scan_entry t r)
   done;
   let subsets = QG.connected_subsets graph in
   Array.iter
     (fun s ->
-      if Bitset.cardinal s >= 2 then begin
+      if Bitset.cardinal s >= 2 && not (Subset_table.mem table s) then begin
         let best = ref None in
         Bitset.subsets_iter s (fun s1 ->
             let s2 = Bitset.diff s s1 in
@@ -42,13 +61,17 @@ let build_table (t : Search.t) =
     subsets;
   table
 
-let optimize t =
+let build_table t = build_table_seeded t ~seeds:[]
+
+let optimize_seeded t ~seeds =
   let graph = t.Search.env.Cost.Cost_model.graph in
-  let table = build_table t in
+  let table = build_table_seeded t ~seeds in
   match Subset_table.find_opt table (QG.full_set graph) with
   | Some entry -> entry
   | None ->
       invalid_arg
         (Printf.sprintf "Dp.optimize: no plan found for query %s" (QG.name graph))
+
+let optimize t = optimize_seeded t ~seeds:[]
 
 let optimize_all_subsets = build_table

@@ -13,5 +13,15 @@ val optimize : Search.t -> Plan.t * float
     Raises [Invalid_argument] if no plan exists (cannot happen for
     connected graphs with hash joins enabled). *)
 
+val optimize_seeded :
+  Search.t -> seeds:(Plan.t * float) list -> Plan.t * float
+(** Re-entrant enumeration for mid-query re-optimization: like
+    {!optimize}, but the DP table is pre-seeded with already-executed
+    plan fragments at their (sunk) costs. Each seed's relation subgraph
+    behaves like a base relation — it can only appear atomically in the
+    result, because none of its member singletons is enumerable on its
+    own. Seeds must be pairwise disjoint ([Invalid_argument] otherwise);
+    [optimize] is [optimize_seeded ~seeds:\[\]]. *)
+
 val optimize_all_subsets : Search.t -> (Plan.t * float) Subset_table.t
 (** The full DP table, for experiments that inspect sub-plans. *)

@@ -1,0 +1,44 @@
+(* A Simpli-Squared-style enumerator (Datta et al.): choose the join
+   order from raw base-table row counts only — no cardinality estimates,
+   no per-predicate statistics. The order is left-deep, greedily
+   appending the smallest not-yet-joined relation that is connected to
+   the current prefix (lowest relation index breaks ties), starting from
+   the smallest table overall. Physical operators are still picked by
+   the cost model through {!Search.best_join}, mirroring the original
+   setup where the simplified optimizer hands its join order to the
+   underlying engine. *)
+
+module Bitset = Util.Bitset
+module QG = Query.Query_graph
+
+let optimize (t : Search.t) =
+  let graph = t.Search.env.Cost.Cost_model.graph in
+  let n = QG.n_relations graph in
+  if n = 0 then invalid_arg "Simpli.optimize: empty query graph";
+  let rows r =
+    Storage.Table.row_count (QG.relation graph r).QG.table
+  in
+  (* Smaller table wins; the index tie-break keeps the order (and with
+     it every downstream experiment) deterministic. *)
+  let better a b = rows a < rows b || (rows a = rows b && a < b) in
+  let first = ref 0 in
+  for r = 1 to n - 1 do
+    if better r !first then first := r
+  done;
+  let joined = ref (Bitset.singleton !first) in
+  let entry = ref (Search.scan_entry t !first) in
+  for _ = 2 to n do
+    let frontier = QG.neighbors graph !joined in
+    let next = ref (-1) in
+    for r = 0 to n - 1 do
+      if Bitset.mem r frontier && (!next < 0 || better r !next) then next := r
+    done;
+    if !next < 0 then invalid_arg "Simpli.optimize: graph not connected";
+    (match
+       Search.best_join t ~outer:!entry ~inner:(Search.scan_entry t !next)
+     with
+    | Some e -> entry := e
+    | None -> invalid_arg "Simpli.optimize: no legal join method");
+    joined := Bitset.add !next !joined
+  done;
+  !entry

@@ -1,0 +1,10 @@
+(** Simpli-Squared-style enumeration (Datta et al., PAPERS.md): a join
+    order computed from raw base-table row counts alone — no cardinality
+    estimation at all. Greedy left-deep, smallest connected relation
+    next; physical operators still chosen by the cost model. The
+    baseline for "how far do you get with no estimates whatsoever?" in
+    the re-optimization experiment. *)
+
+val optimize : Search.t -> Plan.t * float
+(** Raises [Invalid_argument] on a disconnected graph or when no legal
+    join method exists for a forced join. *)

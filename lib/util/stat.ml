@@ -1,5 +1,7 @@
 let epsilon = 1e-9
 
+let floored x = Float.max 1.0 x
+
 let q_error ~estimate ~truth =
   let e = Float.max estimate epsilon in
   let t = Float.max truth epsilon in

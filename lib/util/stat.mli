@@ -4,6 +4,11 @@
     (Tables 2–3), geometric means (Section 5.4) and linear-regression
     prediction errors (Figure 8); all of those primitives live here. *)
 
+val floored : float -> float
+(** Floor a cardinality at one row ([Float.max 1.0]) before computing
+    ratio metrics, so empty intermediate results do not blow up q-errors
+    (the paper's convention for Table 1 and Figures 3–5). *)
+
 val q_error : estimate:float -> truth:float -> float
 (** The factor by which an estimate differs from the truth:
     [max (e /. t) (t /. e)], with both sides floored at a tiny epsilon so

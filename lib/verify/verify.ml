@@ -14,14 +14,15 @@ module Estimate_sanitizer = Estimate_sanitizer
 module Cost_sanitizer = Cost_sanitizer
 module Graph_lint = Graph_lint
 
-type enumerator = Dp | Goo | Quickpick of int
+type enumerator = Dp | Goo | Quickpick of int | Simpli
 
 let enumerator_name = function
   | Dp -> "dp"
   | Goo -> "goo"
   | Quickpick n -> Printf.sprintf "quickpick:%d" n
+  | Simpli -> "simpli"
 
-let default_enumerators = [ Dp; Goo; Quickpick 10 ]
+let default_enumerators = [ Dp; Goo; Quickpick 10; Simpli ]
 
 (* Re-exported pass entry points, so callers need one module. *)
 let check_graph = Graph_lint.check
@@ -46,6 +47,7 @@ let run_enumerator search = function
   | Goo -> Planner.Goo.optimize search
   | Quickpick attempts ->
       Planner.Quickpick.best_of search (Util.Prng.create 1) ~attempts
+  | Simpli -> Planner.Simpli.optimize search
 
 (* Plan + cost passes for one estimator/model pair: every enumerator's
    plan is sanitized structurally and cost-wise, then DP's cost is

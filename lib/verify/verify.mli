@@ -13,12 +13,12 @@ module Estimate_sanitizer = Estimate_sanitizer
 module Cost_sanitizer = Cost_sanitizer
 module Graph_lint = Graph_lint
 
-type enumerator = Dp | Goo | Quickpick of int
+type enumerator = Dp | Goo | Quickpick of int | Simpli
 
 val enumerator_name : enumerator -> string
 
 val default_enumerators : enumerator list
-(** [Dp; Goo; Quickpick 10]. *)
+(** [Dp; Goo; Quickpick 10; Simpli]. *)
 
 val check_graph : ?subject:string -> Query.Query_graph.t -> Violation.result
 

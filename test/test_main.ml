@@ -19,6 +19,7 @@ let () =
       ("workload", Test_workload.suite);
       ("experiments", Test_experiments.suite);
       ("extensions", Test_extensions.suite);
+      ("reopt", Test_reopt.suite);
       ("csv", Test_csv.suite);
       ("integration", Test_integration.suite);
     ]

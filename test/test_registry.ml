@@ -94,7 +94,7 @@ let test_enumerator_parse () =
     (Registry.enumerator_name (Registry.Quickpick 17))
 
 let test_catalog () =
-  Alcotest.(check int) "13 experiments" 13
+  Alcotest.(check int) "14 experiments" 14
     (List.length Experiments.Catalog.all);
   let e = Experiments.Catalog.find_exn "table-3" in
   Alcotest.(check string) "id" "table-3" e.Experiments.Catalog.id;

@@ -116,6 +116,12 @@ let test_q_error_basics () =
   checkf "10x over" 10.0 (Util.Stat.q_error ~estimate:1000.0 ~truth:100.0);
   checkf "10x under" 10.0 (Util.Stat.q_error ~estimate:10.0 ~truth:100.0)
 
+let test_floored () =
+  checkf "above one" 42.0 (Util.Stat.floored 42.0);
+  checkf "below one" 1.0 (Util.Stat.floored 0.3);
+  checkf "zero" 1.0 (Util.Stat.floored 0.0);
+  checkf "negative" 1.0 (Util.Stat.floored (-5.0))
+
 let q_error_symmetric =
   Support.qcheck_case ~name:"q_error symmetric in estimate/truth"
     QCheck.(pair (float_range 0.1 1e6) (float_range 0.1 1e6))
@@ -280,6 +286,7 @@ let suite =
     zipf_sample_in_range;
     Alcotest.test_case "zipf skew" `Quick test_zipf_skew;
     Alcotest.test_case "q-error basics" `Quick test_q_error_basics;
+    Alcotest.test_case "floored" `Quick test_floored;
     q_error_symmetric;
     q_error_at_least_one;
     Alcotest.test_case "percentiles" `Quick test_percentiles;
