@@ -194,9 +194,9 @@ let bench_exec_kernel (h : Experiments.Harness.t) =
       prepared
   in
   let measure flag =
-    Exec.Executor.reference_scan := flag;
+    Atomic.set Exec.Executor.reference_scan flag;
     Fun.protect
-      ~finally:(fun () -> Exec.Executor.reference_scan := false)
+      ~finally:(fun () -> Atomic.set Exec.Executor.reference_scan false)
       (fun () -> time_alloc ~runs:10 run_all)
   in
   let reference_ms, reference_alloc = measure true in
@@ -588,11 +588,11 @@ let () =
      its render fills last_summaries. The last render wins (the parallel
      twin's, when -j > 1) — renders are byte-identical across job
      counts, so the aggregates match the printed tables either way. *)
-  (match !Experiments.Exp_reopt.last_summaries with
+  (match Atomic.get Experiments.Exp_reopt.last_summaries with
   | [] -> ()
   | summaries ->
       write_reopt_json ~path:"BENCH_reopt.json" ~scale:!scale ~seed:!seed
-        ~threshold:!Experiments.Exp_reopt.threshold summaries);
+        ~threshold:(Atomic.get Experiments.Exp_reopt.threshold) summaries);
   write_exec_json ~path:"BENCH_exec.json" ~scale:!scale ~seed:!seed
     [ bench_exec_kernel h; bench_sortside_kernel h; bench_truecard_kernel h ];
   if not !skip_micro then run_micro h;

@@ -398,10 +398,10 @@ let experiment_cmd =
     (* Workers tune their GC on spawn; the caller participates in every
        parallel map, so it needs the same treatment. *)
     Util.Domain_pool.tune_gc ();
-    Experiments.Harness.debug_verify := verify;
+    Atomic.set Experiments.Harness.debug_verify verify;
     if reopt_threshold < 1.0 then
       invalid_arg "jobench experiment: --reopt-threshold must be >= 1.0";
-    Experiments.Exp_reopt.threshold := reopt_threshold;
+    Atomic.set Experiments.Exp_reopt.threshold reopt_threshold;
     let jobs =
       if jobs < 0 then invalid_arg "jobench experiment: -j must be >= 0"
       else if jobs = 0 then Domain.recommended_domain_count ()
@@ -438,6 +438,37 @@ let experiment_cmd =
       const run $ scale_arg $ seed_arg $ verify_flag $ stats_flag
       $ gc_stats_flag $ reopt_threshold_arg $ jobs_arg $ id_arg)
 
+(* --- lint ----------------------------------------------------------------- *)
+
+let lint_cmd =
+  let root_arg =
+    let doc =
+      "Directory whose lib/, bin/ and bench/ the source pass scans."
+    in
+    Arg.(value & opt string "." & info [ "root" ] ~docv:"DIR" ~doc)
+  in
+  let report_arg =
+    let doc = "Write a machine-readable JSON lint report to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE" ~doc)
+  in
+  let workload_only_arg =
+    let doc = "Lint only the workload query graphs (the @verify gate)." in
+    Arg.(value & flag & info [ "workload-only" ] ~doc)
+  in
+  let run root report workload_only =
+    let code =
+      if workload_only then Lintkit.Driver.run_workload_only ()
+      else Lintkit.Driver.run ?report ~root ()
+    in
+    if code <> 0 then exit code
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Run the domlint source pass and the workload query-graph lint \
+          under one report")
+    Term.(const run $ root_arg $ report_arg $ workload_only_arg)
+
 let () =
   let doc = "Join Order Benchmark reproduction toolkit" in
   let info = Cmd.info "jobench" ~version:"1.0.0" ~doc in
@@ -445,4 +476,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; show_cmd; plan_cmd; run_cmd; generate_cmd; stats_cmd;
-            estimate_cmd; verify_cmd; experiment_cmd ]))
+            estimate_cmd; verify_cmd; experiment_cmd; lint_cmd ]))

@@ -435,6 +435,7 @@ let count_cyclic rel_classes base_groups members =
 
 (* ------------------------------------------------------------------ *)
 
+(* domlint: safe [R1] — empty sentinel shared read-only, never grown *)
 let empty_compressed =
   { classes = [||]; groups = GT.create ~arity:0 ~expected:1 () }
 

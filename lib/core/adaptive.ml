@@ -36,6 +36,7 @@ let probe_target observed est plan =
    database and cached: a real system would keep such a sample resident,
    exactly like the table samples of Section 3.1, and pay only the
    sampled fraction of the work per observation. *)
+(* domlint: safe [R1] — every access is under sample_lock below *)
 let sample_cache :
     (Storage.Database.t * Cardest.Join_sample.t Util.Once.t) option ref =
   ref None

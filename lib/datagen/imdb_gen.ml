@@ -99,6 +99,7 @@ let phonetic prng =
   let letter = Char.chr (Char.code 'A' + Prng.int prng 26) in
   Printf.sprintf "%c%d" letter (Prng.int prng 600)
 
+(* domlint: safe [R1] — constant vocabulary, never written *)
 let month_names =
   [|
     "January"; "February"; "March"; "April"; "May"; "June"; "July"; "August";

@@ -1,0 +1,285 @@
+(* R4: a syntactic lock-nesting graph across the scanned modules, with a
+   cycle check — the deadlock guard for the upcoming serving daemon.
+
+   Locks are tracked at module granularity: a module that ever calls
+   [Mutex.lock] or [Mutex.protect] owns a lock node, and every toplevel
+   function of that module whose body (transitively through local
+   closures) locks is a "locking entry point". An edge A -> B is
+   recorded whenever code in module A, at a point where A's lock is
+   syntactically held, calls a locking entry point of module B —
+   including nested [Mutex.lock] (self edge) and closures passed to the
+   under-lock runners [Mutex.protect], [Util.Once.make] (the thunk runs
+   under the cell's own mutex at force time) and
+   [Util.Shard_map.find_or_add] (the make function runs under the shard
+   lock).
+
+   Held state is threaded syntactically: a [Mutex.lock] makes the rest
+   of the enclosing sequence held, a [Mutex.unlock] releases it, and
+   branches ([match]/[if]/[try]) are analyzed independently with the
+   union of their exit states — conservative, so a lock released on only
+   one branch stays held. Closures defined under a held lock are walked
+   as held: they may well run before the unlock (e.g. Hashtbl.iter).
+
+   A cycle A -> ... -> A means two domains can acquire the same locks in
+   opposite orders: reported as a violation. *)
+
+module Violation = Verify.Violation
+
+let pass = "domlint/R4-lock-order"
+
+type t = {
+  (* (from, to) -> "file:line" of the first site that created the edge *)
+  edges : (string * string, string) Hashtbl.t;
+  lock_owners : (string, unit) Hashtbl.t;
+  (* (module, function) -> () for every locking entry point *)
+  entries : (string * string, unit) Hashtbl.t;
+  mutable sites : int;  (** lock-held call sites examined *)
+}
+
+let flatten = Longident.flatten
+
+let lid_ends_with lid suffix =
+  let rec ends l s =
+    match (l, s) with
+    | _, [] -> true
+    | x :: l', y :: s' -> String.equal x y && ends l' s'
+    | [], _ -> false
+  in
+  ends (List.rev (flatten lid)) (List.rev suffix)
+
+let is_lock lid = lid_ends_with lid [ "Mutex"; "lock" ]
+let is_unlock lid = lid_ends_with lid [ "Mutex"; "unlock" ]
+let is_protect lid = lid_ends_with lid [ "Mutex"; "protect" ]
+
+(* Runner -> module whose lock the closure argument runs under. *)
+let runner_owner lid =
+  if is_protect lid then Some "Mutex"
+  else if lid_ends_with lid [ "Once"; "make" ] then Some "Once"
+  else if lid_ends_with lid [ "Shard_map"; "find_or_add" ] then
+    Some "Shard_map"
+  else None
+
+let split_qualified lid =
+  match List.rev (flatten lid) with
+  | value :: md :: _ -> Some (md, value)
+  | _ -> None
+
+(* ---------------- pass 1: who owns locks, and through which entry
+   points they are acquired ---------------- *)
+
+let expr_locks (e : Parsetree.expression) =
+  let found = ref false in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          (match e.pexp_desc with
+          | Pexp_ident { txt; _ } when is_lock txt || is_protect txt ->
+              found := true
+          | _ -> ());
+          Ast_iterator.default_iterator.expr it e);
+    }
+  in
+  it.expr it e;
+  !found
+
+let collect_entries t (file : Source.t) =
+  let owns = ref false in
+  List.iter
+    (fun (vb : Parsetree.value_binding) ->
+      if expr_locks vb.pvb_expr then begin
+        owns := true;
+        match Rules.binding_name vb with
+        | Some name ->
+            Hashtbl.replace t.entries (file.Source.module_name, name) ()
+        | None -> ()
+      end)
+    (Rules.toplevel_bindings file.Source.ast);
+  if !owns then Hashtbl.replace t.lock_owners file.Source.module_name ()
+
+(* ---------------- pass 2: held-region walk recording edges --------- *)
+
+let add_edge t ~site from into =
+  t.sites <- t.sites + 1;
+  if not (Hashtbl.mem t.edges (from, into)) then
+    Hashtbl.add t.edges (from, into) site
+
+(* Walk [e] with [held] the stack of lock-owner modules currently held;
+   returns the held stack after [e]. *)
+let walk_file t (file : Source.t) =
+  let self = file.Source.module_name in
+  let site loc =
+    Printf.sprintf "%s:%d" file.Source.rel (Source.line_of loc)
+  in
+  let union a b =
+    List.sort_uniq compare (a @ b)
+  in
+  let rec walk held (e : Parsetree.expression) =
+    match e.pexp_desc with
+    | Pexp_sequence (a, b) ->
+        let held' = step held a in
+        walk held' b
+    | Pexp_let (_, vbs, body) ->
+        let held' =
+          List.fold_left (fun h (vb : Parsetree.value_binding) ->
+              step h vb.pvb_expr)
+            held vbs
+        in
+        walk held' body
+    | Pexp_match (scrut, cases) | Pexp_try (scrut, cases) ->
+        let held' = step held scrut in
+        branches held' (List.map (fun (c : Parsetree.case) -> c.pc_rhs) cases)
+    | Pexp_function cases ->
+        branches held (List.map (fun (c : Parsetree.case) -> c.pc_rhs) cases)
+    | Pexp_ifthenelse (cond, ift, ife) ->
+        let held' = step held cond in
+        branches held' (ift :: Option.to_list ife)
+    | Pexp_fun (_, default_arg, _, body) ->
+        Option.iter (fun d -> ignore (walk held d)) default_arg;
+        (* Conservative: a closure built under a lock may run under it. *)
+        ignore (walk held body);
+        held
+    | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; pexp_loc; _ }, args) ->
+        apply held ~loc:pexp_loc txt args
+    | _ -> default held e
+
+  (* One sequence/let step: evaluate [a] for its effect on the held
+     stack. [Mutex.lock] pushes this module's lock, [Mutex.unlock] pops
+     one level; anything else is walked normally. *)
+  and step held (a : Parsetree.expression) =
+    match a.pexp_desc with
+    | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; pexp_loc; _ }, _)
+      when is_lock txt ->
+        if held <> [] then
+          List.iter (fun h -> add_edge t ~site:(site pexp_loc) h self) held;
+        self :: held
+    | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _)
+      when is_unlock txt -> (
+        match held with [] -> [] | _ :: rest -> rest)
+    | _ -> walk held a
+
+  and branches held bodies =
+    List.fold_left (fun acc body -> union acc (walk held body)) [] bodies
+    |> fun exits -> if exits = [] then held else exits
+
+  and apply held ~loc lid args =
+    (match runner_owner lid with
+    | Some owner ->
+        (* The function-literal arguments run under [owner]'s lock. *)
+        List.iter
+          (fun ((_, a) : Asttypes.arg_label * Parsetree.expression) ->
+            match a.pexp_desc with
+            | Pexp_fun _ | Pexp_function _ ->
+                if held <> [] then
+                  List.iter
+                    (fun h ->
+                      if not (String.equal h owner) then
+                        add_edge t ~site:(site loc) h owner)
+                    held;
+                ignore (walk (owner :: held) a)
+            | _ -> ignore (walk held a))
+          args
+    | None ->
+        (match split_qualified lid with
+        | Some (md, fn)
+          when held <> []
+               && Hashtbl.mem t.lock_owners md
+               && Hashtbl.mem t.entries (md, fn) ->
+            List.iter (fun h -> add_edge t ~site:(site loc) h md) held
+        | _ -> ());
+        (* lock/unlock outside sequence position (e.g. a bare
+           [Mutex.lock m] as a whole function body) still counts. *)
+        if is_lock lid && held <> [] then
+          List.iter (fun h -> add_edge t ~site:(site loc) h self) held;
+        List.iter (fun (_, a) -> ignore (walk held a)) args);
+    held
+
+  and default held (e : Parsetree.expression) =
+    (* Generic: thread the held stack through immediate children in
+       syntactic order. *)
+    let acc = ref held in
+    let it =
+      {
+        Ast_iterator.default_iterator with
+        expr = (fun _ child -> acc := walk !acc child);
+      }
+    in
+    Ast_iterator.default_iterator.expr it e;
+    !acc
+  in
+  List.iter
+    (fun (vb : Parsetree.value_binding) -> ignore (walk [] vb.pvb_expr))
+    (Rules.toplevel_bindings file.Source.ast)
+
+(* ---------------- construction and the acyclicity check ------------- *)
+
+let build files =
+  let t =
+    {
+      edges = Hashtbl.create 16;
+      lock_owners = Hashtbl.create 16;
+      entries = Hashtbl.create 64;
+      sites = 0;
+    }
+  in
+  List.iter (collect_entries t) files;
+  List.iter (walk_file t) files;
+  t
+
+let edges t =
+  Hashtbl.fold (fun (a, b) site acc -> (a, b, site) :: acc) t.edges []
+  |> List.sort compare
+
+(* DFS cycle detection over the module nodes; every cycle found is one
+   violation naming the full path and a witness site. *)
+let check t =
+  let adj = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun (a, b) site ->
+      let cur = Option.value (Hashtbl.find_opt adj a) ~default:[] in
+      Hashtbl.replace adj a ((b, site) :: cur))
+    t.edges;
+  let color = Hashtbl.create 16 in
+  let cycles = ref [] in
+  let rec dfs path node =
+    match Hashtbl.find_opt color node with
+    | Some `Done -> ()
+    | Some `Active ->
+        (* The cycle is the path segment from this re-entry of [node]
+           back to its previous occurrence (or the DFS root). *)
+        let rec take acc = function
+          | [] -> List.rev acc
+          | (n, s) :: rest ->
+              if String.equal n node && acc <> [] then List.rev acc
+              else take ((n, s) :: acc) rest
+        in
+        cycles := take [] path :: !cycles
+    | None ->
+        Hashtbl.replace color node `Active;
+        List.iter
+          (fun (next, site) -> dfs ((next, site) :: path) next)
+          (Option.value (Hashtbl.find_opt adj node) ~default:[]);
+        Hashtbl.replace color node `Done
+  in
+  Hashtbl.iter (fun (a, _) _ -> if not (Hashtbl.mem color a) then dfs [] a) t.edges;
+  let violations =
+    List.map
+      (fun cycle ->
+        let names = List.map fst cycle in
+        let path =
+          String.concat " -> " (names @ [ List.hd names ])
+        in
+        let sites = String.concat ", " (List.map snd cycle) in
+        {
+          Violation.pass;
+          subject = path;
+          message =
+            Printf.sprintf
+              "lock-order cycle: %s (acquisition sites: %s) — two domains \
+               can deadlock by acquiring these locks in opposite orders"
+              path sites;
+        })
+      (List.sort_uniq compare !cycles)
+  in
+  { Violation.checks = t.sites + Hashtbl.length t.edges + 1; violations }

@@ -1,0 +1,398 @@
+(* The per-file domain-safety rules, each a syntactic pass over the
+   Parsetree. Everything reports through {!Verify.Violation} so source
+   findings share the severity/reporting format of the plan sanitizers.
+
+   R1  module-toplevel mutable state ([ref], [Hashtbl.create], array
+       literals/constructors, records with mutable fields) must be
+       wrapped in a recognized domain-safe container ([Atomic], [Mutex],
+       [Condition], [Util.Once], [Util.Shard_map], [Util.Domain_pool])
+       or carry a suppression. Function bindings are exempt — state
+       created inside a function body is per-call. [let () = ...] and
+       [let _ = ...] initializers are exempt: nothing they create can be
+       named from outside.
+   R2  no [lazy] / [Lazy.*] outside lib/util/once.ml (Lazy is
+       domain-unsafe under OCaml 5: concurrent forcing raises
+       [Undefined]).
+   R3  no global [Random.*] outside lib/util/prng.ml (shared global
+       state breaks deterministic -j N replay).
+   R5  no [Domain.spawn] outside lib/util/domain_pool.ml (domains are a
+       bounded resource owned by the pool). *)
+
+module Violation = Verify.Violation
+
+type finding = {
+  line : int;  (** the offending construct *)
+  bind_line : int;  (** the enclosing toplevel binding ([line] if none) *)
+  symbol : string;  (** enclosing binding name, or "" *)
+  msg : string;
+}
+
+type rule_result = {
+  checks : int;
+  kept : Violation.t list;
+  suppressed : int;
+}
+
+(* Filter findings through inline annotations and the allowlist, then
+   render the survivors as violations. *)
+let resolve ~allow ~(file : Source.t) ~rule ~pass ~checks findings =
+  let suppressed = ref 0 in
+  let kept =
+    List.filter_map
+      (fun f ->
+        let covered =
+          List.exists
+            (fun ann ->
+              Suppress.annotation_covers ann ~rule ~line:f.line
+                ~bind_line:f.bind_line)
+            file.Source.annotations
+          || Suppress.allow_matches allow ~rule ~path:file.Source.rel
+               ~symbol:f.symbol
+        in
+        if covered then begin
+          incr suppressed;
+          None
+        end
+        else
+          Some
+            {
+              Violation.pass;
+              subject = Printf.sprintf "%s:%d" file.Source.rel f.line;
+              message = f.msg;
+            })
+      findings
+  in
+  { checks; kept; suppressed = !suppressed }
+
+(* ------------------------------------------------------------------ *)
+(* Longident helpers                                                   *)
+
+let flatten lid = Longident.flatten lid
+
+(* "Util.Shard_map.find_or_add" -> module "Shard_map", value
+   "find_or_add". Library wrapping means the same function is reachable
+   under several prefixes; the last module component is the stable
+   part. *)
+let split_qualified lid =
+  match List.rev (flatten lid) with
+  | value :: md :: _ -> Some (md, value)
+  | _ -> None
+
+let mentions_module lid name =
+  match List.rev (flatten lid) with
+  | _value :: mods -> List.mem name mods
+  | [] -> false
+
+(* ------------------------------------------------------------------ *)
+(* Structure traversal shared by the rules and the lock-graph pass      *)
+
+(* Toplevel value bindings, recursing into [module M = struct ... end]
+   (their items are just as much module state). *)
+let rec toplevel_bindings (items : Parsetree.structure) =
+  List.concat_map
+    (fun (item : Parsetree.structure_item) ->
+      match item.pstr_desc with
+      | Pstr_value (_, vbs) -> vbs
+      | Pstr_module { pmb_expr; _ } -> module_bindings pmb_expr
+      | Pstr_recmodule mbs ->
+          List.concat_map (fun (mb : Parsetree.module_binding) ->
+              module_bindings mb.pmb_expr) mbs
+      | _ -> [])
+    items
+
+and module_bindings (me : Parsetree.module_expr) =
+  match me.pmod_desc with
+  | Pmod_structure items -> toplevel_bindings items
+  | Pmod_constraint (me, _) | Pmod_functor (_, me) -> module_bindings me
+  | _ -> []
+
+let binding_name (vb : Parsetree.value_binding) =
+  let rec of_pat (p : Parsetree.pattern) =
+    match p.ppat_desc with
+    | Ppat_var { txt; _ } -> Some txt
+    | Ppat_constraint (p, _) -> of_pat p
+    | _ -> None
+  in
+  of_pat vb.pvb_pat
+
+(* Global pass: every mutable record-field name declared anywhere in the
+   scanned tree. A toplevel record literal touching one of these is
+   shared mutable state no matter which module declared the type. *)
+let collect_mutable_fields files =
+  let fields = Hashtbl.create 64 in
+  let rec scan_items items =
+    List.iter
+      (fun (item : Parsetree.structure_item) ->
+        match item.pstr_desc with
+        | Pstr_type (_, decls) ->
+            List.iter
+              (fun (d : Parsetree.type_declaration) ->
+                match d.ptype_kind with
+                | Ptype_record labels ->
+                    List.iter
+                      (fun (l : Parsetree.label_declaration) ->
+                        if l.pld_mutable = Mutable then
+                          Hashtbl.replace fields l.pld_name.txt ())
+                      labels
+                | _ -> ())
+              decls
+        | Pstr_module { pmb_expr = { pmod_desc = Pmod_structure s; _ }; _ } ->
+            scan_items s
+        | _ -> ())
+      items
+  in
+  List.iter (fun (f : Source.t) -> scan_items f.Source.ast) files;
+  fields
+
+(* ------------------------------------------------------------------ *)
+(* R1: toplevel mutable state                                          *)
+
+let r1_pass = "domlint/R1-toplevel-mutable-state"
+
+(* Wrappers that make shared state domain-safe by construction; their
+   subtrees are not scanned further. *)
+let safe_wrapper_modules =
+  [ "Atomic"; "Mutex"; "Condition"; "Semaphore"; "Once"; "Shard_map";
+    "Domain_pool"; "DLS" ]
+
+(* Constructors of bare mutable containers. *)
+let mutable_constructors =
+  [
+    ("Hashtbl", [ "create"; "of_seq"; "copy" ]);
+    ("Buffer", [ "create" ]);
+    ("Queue", [ "create"; "of_seq"; "copy" ]);
+    ("Stack", [ "create"; "of_seq"; "copy" ]);
+    ("Bytes", [ "create"; "make"; "init"; "of_string"; "copy"; "sub" ]);
+    ( "Array",
+      [
+        "make"; "create_float"; "init"; "make_matrix"; "of_list"; "of_seq";
+        "copy"; "append"; "concat"; "sub"; "map"; "mapi";
+      ] );
+    ("Weak", [ "create" ]);
+  ]
+
+let is_function_body (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_fun _ | Pexp_function _ | Pexp_newtype _ -> true
+  | _ -> false
+
+let check_r1 ~allow ~mutable_fields (file : Source.t) =
+  let checks = ref 0 in
+  let findings = ref [] in
+  let add ~line ~bind_line ~symbol msg =
+    findings := { line; bind_line; symbol; msg } :: !findings
+  in
+  let scan_binding ~bind_line ~symbol (rhs : Parsetree.expression) =
+    (* Walk the initializer, but not into function bodies: state created
+       per call is local. Everything found here is evaluated once at
+       module initialization and shared by every domain. *)
+    let rec walk (e : Parsetree.expression) =
+      let line = Source.line_of e.pexp_loc in
+      match e.pexp_desc with
+      | Pexp_fun _ | Pexp_function _ | Pexp_newtype _ -> ()
+      | Pexp_array _ ->
+          add ~line ~bind_line ~symbol
+            (Printf.sprintf
+               "toplevel binding '%s' holds a bare array: wrap it in Atomic \
+                or a guarded container, or suppress with a domlint annotation"
+               symbol)
+      | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) -> (
+          match split_qualified txt with
+          | Some (md, _) when List.mem md safe_wrapper_modules ->
+              () (* wrapped: presumed intentional and guarded *)
+          | Some (md, fn)
+            when List.exists
+                   (fun (m, fns) -> String.equal m md && List.mem fn fns)
+                   mutable_constructors ->
+              add ~line ~bind_line ~symbol
+                (Printf.sprintf
+                   "toplevel binding '%s' creates a bare %s.%s: wrap it in \
+                    Atomic/Mutex/Util.Shard_map/Util.Once or suppress with a \
+                    domlint annotation"
+                   symbol md fn)
+          | _ -> (
+              match flatten txt with
+              | [ "ref" ] ->
+                  add ~line ~bind_line ~symbol
+                    (Printf.sprintf
+                       "toplevel binding '%s' is a bare ref: use Atomic.make \
+                        (or guard it and annotate why it is safe)"
+                       symbol)
+              | _ -> List.iter (fun (_, a) -> walk a) args))
+      | Pexp_record (fields, base) ->
+          List.iter
+            (fun (({ txt; _ } : Longident.t Location.loc), value) ->
+              (match List.rev (flatten txt) with
+              | fname :: _ when Hashtbl.mem mutable_fields fname ->
+                  add ~line ~bind_line ~symbol
+                    (Printf.sprintf
+                       "toplevel binding '%s' builds a record with mutable \
+                        field '%s': shared unsynchronized state"
+                       symbol fname)
+              | _ -> ());
+              walk value)
+            fields;
+          Option.iter walk base
+      | _ -> default e
+    and default e =
+      (* Generic descent into immediate children, reusing the iterator's
+         knowledge of the grammar so new syntax can't be skipped. *)
+      let it =
+        {
+          Ast_iterator.default_iterator with
+          expr = (fun _ child -> walk child);
+        }
+      in
+      Ast_iterator.default_iterator.expr it e
+    in
+    walk rhs
+  in
+  List.iter
+    (fun (vb : Parsetree.value_binding) ->
+      match binding_name vb with
+      | None -> () (* let () / let _: results cannot escape by name *)
+      | Some symbol ->
+          if not (is_function_body vb.pvb_expr) then begin
+            incr checks;
+            scan_binding ~bind_line:(Source.line_of vb.pvb_loc) ~symbol
+              vb.pvb_expr
+          end)
+    (toplevel_bindings file.Source.ast);
+  resolve ~allow ~file ~rule:"R1" ~pass:r1_pass ~checks:(max 1 !checks)
+    (List.rev !findings)
+
+(* ------------------------------------------------------------------ *)
+(* R2/R3/R5: forbidden constructs outside their owner module            *)
+
+let r2_pass = "domlint/R2-lazy"
+let r3_pass = "domlint/R3-global-random"
+let r5_pass = "domlint/R5-domain-spawn"
+
+let exempt file suffixes =
+  List.exists
+    (fun s -> Suppress.path_matches ~pattern:s file.Source.rel)
+    suffixes
+
+(* Walk every expression (and module expression) in the file. *)
+let iter_idents (file : Source.t) ~on_expr ~on_lid =
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it (e : Parsetree.expression) ->
+          on_expr e;
+          (match e.pexp_desc with
+          | Pexp_ident { txt; _ } -> on_lid e.pexp_loc txt
+          | _ -> ());
+          Ast_iterator.default_iterator.expr it e);
+      module_expr =
+        (fun it (me : Parsetree.module_expr) ->
+          (match me.pmod_desc with
+          | Pmod_ident { txt; _ } -> on_lid me.pmod_loc txt
+          | _ -> ());
+          Ast_iterator.default_iterator.module_expr it me);
+    }
+  in
+  it.structure it file.Source.ast
+
+let check_r2 ~allow (file : Source.t) =
+  if exempt file [ "lib/util/once.ml" ] then
+    { checks = 1; kept = []; suppressed = 0 }
+  else begin
+    let findings = ref [] in
+    let add line msg = findings := { line; bind_line = line; symbol = ""; msg } :: !findings in
+    iter_idents file
+      ~on_expr:(fun e ->
+        match e.pexp_desc with
+        | Pexp_lazy _ ->
+            add (Source.line_of e.pexp_loc)
+              "lazy expression: Lazy is domain-unsafe under OCaml 5 \
+               (concurrent forcing raises Undefined); use Util.Once"
+        | _ -> ())
+      ~on_lid:(fun loc lid ->
+        if mentions_module lid "Lazy" then
+          add (Source.line_of loc)
+            "Lazy.* use outside lib/util/once.ml: use Util.Once instead");
+    resolve ~allow ~file ~rule:"R2" ~pass:r2_pass
+      ~checks:(1 + List.length !findings)
+      (List.rev !findings)
+  end
+
+let check_r3 ~allow (file : Source.t) =
+  if exempt file [ "lib/util/prng.ml" ] then
+    { checks = 1; kept = []; suppressed = 0 }
+  else begin
+    let findings = ref [] in
+    iter_idents file
+      ~on_expr:(fun _ -> ())
+      ~on_lid:(fun loc lid ->
+        if mentions_module lid "Random" || flatten lid = [ "Random" ] then
+          findings :=
+            {
+              line = Source.line_of loc;
+              bind_line = Source.line_of loc;
+              symbol = "";
+              msg =
+                "global Random.* outside lib/util/prng.ml: shared PRNG state \
+                 breaks deterministic -j N replay; thread a Util.Prng.t";
+            }
+            :: !findings);
+    resolve ~allow ~file ~rule:"R3" ~pass:r3_pass
+      ~checks:(1 + List.length !findings)
+      (List.rev !findings)
+  end
+
+let check_r5 ~allow (file : Source.t) =
+  if exempt file [ "lib/util/domain_pool.ml" ] then
+    { checks = 1; kept = []; suppressed = 0 }
+  else begin
+    let findings = ref [] in
+    iter_idents file
+      ~on_expr:(fun _ -> ())
+      ~on_lid:(fun loc lid ->
+        match List.rev (flatten lid) with
+        | "spawn" :: "Domain" :: _ ->
+            findings :=
+              {
+                line = Source.line_of loc;
+                bind_line = Source.line_of loc;
+                symbol = "";
+                msg =
+                  "Domain.spawn outside lib/util/domain_pool.ml: domains are \
+                   a bounded resource; go through Util.Domain_pool";
+              }
+              :: !findings
+        | _ -> ());
+    resolve ~allow ~file ~rule:"R5" ~pass:r5_pass
+      ~checks:(1 + List.length !findings)
+      (List.rev !findings)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Annotation hygiene: a malformed annotation (no reason, or a typo
+   after "domlint:") must not silently suppress nothing.               *)
+
+let hygiene_pass = "domlint/annotation"
+
+let check_annotations (file : Source.t) =
+  let violations =
+    List.filter_map
+      (fun (ann : Suppress.annotation) ->
+        if ann.Suppress.reason = None then
+          Some
+            {
+              Violation.pass = hygiene_pass;
+              subject =
+                Printf.sprintf "%s:%d" file.Source.rel ann.Suppress.first_line;
+              message =
+                "malformed domlint annotation: expected \"domlint: safe \
+                 [RN] — reason\" with a non-empty reason";
+            }
+        else None)
+      file.Source.annotations
+  in
+  {
+    checks = max 1 (List.length file.Source.annotations);
+    kept = violations;
+    suppressed = 0;
+  }

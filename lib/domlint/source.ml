@@ -1,0 +1,81 @@
+(* One parsed source file, ready for the rule passes: the Parsetree (via
+   compiler-libs, the same frontend the build uses, so nothing the lint
+   sees can disagree with what compiles), plus every domlint annotation
+   comment with its line span. *)
+
+type t = {
+  path : string;  (** as passed in, used in reports *)
+  rel : string;  (** normalized with '/' separators for allowlist match *)
+  module_name : string;  (** capitalized basename, e.g. "Once" *)
+  ast : Parsetree.structure;
+  annotations : Suppress.annotation list;
+}
+
+type parse_error = { err_path : string; err_line : int; err_msg : string }
+
+let line_of (loc : Location.t) = loc.Location.loc_start.Lexing.pos_lnum
+let last_line_of (loc : Location.t) = loc.Location.loc_end.Lexing.pos_lnum
+
+let normalize path = String.concat "/" (String.split_on_char '\\' path)
+
+let module_name_of path =
+  String.capitalize_ascii (Filename.remove_extension (Filename.basename path))
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse path =
+  let text = read_file path in
+  let lexbuf = Lexing.from_string text in
+  Lexing.set_filename lexbuf path;
+  match Parse.implementation lexbuf with
+  | ast ->
+      let annotations =
+        List.filter_map
+          (fun (text, loc) ->
+            Suppress.parse_comment ~first_line:(line_of loc)
+              ~last_line:(last_line_of loc) text)
+          (Lexer.comments ())
+      in
+      Ok { path; rel = normalize path; module_name = module_name_of path; ast; annotations }
+  | exception Syntaxerr.Error err ->
+      let loc = Syntaxerr.location_of_error err in
+      Error { err_path = path; err_line = line_of loc; err_msg = "syntax error" }
+  | exception Lexer.Error (_, loc) ->
+      Error { err_path = path; err_line = line_of loc; err_msg = "lexical error" }
+  | exception e ->
+      Error { err_path = path; err_line = 1; err_msg = Printexc.to_string e }
+
+(* ------------------------------------------------------------------ *)
+(* Tree walking                                                        *)
+
+(* Every [.ml] under the given directories, skipping dot- and
+   underscore-prefixed entries (editor droppings, _build). Sorted so
+   reports are deterministic regardless of readdir order. *)
+let files_under ~root ~dirs =
+  let out = ref [] in
+  let rec walk dir =
+    match Sys.readdir dir with
+    | entries ->
+        Array.sort compare entries;
+        Array.iter
+          (fun entry ->
+            if String.length entry > 0 && entry.[0] <> '.' && entry.[0] <> '_'
+            then begin
+              let path = Filename.concat dir entry in
+              if Sys.is_directory path then walk path
+              else if Filename.check_suffix entry ".ml" then
+                out := path :: !out
+            end)
+          entries
+    | exception Sys_error _ -> ()
+  in
+  List.iter
+    (fun d ->
+      let dir = Filename.concat root d in
+      if Sys.file_exists dir && Sys.is_directory dir then walk dir)
+    dirs;
+  List.sort compare !out

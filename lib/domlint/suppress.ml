@@ -1,0 +1,155 @@
+(* Suppression plumbing for the source lint: the two sanctioned ways to
+   silence a finding, both of which leave a reviewable trace.
+
+   1. An inline annotation comment placed on the offending line or the
+      line directly above it:
+
+        (* domlint: safe — guarded by sample_lock *)
+
+      The reason after the dash is mandatory; an annotation without one
+      is itself reported. An optional rule tag, bare or bracketed,
+      restricts the annotation to one rule:
+      [(* domlint: safe R1 — reason *)].
+
+   2. An entry in the committed allowlist (lint/allowlist.ml), matched
+      by rule, path suffix, and binding symbol ("*" wildcards either).
+      Entries that match nothing are reported as stale, so the
+      allowlist can only shrink as the tree gets cleaned up. *)
+
+type entry = {
+  rule : string;  (** "R1".."R5", or "*" for any rule *)
+  file : string;  (** path suffix, e.g. "lib/datagen/vocab.ml" *)
+  symbol : string;  (** toplevel binding name, or "*" for the file *)
+  reason : string;  (** one-line justification; never empty *)
+}
+
+type allowlist = { entries : entry array; used : bool array }
+
+let allowlist entries =
+  let entries = Array.of_list entries in
+  { entries; used = Array.make (Array.length entries) false }
+
+(* [path] uses '/' separators; suffix match so callers may scan from any
+   root ("../lib/util/once.ml" still matches "lib/util/once.ml"). *)
+let path_matches ~pattern path =
+  String.equal pattern path
+  || (String.length path > String.length pattern
+     && String.ends_with ~suffix:("/" ^ pattern) path)
+
+let allow_matches t ~rule ~path ~symbol =
+  let hit = ref false in
+  Array.iteri
+    (fun i e ->
+      if
+        (String.equal e.rule "*" || String.equal e.rule rule)
+        && path_matches ~pattern:e.file path
+        && (String.equal e.symbol "*" || String.equal e.symbol symbol)
+      then begin
+        t.used.(i) <- true;
+        hit := true
+      end)
+    t.entries;
+  !hit
+
+let unused t =
+  let out = ref [] in
+  Array.iteri
+    (fun i e -> if not t.used.(i) then out := e :: !out)
+    t.entries;
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* Inline annotations                                                  *)
+
+type annotation = {
+  first_line : int;
+  last_line : int;
+  a_rule : string;  (** "*" unless the comment names a rule *)
+  reason : string option;  (** [None] marks a malformed annotation *)
+}
+
+let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+
+let trim_comment text =
+  (* Comment text may arrive with or without its (* *) delimiters,
+     depending on the lexer version. *)
+  let text = String.trim text in
+  let text =
+    if String.length text >= 2 && String.sub text 0 2 = "(*" then
+      String.sub text 2 (String.length text - 2)
+    else text
+  in
+  let text =
+    if
+      String.length text >= 2
+      && String.sub text (String.length text - 2) 2 = "*)"
+    then String.sub text 0 (String.length text - 2)
+    else text
+  in
+  String.trim text
+
+let drop_prefix ~prefix s =
+  if String.length s >= String.length prefix
+     && String.equal (String.sub s 0 (String.length prefix)) prefix
+  then Some (String.sub s (String.length prefix) (String.length s - String.length prefix))
+  else None
+
+(* Parse "domlint: safe [RN] <dash> reason". Returns [None] for comments
+   that are not domlint annotations at all. *)
+let parse_comment ~first_line ~last_line text =
+  match drop_prefix ~prefix:"domlint:" (trim_comment text) with
+  | None -> None
+  | Some rest -> (
+      let rest = String.trim rest in
+      match drop_prefix ~prefix:"safe" rest with
+      | None ->
+          (* "domlint:" followed by anything else is a typo worth
+             flagging rather than silently ignoring. *)
+          Some { first_line; last_line; a_rule = "*"; reason = None }
+      | Some rest ->
+          let rest = String.trim rest in
+          (* The rule tag may be bare ("R1") or bracketed ("[R1]"). *)
+          let tag_at rest i =
+            String.length rest >= i + 2
+            && rest.[i] = 'R'
+            && rest.[i + 1] >= '1'
+            && rest.[i + 1] <= '5'
+          in
+          let a_rule, rest =
+            if
+              String.length rest >= 4
+              && rest.[0] = '['
+              && tag_at rest 1
+              && rest.[3] = ']'
+            then
+              ( String.sub rest 1 2,
+                String.trim (String.sub rest 4 (String.length rest - 4)) )
+            else if
+              tag_at rest 0 && (String.length rest = 2 || is_space rest.[2])
+            then
+              ( String.sub rest 0 2,
+                String.trim (String.sub rest 2 (String.length rest - 2)) )
+            else ("*", rest)
+          in
+          (* Accept an em dash, en dash, hyphen or colon as separator. *)
+          let reason =
+            let strip seps s =
+              List.find_map (fun sep -> drop_prefix ~prefix:sep s) seps
+            in
+            match strip [ "\xe2\x80\x94"; "\xe2\x80\x93"; "--"; "-"; ":" ] rest with
+            | Some r ->
+                let r = String.trim r in
+                if String.equal r "" then None else Some r
+            | None -> None
+          in
+          Some { first_line; last_line; a_rule; reason })
+
+(* A finding anchored at [line] (or whose enclosing binding starts at
+   [bind_line]) is covered when a well-formed annotation for its rule
+   sits on that line or directly above it. *)
+let annotation_covers ann ~rule ~line ~bind_line =
+  ann.reason <> None
+  && (String.equal ann.a_rule "*" || String.equal ann.a_rule rule)
+  && List.exists
+       (fun l -> l >= ann.first_line && l <= ann.last_line + 1)
+       [ line; bind_line ]

@@ -15,7 +15,7 @@ exception Timeout
    row-at-a-time closures instead of selection vectors. The cross-check
    test runs the full workload through both paths and asserts identical
    results; nothing in the library or the binaries sets this. *)
-let reference_scan = ref false
+let reference_scan = Atomic.make false
 
 (* Row-major tuple store for intermediate results. *)
 type batch = {
@@ -153,15 +153,16 @@ let run ~db ~graph ~config ~size_est ?observe ?(projections = []) plan =
 
   let chunk = 4096 in
   (* One selection vector for the whole run: plan evaluation is
-     sequential, so scans never overlap. Lazy, so reference-path runs
-     (and plans that are pure index nested loops) skip the allocation. *)
-  let scan_sel = lazy (Array.make chunk 0) in
+     sequential, so scans never overlap. Deferred via Once, so
+     reference-path runs (and plans that are pure index nested loops)
+     skip the allocation. *)
+  let scan_sel = Util.Once.make (fun () -> Array.make chunk 0) in
   let scan rel =
     let relation = QG.relation graph rel in
     let table = relation.QG.table in
     let out = batch_create [| rel |] in
     let n = Storage.Table.row_count table in
-    if !reference_scan then begin
+    if Atomic.get reference_scan then begin
       (* Reference path: one closure call per row. *)
       let pred = Query.Predicate.compile table relation.QG.preds in
       let row = ref 0 in
@@ -182,7 +183,7 @@ let run ~db ~graph ~config ~size_est ?observe ?(projections = []) plan =
       (* Vectorized path: fill a selection vector per chunk (one
          compaction pass per predicate atom), then append it whole. *)
       let fill = Query.Predicate.compile_selector table relation.QG.preds in
-      let sel = Lazy.force scan_sel in
+      let sel = Util.Once.force scan_sel in
       let row = ref 0 in
       while !row < n do
         let stop = min n (!row + chunk) in

@@ -29,7 +29,7 @@ type result = {
       (** MIN() of each requested projection, when the query finished. *)
 }
 
-val reference_scan : bool ref
+val reference_scan : bool Atomic.t
 (** Test-only: when set, scans evaluate predicates with the original
     row-at-a-time compiled closures instead of selection vectors. Both
     paths select identical rows and charge identical work; the kernel

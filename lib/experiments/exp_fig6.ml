@@ -5,6 +5,7 @@ let variants =
     ("(c) + rehashing", Exec.Engine_config.robust);
   ]
 
+(* domlint: safe [R1] — constant bucket edges, never written *)
 let bucket_edges = [| 0.9; 1.1; 2.0; 10.0; 100.0 |]
 
 let bucket_labels =

@@ -12,6 +12,7 @@
 
 module Bitset = Util.Bitset
 
+(* domlint: safe [R1] — constant bucket edges, never written *)
 let buckets = [| 0.9; 1.1; 2.0; 10.0; 100.0 |]
 
 let bucket_labels =
@@ -19,7 +20,7 @@ let bucket_labels =
 
 (* Q-error threshold that trips a re-plan; `jobench experiment
    --reopt-threshold` overrides (same pattern as Harness.debug_verify). *)
-let threshold = ref 2.0
+let threshold = Atomic.make 2.0
 
 let engine = Exec.Engine_config.default_9_4
 
@@ -53,7 +54,7 @@ type summary = {
   best_on : float;
 }
 
-let last_summaries : summary list ref = ref []
+let last_summaries : summary list Atomic.t = Atomic.make []
 
 let arm_of_outcome ~base_ms (o : Reopt.Driver.outcome) =
   let r = o.Reopt.Driver.result in
@@ -84,7 +85,8 @@ let measure_query (h : Harness.t) (q : Harness.qctx) =
     let plan0, _ = Harness.plan_with h q ~est ~model ?enumerator ~allow_nl () in
     let drive max_replans =
       Reopt.Driver.run ~db:h.Harness.db ~graph:q.Harness.graph ~config:engine
-        ~model ~estimator:est ~threshold:!threshold ~max_replans ~plan0
+        ~model ~estimator:est ~threshold:(Atomic.get threshold) ~max_replans
+        ~plan0
         ~projections:q.Harness.projections ()
     in
     (arm_of_outcome ~base_ms (drive 0), arm_of_outcome ~base_ms (drive 8))
@@ -224,7 +226,7 @@ let sweep h =
 
 let render h =
   let summaries = measure h in
-  last_summaries := summaries;
+  Atomic.set last_summaries summaries;
   let main =
     Util.Render.table
       ~title:
@@ -233,7 +235,7 @@ let render h =
             execution-time\n\
             cardinality feedback off/on (q-error threshold %g, PK indexes, \
             stock engine)"
-           !threshold)
+           (Atomic.get threshold))
       ~header:("system" :: "reopt" :: bucket_labels)
       (List.concat_map
          (fun s ->

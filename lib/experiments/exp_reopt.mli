@@ -9,7 +9,7 @@ val buckets : float array
 
 val bucket_labels : string list
 
-val threshold : float ref
+val threshold : float Atomic.t
 (** Q-error trip point for the main table (default 2.0); set by
     [jobench experiment --reopt-threshold]. *)
 
@@ -27,7 +27,7 @@ type summary = {
   best_on : float;
 }
 
-val last_summaries : summary list ref
+val last_summaries : summary list Atomic.t
 (** Per-system aggregates of the most recent {!render}/{!measure}, read
     by [bench/main.exe] to write BENCH_reopt.json without re-measuring. *)
 

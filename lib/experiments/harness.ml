@@ -144,7 +144,7 @@ let with_index_config t config f =
    query x estimator x index configuration — a second harness (different
    seed or scale), or the same harness under another physical design,
    verifies again instead of silently skipping. *)
-let debug_verify = ref false
+let debug_verify = Atomic.make false
 
 let fail_report report =
   invalid_arg
@@ -156,7 +156,7 @@ let verify_choice t qctx ~est ~model ~shape (plan, cost) =
   let name = qctx.query.Workload.Job.name in
   (* Structural sanity is cheap; it guards every experiment run. *)
   Verify.ensure_plan ~shape ~what:name qctx.graph plan;
-  if !debug_verify then begin
+  if Atomic.get debug_verify then begin
     let est_name = est.Cardest.Estimator.name in
     let subject =
       Printf.sprintf "%s/%s/%s" name est_name

@@ -98,7 +98,7 @@ val with_index_config :
     Not domain-safe: experiments keep configuration sweeps serial and
     fan out only within one configuration. *)
 
-val debug_verify : bool ref
+val debug_verify : bool Atomic.t
 (** When true, every {!plan_with} call also runs the estimate and cost
     sanitizer passes of {!Verify} (the estimate pass memoized per
     harness instance on query x estimator x index configuration), so a

@@ -5,6 +5,7 @@ type t = {
   indexed_rows : int;
 }
 
+(* domlint: safe [R1] — empty sentinel shared read-only, never written *)
 let empty_rows : int array = [||]
 
 let build table ~col =

@@ -16,7 +16,15 @@
      relation's table;
    - PK labelling: an edge marked PK-on-one-side must actually touch
      that table's primary-key column — estimators and the index-NL
-     planner both trust the label. *)
+     planner both trust the label;
+   - duplicate filter predicates: the same atom bound twice on one
+     alias makes every compositional estimator apply its selectivity
+     twice (predicate atoms are pure data, so structural equality is
+     exact);
+   - bound-but-unreferenced relations: an alias with neither a join
+     edge nor a filter predicate contributes only a cross product times
+     its full cardinality — almost certainly a binder or workload
+     bug. *)
 
 module Bitset = Util.Bitset
 module QG = Query.Query_graph
@@ -36,10 +44,26 @@ let check ?subject graph =
       Violation.check c (r.QG.idx = i)
         "relation %s stored at index %d but declares idx %d" r.QG.alias i
         r.QG.idx;
-      if n > 1 then
+      if n > 1 then begin
         Violation.check c
           (not (Bitset.is_empty (QG.adjacency graph i)))
-          "dangling alias %s: no join edge touches it" r.QG.alias)
+          "dangling alias %s: no join edge touches it" r.QG.alias;
+        Violation.check c
+          ((not (Bitset.is_empty (QG.adjacency graph i)))
+          || r.QG.preds <> [])
+          "relation %s is bound but never referenced: no join edge and no \
+           filter predicate"
+          r.QG.alias
+      end;
+      let seen_atoms = Hashtbl.create 8 in
+      List.iter
+        (fun atom ->
+          Violation.check c
+            (not (Hashtbl.mem seen_atoms atom))
+            "duplicate filter predicate on %s: %s" r.QG.alias
+            (Format.asprintf "%a" (Query.Predicate.pp_atom r.QG.table) atom);
+          Hashtbl.replace seen_atoms atom ())
+        r.QG.preds)
     (QG.relations graph);
   let seen_edges = Hashtbl.create (List.length edges) in
   List.iter

@@ -1,0 +1,78 @@
+(* Unified lint front-end: the workload query-graph lint (binds every
+   JOB and TPC-H query against a small generated instance and runs
+   Verify.check_graph) and the domlint source pass, under one report and
+   one exit policy — any violation in either half is a non-zero exit.
+   `dune build @lint` (also in the runtest path) runs both; `dune build
+   @verify` keeps the historical workload-only gate. *)
+
+module Violation = Verify.Violation
+
+let lint_workload ~label ~db queries =
+  let results =
+    List.map
+      (fun (name, sql) ->
+        let bound = Sqlfront.Binder.bind_sql db ~name sql in
+        Verify.check_graph bound.Sqlfront.Binder.graph)
+      queries
+  in
+  (label, List.length queries, Violation.merge_all results)
+
+let workload () =
+  let imdb = Datagen.Imdb_gen.generate ~seed:42 ~scale:0.02 () in
+  let job =
+    List.map
+      (fun q -> (q.Workload.Job.name, q.Workload.Job.sql))
+      Workload.Job.all
+  in
+  let tpch_db = Datagen.Tpch_gen.generate ~scale:0.05 () in
+  let tpch =
+    List.map
+      (fun q -> (q.Workload.Tpch_queries.name, q.Workload.Tpch_queries.sql))
+      Workload.Tpch_queries.all
+  in
+  [
+    lint_workload ~label:"JOB" ~db:imdb job;
+    lint_workload ~label:"TPC-H" ~db:tpch_db tpch;
+  ]
+
+let print_workload parts =
+  List.iter
+    (fun (label, queries, (res : Violation.result)) ->
+      List.iter
+        (fun v -> Printf.eprintf "%s\n" (Violation.to_string v))
+        res.Violation.violations;
+      Printf.printf "%s: %d queries, %d lint checks, %d violations\n" label
+        queries res.Violation.checks
+        (List.length res.Violation.violations))
+    parts
+
+let workload_ok parts =
+  List.for_all
+    (fun (_, _, (res : Violation.result)) -> Violation.ok res)
+    parts
+
+(* The historical `dune build @verify` gate: workload graphs only. *)
+let run_workload_only () =
+  let parts = workload () in
+  print_workload parts;
+  if workload_ok parts then 0 else 1
+
+(* The full gate behind `dune build @lint` and `jobench lint`: domlint
+   over [root]'s lib/, bin/ and bench/ with the committed allowlist,
+   plus the workload lint, optionally writing the machine-readable
+   report for the CI artifact. *)
+let run ?report ~root () =
+  let dl = Domlint.scan_tree ~allow:Allowlist.entries ~root () in
+  let parts = workload () in
+  Format.printf "%a" Domlint.pp_report dl;
+  print_workload parts;
+  Option.iter
+    (fun path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          output_string oc (Domlint.report_json ~workload:parts dl));
+      Printf.printf "lint report written to %s\n" path)
+    report;
+  if Domlint.ok dl && workload_ok parts then 0 else 1

@@ -1,0 +1,31 @@
+(* CLI for the unified lint: `--workload-only` reproduces the historical
+   @verify gate, the default runs workload + domlint. `jobench lint` is
+   the same driver reached through the main binary. *)
+
+let () =
+  let root = ref "." in
+  let report = ref "" in
+  let workload_only = ref false in
+  let specs =
+    [
+      ( "--workload-only",
+        Arg.Set workload_only,
+        " lint only the workload query graphs (the @verify gate)" );
+      ( "--root",
+        Arg.Set_string root,
+        "DIR directory whose lib/, bin/ and bench/ domlint scans \
+         (default .)" );
+      ("--report", Arg.Set_string report, "FILE write a JSON lint report");
+    ]
+  in
+  Arg.parse specs
+    (fun a -> raise (Arg.Bad ("unexpected argument: " ^ a)))
+    "lint_main [--workload-only] [--root DIR] [--report FILE]";
+  let code =
+    if !workload_only then Lintkit.Driver.run_workload_only ()
+    else
+      Lintkit.Driver.run
+        ?report:(if String.equal !report "" then None else Some !report)
+        ~root:!root ()
+  in
+  exit code

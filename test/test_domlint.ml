@@ -1,0 +1,256 @@
+(* Domlint: every rule demonstrated three ways — catching a seeded
+   violation in a fixture, passing the clean counterpart, and honoring a
+   suppression — plus a synthetic lock-order cycle R4 must reject and
+   the real tree's scan, which must come back at zero unsuppressed
+   violations with an acyclic lock graph. Fixtures are written next to
+   the test binary (the dune sandbox), one file per scenario, named so
+   their module names cannot collide. *)
+
+module Violation = Verify.Violation
+
+let fixture_dir = "domlint_fixtures"
+
+let write_fixture name lines =
+  if not (Sys.file_exists fixture_dir) then Sys.mkdir fixture_dir 0o755;
+  let path = Filename.concat fixture_dir name in
+  let oc = open_out path in
+  output_string oc (String.concat "\n" lines);
+  output_char oc '\n';
+  close_out oc;
+  path
+
+let scan ?(allow = []) names_and_lines =
+  Domlint.scan ~allow
+    (List.map (fun (name, lines) -> write_fixture name lines) names_and_lines)
+
+let has_pass pass (r : Domlint.report) =
+  List.exists
+    (fun (v : Violation.t) -> String.equal v.Violation.pass pass)
+    r.Domlint.result.Violation.violations
+
+let suppressed_of rule (r : Domlint.report) =
+  match
+    List.find_opt
+      (fun (s : Domlint.rule_stat) -> String.equal s.Domlint.rule rule)
+      r.Domlint.stats
+  with
+  | Some s -> s.Domlint.suppressed
+  | None -> 0
+
+let check_ok label r = Alcotest.(check bool) label true (Domlint.ok r)
+
+let check_flagged label pass r =
+  Alcotest.(check bool) label true (has_pass pass r)
+
+(* --- R1: module-toplevel mutable state ------------------------------ *)
+
+let r1 = "domlint/R1-toplevel-mutable-state"
+
+let test_r1 () =
+  check_flagged "bare toplevel Hashtbl flagged" r1
+    (scan
+       [
+         ( "dlt_r1_bad.ml",
+           [
+             "let table = Hashtbl.create 7";
+             "let lookup k = Hashtbl.find_opt table k";
+           ] );
+       ]);
+  check_flagged "bare toplevel ref flagged" r1
+    (scan [ ("dlt_r1_ref.ml", [ "let hits = ref 0" ]) ]);
+  check_ok "Atomic counter and local state clean"
+    (scan
+       [
+         ( "dlt_r1_ok.ml",
+           [
+             "let counter = Atomic.make 0";
+             "let bump () = Atomic.incr counter";
+             "let scratch () = Hashtbl.create 7";
+           ] );
+       ]);
+  let r =
+    scan
+      [
+        ( "dlt_r1_sup.ml",
+          [
+            "(* domlint: safe R1 — fixture: written once before any \
+             domain spawns *)";
+            "let table = Hashtbl.create 7";
+          ] );
+      ]
+  in
+  check_ok "annotated Hashtbl suppressed" r;
+  Alcotest.(check int) "suppression counted" 1
+    (suppressed_of "R1-toplevel-mutable-state" r)
+
+let test_r1_allowlist () =
+  let allow =
+    [
+      {
+        Domlint.Suppress.rule = "R1";
+        file = "dlt_r1_allow.ml";
+        symbol = "table";
+        reason = "fixture: whole-file exemption";
+      };
+    ]
+  in
+  check_ok "allowlist entry suppresses"
+    (scan ~allow [ ("dlt_r1_allow.ml", [ "let table = Hashtbl.create 7" ]) ]);
+  (* The same entry against a clean file is stale — and reported. *)
+  check_flagged "stale allowlist entry reported" "domlint/allowlist"
+    (scan ~allow [ ("dlt_r1_allow.ml", [ "let version = 3" ]) ])
+
+(* --- R2: lazy outside Util.Once ------------------------------------- *)
+
+let r2 = "domlint/R2-lazy"
+
+let test_r2 () =
+  check_flagged "toplevel lazy flagged" r2
+    (scan [ ("dlt_r2_bad.ml", [ "let v = lazy (1 + 2)" ]) ]);
+  check_flagged "Lazy.force flagged" r2
+    (scan [ ("dlt_r2_force.ml", [ "let get v = Lazy.force v" ]) ]);
+  check_ok "no lazy clean" (scan [ ("dlt_r2_ok.ml", [ "let v = 42" ]) ]);
+  check_ok "annotated lazy suppressed"
+    (scan
+       [
+         ( "dlt_r2_sup.ml",
+           [
+             "(* domlint: safe R2 — fixture: forced before domains spawn *)";
+             "let v = lazy (1 + 2)";
+           ] );
+       ])
+
+(* --- R3: global Random outside Util.Prng ----------------------------- *)
+
+let r3 = "domlint/R3-global-random"
+
+let test_r3 () =
+  check_flagged "global Random flagged" r3
+    (scan [ ("dlt_r3_bad.ml", [ "let noise () = Random.int 100" ]) ]);
+  check_ok "no Random clean"
+    (scan [ ("dlt_r3_ok.ml", [ "let noise () = 4" ]) ]);
+  check_ok "annotated Random suppressed"
+    (scan
+       [
+         ( "dlt_r3_sup.ml",
+           [
+             "(* domlint: safe R3 — fixture: bench-only, single domain *)";
+             "let noise () = Random.int 100";
+           ] );
+       ])
+
+(* --- R5: Domain.spawn outside Util.Domain_pool ----------------------- *)
+
+let r5 = "domlint/R5-domain-spawn"
+
+let test_r5 () =
+  check_flagged "Domain.spawn flagged" r5
+    (scan [ ("dlt_r5_bad.ml", [ "let worker f = Domain.spawn f" ]) ]);
+  check_ok "no spawn clean"
+    (scan [ ("dlt_r5_ok.ml", [ "let worker f = f ()" ]) ]);
+  check_ok "annotated spawn suppressed"
+    (scan
+       [
+         ( "dlt_r5_sup.ml",
+           [
+             "(* domlint: safe R5 — fixture: supervised one-shot domain *)";
+             "let worker f = Domain.spawn f";
+           ] );
+       ])
+
+(* --- annotation hygiene ---------------------------------------------- *)
+
+let test_annotation_hygiene () =
+  check_flagged "reason-less annotation reported" "domlint/annotation"
+    (scan [ ("dlt_ann_bad.ml", [ "(* domlint: safe *)"; "let v = 1" ]) ]);
+  check_flagged "domlint typo reported" "domlint/annotation"
+    (scan [ ("dlt_ann_typo.ml", [ "(* domlint: sofe — oops *)"; "let v = 1" ]) ]);
+  check_flagged "unparsable file reported" "domlint/parse"
+    (scan [ ("dlt_parse_bad.ml", [ "let let let" ]) ])
+
+(* --- R4: lock-order cycles ------------------------------------------- *)
+
+let r4 = "domlint/R4-lock-order"
+
+let test_r4_cycle () =
+  (* Dlt_locka locks its mutex then calls Dlt_lockb.g, which locks its
+     own mutex then calls Dlt_locka.f: a classic ABBA deadlock. *)
+  let r =
+    scan
+      [
+        ( "dlt_locka.ml",
+          [
+            "let m = Mutex.create ()";
+            "let f () = Mutex.lock m; Dlt_lockb.g (); Mutex.unlock m";
+          ] );
+        ( "dlt_lockb.ml",
+          [
+            "let m = Mutex.create ()";
+            "let g () = Mutex.lock m; Dlt_locka.f (); Mutex.unlock m";
+          ] );
+      ]
+  in
+  check_flagged "ABBA lock cycle rejected" r4 r
+
+let test_r4_acyclic () =
+  (* One direction only: an edge, but no cycle. *)
+  let r =
+    scan
+      [
+        ( "dlt_locky.ml",
+          [ "let m = Mutex.create ()"; "let g () = Mutex.protect m ignore" ]
+        );
+        ( "dlt_lockx.ml",
+          [
+            "let m = Mutex.create ()";
+            "let f () = Mutex.lock m; Dlt_locky.g (); Mutex.unlock m";
+          ] );
+      ]
+  in
+  check_ok "one-directional lock nesting clean" r;
+  Alcotest.(check bool) "the nesting edge is recorded" true
+    (List.exists
+       (fun (a, b, _) ->
+         String.equal a "Dlt_lockx" && String.equal b "Dlt_locky")
+       r.Domlint.lock_edges)
+
+(* --- the real tree ---------------------------------------------------- *)
+
+let test_real_tree () =
+  (* Under `dune runtest` the binary runs in _build/default/test with
+     the dune deps copying lib/, bin/ and bench/ one level up; under
+     `dune exec` it runs from the workspace root. Probe for the tree.
+     Same scan and allowlist as `dune build @lint` — this is the gate's
+     own regression test. *)
+  let root =
+    List.find
+      (fun root ->
+        Sys.file_exists (Filename.concat root "lib/util/once.ml"))
+      [ ".."; "." ]
+  in
+  let r = Domlint.scan_tree ~allow:Lintkit.Allowlist.entries ~root () in
+  Alcotest.(check bool) "scanned a substantial tree" true (r.Domlint.files > 50);
+  (match r.Domlint.result.Violation.violations with
+  | [] -> ()
+  | vs ->
+      Alcotest.failf "real tree has %d domlint violations, first: %s"
+        (List.length vs)
+        (Violation.to_string (List.hd vs)));
+  Alcotest.(check bool) "real lock graph is acyclic (R4 reported nothing)"
+    true
+    (not (has_pass r4 r));
+  Alcotest.(check bool) "lock graph saw the known nesting edges" true
+    (List.length r.Domlint.lock_edges >= 3)
+
+let suite =
+  [
+    Alcotest.test_case "R1 toplevel mutable state" `Quick test_r1;
+    Alcotest.test_case "R1 allowlist + stale entries" `Quick test_r1_allowlist;
+    Alcotest.test_case "R2 lazy" `Quick test_r2;
+    Alcotest.test_case "R3 global Random" `Quick test_r3;
+    Alcotest.test_case "R5 Domain.spawn" `Quick test_r5;
+    Alcotest.test_case "annotation hygiene" `Quick test_annotation_hygiene;
+    Alcotest.test_case "R4 rejects lock cycle" `Quick test_r4_cycle;
+    Alcotest.test_case "R4 accepts acyclic nesting" `Quick test_r4_acyclic;
+    Alcotest.test_case "real tree is clean" `Quick test_real_tree;
+  ]

@@ -158,14 +158,14 @@ let run_query h (q : Harness.qctx) =
 let test_golden_workload () =
   let h = Lazy.force harness in
   Fun.protect
-    ~finally:(fun () -> Exec.Executor.reference_scan := false)
+    ~finally:(fun () -> Atomic.set Exec.Executor.reference_scan false)
     (fun () ->
       List.iter
         (fun (name, rows, work, timed_out, truth, mins) ->
           let q = Harness.find h name in
           List.iter
             (fun reference ->
-              Exec.Executor.reference_scan := reference;
+              Atomic.set Exec.Executor.reference_scan reference;
               let grows, gwork, gtimed, gtruth, gmins = run_query h q in
               let label =
                 Printf.sprintf "%s (%s scan)" name

@@ -12,6 +12,7 @@ let () =
       ("plan", Test_plan.suite);
       ("planner", Test_planner.suite);
       ("verify", Test_verify.suite);
+      ("domlint", Test_domlint.suite);
       ("registry", Test_registry.suite);
       ("parallel", Test_parallel.suite);
       ("exec", Test_exec.suite);

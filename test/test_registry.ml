@@ -213,9 +213,9 @@ let test_verify_memo_scoped () =
   let q = Experiments.Harness.find h "1a" in
   let est = Experiments.Harness.estimator h q "PostgreSQL" in
   Fun.protect
-    ~finally:(fun () -> Experiments.Harness.debug_verify := false)
+    ~finally:(fun () -> Atomic.set Experiments.Harness.debug_verify false)
     (fun () ->
-      Experiments.Harness.debug_verify := true;
+      Atomic.set Experiments.Harness.debug_verify true;
       ignore
         (Experiments.Harness.plan_with h q ~est ~model:Cost.Cost_model.cmm ());
       ignore

@@ -340,6 +340,42 @@ let test_lint_rejects_duplicate_edge () =
   Alcotest.(check bool) "PK mislabel flagged" true
     (has_violation ~containing:"primary key" (Verify.check_graph g))
 
+let test_lint_rejects_duplicate_predicate () =
+  let prng = Util.Prng.create 7 in
+  let db = Support.micro_db prng ~tables:2 ~rows:10 in
+  let atom = Query.Predicate.Cmp { col = 0; op = Query.Predicate.Gt; code = 3 } in
+  let rels =
+    Array.init 2 (fun idx ->
+        {
+          QG.idx;
+          alias = Printf.sprintf "t%d" idx;
+          table = Storage.Database.find_table db (Printf.sprintf "t%d" idx);
+          (* The same atom bound twice on t1: estimators would apply its
+             selectivity twice. *)
+          preds = (if idx = 1 then [ atom; atom ] else [ atom ]);
+        })
+  in
+  let e =
+    {
+      QG.left = 1;
+      left_col = Storage.Table.column_index rels.(1).QG.table "fk0";
+      right = 0;
+      right_col = Storage.Table.column_index rels.(0).QG.table "id";
+      pk_side = Some `Right;
+    }
+  in
+  let g = QG.create ~name:"duppred" rels [ e ] in
+  Alcotest.(check bool) "duplicate filter predicate flagged" true
+    (has_violation ~containing:"duplicate filter predicate"
+       (Verify.check_graph g));
+  (* The same atom on two different aliases is fine. *)
+  let rels_ok =
+    Array.map (fun r -> { r with QG.preds = [ atom ] }) rels
+  in
+  let g_ok = QG.create ~name:"okpred" rels_ok [ e ] in
+  Alcotest.(check bool) "distinct per-alias predicates clean" true
+    (Verify.Violation.ok (Verify.check_graph g_ok))
+
 (* ------------------------------------------------------------------ *)
 (* Enumerator / harness integration                                    *)
 
@@ -374,9 +410,9 @@ let test_harness_verifies_choices () =
   let qctx = Experiments.Harness.find h "1a" in
   let est = Experiments.Harness.estimator h qctx "PostgreSQL" in
   let model = Cost.Cost_model.cmm in
-  Experiments.Harness.debug_verify := true;
+  Atomic.set Experiments.Harness.debug_verify true;
   Fun.protect
-    ~finally:(fun () -> Experiments.Harness.debug_verify := false)
+    ~finally:(fun () -> Atomic.set Experiments.Harness.debug_verify false)
     (fun () ->
       (* The real pipeline passes the full sanitizer stack... *)
       let plan, _cost = Experiments.Harness.plan_with h qctx ~est ~model () in
@@ -411,6 +447,8 @@ let suite =
     Alcotest.test_case "differential rejects suboptimal DP" `Quick test_differential_rejects_suboptimal_dp;
     lint_accepts_micro_graphs;
     Alcotest.test_case "lint rejects bad edges" `Quick test_lint_rejects_duplicate_edge;
+    Alcotest.test_case "lint rejects duplicate predicates" `Quick
+      test_lint_rejects_duplicate_predicate;
     Alcotest.test_case "ensure_plan raises on malformed plans" `Quick test_ensure_plan_raises;
     Alcotest.test_case "harness debug verify" `Quick test_harness_verifies_choices;
   ]
