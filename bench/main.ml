@@ -17,7 +17,12 @@
      dune exec bench/main.exe -- -j 1         -- serial, no comparison
      dune exec bench/main.exe -- --only figure-3,table-2
      dune exec bench/main.exe -- --repeat 3   -- median over 3 cold runs
-     dune exec bench/main.exe -- --skip-micro *)
+     dune exec bench/main.exe -- --skip-micro
+
+   --scale-sweep S1,S2,... runs only the storage scale sweep: per
+   scale it builds the database, reports per-encoding compressed sizes
+   and query times, and writes BENCH_scale.json (see run_scale_sweep
+   below). *)
 
 (* The experiment list is the catalog in lib/experiments — one source of
    truth shared with 'jobench experiment'. *)
@@ -220,8 +225,8 @@ let bench_sortside_kernel (h : Experiments.Harness.t) =
     Storage.Database.find_table h.Experiments.Harness.db "cast_info"
   in
   let a =
-    (Storage.Table.column table (Storage.Table.column_index table "movie_id"))
-      .Storage.Column.data
+    Storage.Column.to_codes
+      (Storage.Table.column table (Storage.Table.column_index table "movie_id"))
   in
   let n = Storage.Table.row_count table in
   let null = Storage.Value.null_code in
@@ -275,8 +280,8 @@ let bench_truecard_kernel (h : Experiments.Harness.t) =
     Storage.Database.find_table h.Experiments.Harness.db "cast_info"
   in
   let col name =
-    (Storage.Table.column table (Storage.Table.column_index table name))
-      .Storage.Column.data
+    Storage.Column.to_codes
+      (Storage.Table.column table (Storage.Table.column_index table name))
   in
   let a = col "movie_id" and b = col "role_id" in
   let n = Storage.Table.row_count table in
@@ -419,15 +424,290 @@ let write_exec_json ~path ~scale ~seed rows =
   close_out oc;
   Printf.printf "wrote %s\n%!" path
 
+(* ------------------------------------------------------------------ *)
+(* Scale sweep: compressed storage from the reference 0.02 up to the
+   paper's full-size 1.0, publishing wall time, allocated bytes,
+   resident set and the compression ratio of every encoding to
+   BENCH_scale.json. *)
+
+let rss_mb () =
+  try
+    let ic = open_in "/proc/self/status" in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let rec find () =
+          let line = input_line ic in
+          if String.length line > 6 && String.sub line 0 6 = "VmRSS:" then
+            Scanf.sscanf (String.sub line 6 (String.length line - 6)) " %d kB"
+              (fun kb -> float_of_int kb /. 1024.0)
+          else find ()
+        in
+        find ())
+  with _ -> 0.0
+
+(* The five kernel-benchmark queries: short enough to run at scale 1.0,
+   together covering scans, string predicates, deep joins and MINs. *)
+(* A storage-bound mix — four cheap-to-medium scans and one join-heavy
+   query — chosen on two grounds. First, executor work must stay
+   bounded as the database grows: most JOB queries go superlinear at
+   some scale when the synthetic fanouts shift the plan (15a runs fine
+   to 0.1, then blows past 2G work units at 0.5 on a 19 GB heap), and
+   a capped run's wall clock measures GC on a multi-GB heap, not
+   storage. Second, intermediate-result heap must stay in single-digit
+   gigabytes at scale 1.0 — beyond that, single-core major-GC pacing
+   swamps the storage signal (28d, at 2.7 GB for scale 0.05 already,
+   swings 2x between identical passes). 1a/4a/6a/20a scale linearly;
+   13d grows ~quadratically but stays under the raised work limit at
+   scale 1.0, and is kept as the join-heavy anchor. *)
+let sweep_queries = [ "1a"; "4a"; "6a"; "20a"; "13d" ]
+
+let sweep_engine =
+  {
+    Exec.Engine_config.robust with
+    name = "scale sweep";
+    work_limit = 2_000_000_000;
+    row_limit = 150_000_000;
+  }
+
+type storage_totals = {
+  st_flat : int; (* bytes of the flat reference layout *)
+  st_bytes : int; (* bytes as encoded *)
+  st_dict_flat : int; (* same, over dictionary (string) columns only *)
+  st_dict_bytes : int;
+  st_by_encoding : (string * (int * int)) list; (* name -> columns, bytes *)
+}
+
+let storage_totals db =
+  let flat = ref 0 and bytes = ref 0 in
+  let dict_flat = ref 0 and dict_bytes = ref 0 in
+  let per = Hashtbl.create 4 in
+  List.iter
+    (fun name ->
+      Array.iter
+        (fun c ->
+          let fb = Storage.Column.flat_byte_size c in
+          let eb = Storage.Column.byte_size c in
+          flat := !flat + fb;
+          bytes := !bytes + eb;
+          if Storage.Column.ty c = Storage.Value.Str_ty then begin
+            dict_flat := !dict_flat + fb;
+            dict_bytes := !dict_bytes + eb
+          end;
+          let key = Storage.Column.encoding_name (Storage.Column.encoding c) in
+          let n, b = Option.value ~default:(0, 0) (Hashtbl.find_opt per key) in
+          Hashtbl.replace per key (n + 1, b + eb))
+        (Storage.Table.columns (Storage.Database.find_table db name)))
+    (Storage.Database.table_names db);
+  {
+    st_flat = !flat;
+    st_bytes = !bytes;
+    st_dict_flat = !dict_flat;
+    st_dict_bytes = !dict_bytes;
+    st_by_encoding =
+      List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) per []);
+  }
+
+(* Plan and execute the sweep queries; returns per-query fingerprints
+   (rows, work, MINs) for the cross-encoding identity check plus wall
+   time and allocated bytes over the whole set. *)
+let sweep_run_queries db =
+  let s = Core.Session.of_database db in
+  (* ANALYZE and planning happen up front, outside the timed passes. *)
+  let planned =
+    List.map
+      (fun name ->
+        let q = Core.Session.job s name in
+        (name, q, Core.Session.optimize s q))
+      sweep_queries
+  in
+  (* Untimed warm-up: builds the lazy hash indexes, sizes the GC heap
+     and faults in the pages, so the timed passes below measure
+     storage, not first-run effects. [Gc.full_major] (never
+     [Gc.compact]) between passes settles floating garbage without
+     returning memory to the OS — compaction would force every pass to
+     re-grow the heap from scratch, and that churn is exactly the
+     cross-run noise the warm-up exists to remove. Per query the sweep
+     reports the best of two timed passes: the executor is
+     deterministic, so the minimum is the pass least disturbed by GC
+     pacing. *)
+  List.iter
+    (fun (_, q, choice) ->
+      ignore (Core.Session.run s ~engine:sweep_engine q choice))
+    planned;
+  let debug = Sys.getenv_opt "SWEEP_DEBUG" <> None in
+  let timed_pass () =
+    Gc.full_major ();
+    let a0 = Gc.allocated_bytes () in
+    let per_query =
+      List.map
+        (fun (name, q, choice) ->
+          let cpu0 = Unix.times () in
+          let q0 = Unix.gettimeofday () in
+          let r = Core.Session.run s ~engine:sweep_engine q choice in
+          let q_wall = (Unix.gettimeofday () -. q0) *. 1000.0 in
+          let cpu1 = Unix.times () in
+          let q_cpu =
+            (cpu1.Unix.tms_utime -. cpu0.Unix.tms_utime
+            +. (cpu1.Unix.tms_stime -. cpu0.Unix.tms_stime))
+            *. 1000.0
+          in
+          if debug then begin
+            let st = Gc.quick_stat () in
+            Printf.printf "    [%s %.0fms work=%d majors=%d heap=%dMB]\n%!"
+              name q_wall r.Exec.Executor.work st.Gc.major_collections
+              (st.Gc.heap_words * 8 / 1048576)
+          end;
+          let fp =
+            ( name,
+              r.Exec.Executor.rows,
+              r.Exec.Executor.work,
+              List.map Storage.Value.to_string r.Exec.Executor.mins )
+          in
+          (fp, q_wall, q_cpu))
+        planned
+    in
+    (per_query, Gc.allocated_bytes () -. a0)
+  in
+  let pass1, allocated = timed_pass () in
+  let pass2, _ = timed_pass () in
+  let fingerprints = List.map (fun (fp, _, _) -> fp) pass1 in
+  let wall_ms =
+    List.fold_left2
+      (fun acc (_, w1, _) (_, w2, _) -> acc +. Float.min w1 w2)
+      0.0 pass1 pass2
+  in
+  let cpu_ms =
+    List.fold_left2
+      (fun acc (_, _, c1) (_, _, c2) -> acc +. Float.min c1 c2)
+      0.0 pass1 pass2
+  in
+  (fingerprints, wall_ms, cpu_ms, allocated)
+
+let run_scale_sweep ~seed scales =
+  (* Same GC tuning the worker domains get (Domain_pool.tune_gc): a big
+     minor heap and a relaxed space_overhead keep major-GC pacing from
+     dominating the timed passes. *)
+  Gc.set
+    { (Gc.get ()) with Gc.minor_heap_size = 4_194_304; space_overhead = 200 };
+  let mismatches = ref 0 in
+  let steps =
+    List.map
+      (fun scale ->
+        Printf.printf "scale %g: generating...%!" scale;
+        let t0 = Unix.gettimeofday () in
+        let db = Datagen.Imdb_gen.generate ~seed ~scale () in
+        let build_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+        let rows = Storage.Database.total_rows db in
+        let totals = storage_totals db in
+        Printf.printf " %d rows, %.0f ms, %.1fx compression\n%!" rows build_ms
+          (float_of_int totals.st_flat /. float_of_int (max 1 totals.st_bytes));
+        let fingerprints, wall_ms, cpu_ms, allocated = sweep_run_queries db in
+        let resident = rss_mb () in
+        (* Per-encoding forced totals; at the smaller steps also re-run
+           the queries per encoding and demand identical results (the
+           storage-level determinism guard). *)
+        let forced =
+          List.map
+            (fun enc ->
+              let name = Storage.Column.encoding_name enc in
+              Printf.printf "  forced %-8s%!" name;
+              let t0 = Unix.gettimeofday () in
+              let fdb = Storage.Database.recode db enc in
+              let recode_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+              let ftotals = storage_totals fdb in
+              let ftimes =
+                if scale <= 0.11 then begin
+                  let ffp, fwall, fcpu, _ = sweep_run_queries fdb in
+                  if ffp <> fingerprints then begin
+                    incr mismatches;
+                    Printf.printf " RESULT MISMATCH%!"
+                  end;
+                  Some (fwall, fcpu)
+                end
+                else None
+              in
+              Printf.printf " %.1fx compression, recode %.0f ms%s\n%!"
+                (float_of_int ftotals.st_flat /. float_of_int (max 1 ftotals.st_bytes))
+                recode_ms
+                (match ftimes with
+                | Some (w, c) ->
+                    Printf.sprintf ", queries %.0f ms wall / %.0f ms cpu" w c
+                | None -> "");
+              (name, ftotals.st_bytes, ftimes))
+            Storage.Column.all_encodings
+        in
+        Printf.printf "  queries (chosen): %.0f ms wall / %.0f ms cpu\n%!" wall_ms
+          cpu_ms;
+        (scale, rows, build_ms, totals, wall_ms, cpu_ms, allocated, resident, forced))
+      scales
+  in
+  let oc = open_out "BENCH_scale.json" in
+  Printf.fprintf oc "{\n  \"seed\": %d,\n  \"queries\": [%s],\n  \"sweep\": [\n"
+    seed
+    (String.concat ", " (List.map (fun q -> "\"" ^ q ^ "\"") sweep_queries));
+  List.iteri
+    (fun i (scale, rows, build_ms, totals, wall_ms, cpu_ms, allocated, resident, forced)
+         ->
+      Printf.fprintf oc
+        "    {\n      \"scale\": %g,\n      \"rows\": %d,\n      \"build_ms\": \
+         %.1f,\n      \"query_wall_ms\": %.1f,\n      \"query_cpu_ms\": %.1f,\n      \
+         \"allocated_bytes\": %.0f,\n      \"rss_mb\": %.1f,\n"
+        scale rows build_ms wall_ms cpu_ms allocated resident;
+      Printf.fprintf oc
+        "      \"flat_bytes\": %d,\n      \"chosen_bytes\": %d,\n      \
+         \"compression_ratio\": %.3f,\n      \"dict_flat_bytes\": %d,\n      \
+         \"dict_chosen_bytes\": %d,\n      \"dict_compression_ratio\": %.3f,\n"
+        totals.st_flat totals.st_bytes
+        (float_of_int totals.st_flat /. float_of_int (max 1 totals.st_bytes))
+        totals.st_dict_flat totals.st_dict_bytes
+        (float_of_int totals.st_dict_flat
+        /. float_of_int (max 1 totals.st_dict_bytes));
+      Printf.fprintf oc "      \"chosen_encodings\": {%s},\n"
+        (String.concat ", "
+           (List.map
+              (fun (k, (n, b)) ->
+                Printf.sprintf "\"%s\": {\"columns\": %d, \"bytes\": %d}" k n b)
+              totals.st_by_encoding));
+      Printf.fprintf oc "      \"forced\": {%s}\n    }%s\n"
+        (String.concat ", "
+           (List.map
+              (fun (name, bytes, ftimes) ->
+                Printf.sprintf
+                  "\"%s\": {\"bytes\": %d, \"ratio\": %.3f%s}" name bytes
+                  (float_of_int totals.st_flat /. float_of_int (max 1 bytes))
+                  (match ftimes with
+                  | Some (w, c) ->
+                      Printf.sprintf
+                        ", \"query_wall_ms\": %.1f, \"query_cpu_ms\": %.1f" w c
+                  | None -> ""))
+              forced))
+        (if i = List.length steps - 1 then "" else ","))
+    steps;
+  output_string oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote BENCH_scale.json\n%!";
+  if !mismatches > 0 then begin
+    Printf.printf "FAIL: %d per-encoding result mismatches\n%!" !mismatches;
+    exit 1
+  end
+
 let () =
-  let scale = ref 1.0 in
+  let scale = ref Datagen.Imdb_gen.reference_scale in
   let seed = ref 42 in
   let only = ref None in
   let skip_micro = ref false in
   let repeat = ref 1 in
   let jobs = ref (Domain.recommended_domain_count ()) in
+  let sweep = ref None in
   let rec parse = function
     | [] -> ()
+    | "--scale-sweep" :: v :: rest ->
+        sweep :=
+          Some
+            (String.split_on_char ',' v |> List.map String.trim
+           |> List.map float_of_string);
+        parse rest
     | "--scale" :: v :: rest ->
         scale := float_of_string v;
         parse rest
@@ -450,6 +730,12 @@ let () =
   in
   parse (List.tl (Array.to_list Sys.argv));
   if !jobs < 1 then failwith "-j must be >= 1";
+  (match !sweep with
+  | Some scales ->
+      Util.Domain_pool.tune_gc ();
+      run_scale_sweep ~seed:!seed scales;
+      exit 0
+  | None -> ());
   (* Pool workers tune their GC on spawn; the main domain executes the
      serial halves and its share of parallel maps, so it runs under the
      same regime. *)
@@ -457,7 +743,7 @@ let () =
   let t0 = Unix.gettimeofday () in
   Printf.printf
     "Join Order Benchmark reproduction - regenerating all paper results\n\
-     (scale %.2f, seed %d, %d queries, %d jobs)\n\n%!"
+     (scale %g, seed %d, %d queries, %d jobs)\n\n%!"
     !scale !seed Workload.Job.query_count !jobs;
   let selected =
     match !only with

@@ -18,8 +18,13 @@ let registry_doc intro registry =
        (List.map (fun n -> Printf.sprintf "'%s'" n) (Core.Registry.names registry)))
 
 let scale_arg =
-  let doc = "Database scale factor (1.0 = the full ~325k-row benchmark)." in
-  Arg.(value & opt float 0.3 & info [ "scale" ] ~docv:"S" ~doc)
+  let doc =
+    "Database scale factor, relative to the paper's full 3.6 GB IMDB \
+     snapshot (1.0 ~ 16.5M rows). The default 0.02 is the ~330k-row \
+     reference database."
+  in
+  Arg.(value & opt float Datagen.Imdb_gen.reference_scale
+       & info [ "scale" ] ~docv:"S" ~doc)
 
 let seed_arg =
   let doc = "Data generator seed." in
@@ -197,20 +202,16 @@ let stats_cmd =
       (fun i (cs : Dbstats.Column_stats.t) ->
         let column = Storage.Table.column table i in
         Printf.printf "%-18s %-5s nulls %5s  distinct ~%.0f (exact %.0f)\n"
-          column.Storage.Column.name
-          (Storage.Value.ty_to_string column.Storage.Column.ty)
+          (Storage.Column.name column)
+          (Storage.Value.ty_to_string (Storage.Column.ty column))
           (Util.Render.percent_cell cs.Dbstats.Column_stats.null_fraction)
           cs.Dbstats.Column_stats.distinct_sampled
           cs.Dbstats.Column_stats.distinct_exact;
         Array.iteri
           (fun rank (code, freq) ->
             if rank < 5 then
-              let v =
-                if code < 0 then Storage.Value.Null else Storage.Column.value column 0
-              in
-              ignore v;
               let decoded =
-                match column.Storage.Column.dict with
+                match Storage.Column.dict column with
                 | Some dict when code >= 0 ->
                     Printf.sprintf "'%s'" (Storage.Dict.get dict code)
                 | _ -> string_of_int code

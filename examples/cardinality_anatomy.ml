@@ -12,7 +12,7 @@ let systems =
   [ "PostgreSQL"; "DBMS A"; "DBMS B"; "DBMS C"; "HyPer" ]
 
 let () =
-  let session = Core.Session.create ~scale:0.3 () in
+  let session = Core.Session.create ~scale:0.006 () in
   let query = Core.Session.job session "13d" in
   let graph = query.Core.Session.graph in
   Printf.printf "Query 13d: %s\n\n" query.Core.Session.sql;

@@ -14,7 +14,7 @@ let engines =
   ]
 
 let () =
-  let session = Core.Session.create ~scale:0.3 () in
+  let session = Core.Session.create ~scale:0.006 () in
   Core.Session.set_physical_design session Storage.Database.Pk_only;
   let query = Core.Session.job session "25c" in
   Printf.printf "Query 25c under DBMS B's collapse-to-1-row estimates:\n\n";

@@ -9,7 +9,7 @@ let configs =
   [ Storage.Database.No_indexes; Storage.Database.Pk_only; Storage.Database.Pk_fk ]
 
 let () =
-  let session = Core.Session.create ~scale:0.3 () in
+  let session = Core.Session.create ~scale:0.006 () in
   let query = Core.Session.job session "8a" in
   Printf.printf "Query 8a: %s\n\n" query.Core.Session.sql;
   (* Force the exact-cardinality oracle so differences come from the

@@ -15,16 +15,12 @@ let subset_table prng rate table =
   let rows = Array.of_list !keep in
   let columns =
     Array.map
-      (fun (c : Storage.Column.t) ->
-        {
-          c with
-          Storage.Column.data = Array.map (fun r -> c.Storage.Column.data.(r)) rows;
-        })
+      (fun c -> Storage.Column.take c rows)
       (Storage.Table.columns table)
   in
   (* Preserve key metadata: adaptive probing executes index-nested-loop
      plans against the sample. *)
-  let col_name i = (Storage.Table.column table i).Storage.Column.name in
+  let col_name i = Storage.Column.name (Storage.Table.column table i) in
   Storage.Table.create ~name:(Storage.Table.name table)
     ?pk:(Option.map col_name (Storage.Table.pk table))
     ~fks:(List.map col_name (Storage.Table.fks table))

@@ -62,7 +62,7 @@ let rec atom ~stats ~table ~magic (a : P.atom) =
       let column = Storage.Table.column table col in
       let rank_of_code c = CS.rank stats c in
       let rank_const =
-        match column.Storage.Column.dict with
+        match Storage.Column.dict column with
         | None -> code
         | Some _ -> if code < 0 then 0 else CS.rank stats code
       in

@@ -118,7 +118,7 @@ let dbms_b coarse ctx =
     let atom_sel (a : Query.Predicate.atom) =
       match a with
       | Query.Predicate.Cmp { op = Query.Predicate.Eq; col; _ }
-        when (Storage.Table.column table col).Storage.Column.dict <> None ->
+        when Storage.Column.dict (Storage.Table.column table col) <> None ->
           (* Uniformity over the (under-)estimated distinct count;
              ignores skew entirely. *)
           1.0 /. Float.max 1.0 (stats_of col).CS.distinct_sampled

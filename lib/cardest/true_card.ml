@@ -136,9 +136,7 @@ let base_compressed graph r =
   let relation = QG.relation graph r in
   let table = relation.QG.table in
   let classes = Array.of_list (QG.join_columns graph r) in
-  let col_data =
-    Array.map (fun c -> (Storage.Table.column table c).Storage.Column.data) classes
-  in
+  let cols = Array.map (Storage.Table.column table) classes in
   let nfields = Array.length classes in
   let groups = GT.create ~arity:nfields ~expected:1024 () in
   let key = GT.scratch groups in
@@ -146,14 +144,32 @@ let base_compressed graph r =
   let nrows = Storage.Table.row_count table in
   let chunk = 4096 in
   let sel = Array.make chunk 0 in
+  (* Per-class chunk views: flat columns are read in place (offset 0);
+     compressed columns decode the current chunk into scratch, with the
+     chunk start as the offset. Row [r]'s code is [arrs.(f).(r - offs.(f))]. *)
+  let flat = Array.map Storage.Column.flat_view cols in
+  let arrs =
+    Array.map (function Some a -> a | None -> Array.make chunk 0) flat
+  in
+  let offs = Array.make (max nfields 1) 0 in
   let row = ref 0 in
   while !row < nrows do
     let stop = min nrows (!row + chunk) in
+    for f = 0 to nfields - 1 do
+      if flat.(f) = None then begin
+        Storage.Column.decode_into cols.(f) ~row_start:!row ~len:(stop - !row)
+          arrs.(f);
+        offs.(f) <- !row
+      end
+    done;
     let m = fill sel !row stop in
     for k = 0 to m - 1 do
       let r = Array.unsafe_get sel k in
       for f = 0 to nfields - 1 do
-        Array.unsafe_set key f (Array.unsafe_get (Array.unsafe_get col_data f) r)
+        Array.unsafe_set key f
+          (Array.unsafe_get
+             (Array.unsafe_get arrs f)
+             (r - Array.unsafe_get offs f))
       done;
       GT.add_scratch groups 1.0
     done;

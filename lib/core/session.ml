@@ -24,7 +24,7 @@ type t = Pipeline.t
 
 let of_database db = Pipeline.create db
 
-let create ?(seed = 42) ?(scale = 1.0) () =
+let create ?(seed = 42) ?(scale = Datagen.Imdb_gen.reference_scale) () =
   of_database (Datagen.Imdb_gen.generate ~seed ~scale ())
 
 let db = Pipeline.db

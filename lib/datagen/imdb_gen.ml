@@ -38,8 +38,16 @@ let default_sizes =
     person_info = 20_000;
   }
 
+(* Scale is expressed relative to the paper's full 3.6 GB IMDB snapshot:
+   [default_sizes] (~330 k rows) stands in for 2 % of it, so
+   [reference_scale] maps the reference sizes to scale 0.02 and scale
+   1.0 is a 50x database (~16.5 M rows). *)
+let reference_scale = 0.02
+let full_scale_factor = 50.0 (* = 1 / reference_scale *)
+
 let sizes_of_scale scale =
-  let s base minimum = max minimum (int_of_float (float_of_int base *. scale)) in
+  let factor = scale *. full_scale_factor in
+  let s base minimum = max minimum (int_of_float (float_of_int base *. factor)) in
   {
     titles = s default_sizes.titles 60;
     companies = s default_sizes.companies 40;
@@ -106,7 +114,7 @@ let month_names =
     "September"; "October"; "November"; "December";
   |]
 
-let generate ?(seed = 42) ?(scale = 1.0) () =
+let generate ?(seed = 42) ?(scale = reference_scale) () =
   let sizes = sizes_of_scale scale in
   let root = Prng.create seed in
   let db = Storage.Database.create () in

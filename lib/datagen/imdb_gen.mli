@@ -17,7 +17,12 @@
       keywords) with most-common values that dwarf the tail.
 
     All draws come from a seeded {!Util.Prng}, so a given (seed, scale)
-    always yields the identical database. *)
+    always yields the identical database.
+
+    Scale is paper-relative: 1.0 means the full 3.6 GB IMDB snapshot of
+    the paper (~16.5 M rows here), and the default 0.02 is the ~330 k-row
+    reference database every test and experiment golden was captured
+    on. *)
 
 type sizes = {
   titles : int;
@@ -37,15 +42,25 @@ type sizes = {
 }
 
 val default_sizes : sizes
-(** The scale-1.0 sizes (~330 k rows across all tables). *)
+(** The reference sizes (~330 k rows across all tables) — what
+    [sizes_of_scale reference_scale] yields. *)
+
+val reference_scale : float
+(** 0.02: the fraction of the paper's full snapshot the reference sizes
+    model. *)
+
+val full_scale_factor : float
+(** 50.0 = [1 /. reference_scale]; [sizes_of_scale] multiplies by it. *)
 
 val sizes_of_scale : float -> sizes
-(** Every size multiplied by the factor, floored at small minimums. *)
+(** Sizes for a paper-relative scale ([default_sizes] scaled by
+    [scale *. full_scale_factor]), floored at small minimums. *)
 
 val generate : ?seed:int -> ?scale:float -> unit -> Storage.Database.t
 (** Build the full 21-table database. Default [seed] is 42, default
-    [scale] is 1.0. The returned database has PK/FK metadata declared on
-    every table; its index configuration starts as [Pk_only]. *)
+    [scale] is [reference_scale]. The returned database has PK/FK
+    metadata declared on every table; its index configuration starts as
+    [Pk_only]. *)
 
 val table_names : string list
 (** The 21 table names, sorted. *)

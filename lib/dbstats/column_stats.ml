@@ -27,13 +27,13 @@ let duj1 ~sample_size ~table_rows ~sample_distinct ~singletons =
 let build prng table ~col ~sample_rows ?(buckets = 100) ?(mcv_entries = 100) () =
   ignore prng;
   let column = Storage.Table.column table col in
-  let data = column.Storage.Column.data in
-  let row_count = Array.length data in
+  let data = Storage.Column.reader column in
+  let row_count = Storage.Column.length column in
   let null_code = Storage.Value.null_code in
 
   (* Rank translation for string columns. *)
   let rank_of_code =
-    match column.Storage.Column.dict with
+    match Storage.Column.dict column with
     | None -> None
     | Some dict ->
         let n = Storage.Dict.size dict in
@@ -55,7 +55,7 @@ let build prng table ~col ~sample_rows ?(buckets = 100) ?(mcv_entries = 100) () 
   let non_null = ref 0 in
   Array.iter
     (fun row ->
-      let v = data.(row) in
+      let v = data row in
       if v = null_code then incr nulls
       else begin
         incr non_null;
@@ -95,7 +95,7 @@ let build prng table ~col ~sample_rows ?(buckets = 100) ?(mcv_entries = 100) () 
     Array.of_list
       (Array.fold_left
          (fun acc row ->
-           let v = data.(row) in
+           let v = data row in
            if v = null_code || Hashtbl.mem mcv_codes v then acc else to_rank v :: acc)
          [] sample_rows)
   in
@@ -120,7 +120,7 @@ let mcv_find t code =
 let rank t code = match t.rank_of_code with None -> code | Some ranks -> ranks.(code)
 
 let rank_of_string t column s =
-  match (t.rank_of_code, column.Storage.Column.dict) with
+  match (t.rank_of_code, Storage.Column.dict column) with
   | Some ranks, Some dict ->
       (* Count dictionary entries strictly smaller than s. *)
       let smaller = ref 0 in

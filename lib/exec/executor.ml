@@ -38,6 +38,9 @@ let null = Storage.Value.null_code
    allocating an option per row. *)
 let null_key = -1
 
+(* Placeholder filling reader arrays before the per-edge closures land. *)
+let no_reader : int -> int = fun _ -> null
+
 let run ~db ~graph ~config ~size_est ?observe ?(projections = []) plan =
   let work = ref 0 in
   let limit = config.Engine_config.work_limit in
@@ -49,8 +52,10 @@ let run ~db ~graph ~config ~size_est ?observe ?(projections = []) plan =
   (* The work_mem stand-in: one intermediate result outgrowing the row
      budget counts as a timeout. *)
   let check_rows (b : batch) = if b.nrows > row_limit then raise Timeout in
+  (* Random-access code readers (the column layer is sealed; flat columns
+     compile to a plain array load, packed ones to shift/mask). *)
   let column_data rel col =
-    (Storage.Table.column (QG.relation graph rel).QG.table col).Storage.Column.data
+    Storage.Column.reader (Storage.Table.column (QG.relation graph rel).QG.table col)
   in
 
   (* Scratch pool: int arrays retired by consumed intermediate batches
@@ -103,7 +108,7 @@ let run ~db ~graph ~config ~size_est ?observe ?(projections = []) plan =
   let key_arrays batch side edges =
     let k = List.length edges in
     let slots = Array.make k 0 in
-    let datas = Array.make k [||] in
+    let datas = Array.make k no_reader in
     List.iteri
       (fun idx (e : QG.edge) ->
         match side with
@@ -124,7 +129,7 @@ let run ~db ~graph ~config ~size_est ?observe ?(projections = []) plan =
     let ok = ref true in
     for k = 0 to Array.length slots - 1 do
       let v =
-        (Array.unsafe_get datas k).(batch.data.(base + Array.unsafe_get slots k))
+        (Array.unsafe_get datas k) (batch.data.(base + Array.unsafe_get slots k))
       in
       if v = null then ok := false else h := Join_table.combine !h v
     done;
@@ -135,8 +140,8 @@ let run ~db ~graph ~config ~size_est ?observe ?(projections = []) plan =
     let rec go k =
       if k = Array.length oslots then true
       else
-        let ov = odatas.(k).(outer.data.(obase + oslots.(k))) in
-        let iv = idatas.(k).(inner.data.(ibase + islots.(k))) in
+        let ov = odatas.(k) outer.data.(obase + oslots.(k)) in
+        let iv = idatas.(k) inner.data.(ibase + islots.(k)) in
         ov = iv && ov <> null && go (k + 1)
     in
     go 0
@@ -397,8 +402,8 @@ let run ~db ~graph ~config ~size_est ?observe ?(projections = []) plan =
     (* Post-filter edges, preextracted like the join keys above. *)
     let nf = List.length other_edges in
     let f_oslots = Array.make nf 0 in
-    let f_odatas = Array.make nf [||] in
-    let f_idatas = Array.make nf [||] in
+    let f_odatas = Array.make nf no_reader in
+    let f_idatas = Array.make nf no_reader in
     List.iteri
       (fun k (e : QG.edge) ->
         f_oslots.(k) <- slot_of ob e.QG.left;
@@ -410,15 +415,15 @@ let run ~db ~graph ~config ~size_est ?observe ?(projections = []) plan =
       let rec go k =
         if k = nf then true
         else
-          let ov = f_odatas.(k).(ob.data.(base + f_oslots.(k))) in
-          ov <> null && ov = f_idatas.(k).(inner_row) && go (k + 1)
+          let ov = f_odatas.(k) ob.data.(base + f_oslots.(k)) in
+          ov <> null && ov = f_idatas.(k) inner_row && go (k + 1)
       in
       go 0
     in
     let out = batch_create (Array.append ob.rels [| inner_rel |]) in
     for i = 0 to ob.nrows - 1 do
       spend 4; (* index descent: random access *)
-      let key = outer_key_data.(ob.data.((i * ob.width) + outer_key_slot)) in
+      let key = outer_key_data ob.data.((i * ob.width) + outer_key_slot) in
       if key <> null then begin
         let matches = Storage.Index.lookup index key in
         spend (Array.length matches);
@@ -446,10 +451,11 @@ let run ~db ~graph ~config ~size_est ?observe ?(projections = []) plan =
         (fun (rel, col) ->
           let slot = slot_of batch rel in
           let column = Storage.Table.column (QG.relation graph rel).QG.table col in
+          let read = Storage.Column.reader column in
           let best = ref None in
           for i = 0 to batch.nrows - 1 do
             let row = batch.data.((i * batch.width) + slot) in
-            let v = column.Storage.Column.data.(row) in
+            let v = read row in
             if v <> null then
               match !best with
               | Some b when b <= v -> ()
@@ -458,7 +464,7 @@ let run ~db ~graph ~config ~size_est ?observe ?(projections = []) plan =
           match !best with
           | None -> Storage.Value.Null
           | Some code -> (
-              match column.Storage.Column.dict with
+              match Storage.Column.dict column with
               | None -> Storage.Value.Int code
               | Some dict -> Storage.Value.Str (Storage.Dict.get dict code)))
         projections

@@ -28,7 +28,8 @@ let pquery (q : qctx) =
     projections = q.projections;
   }
 
-let create ?(seed = 42) ?(scale = 1.0) ?(queries = Workload.Job.all) ?(jobs = 1)
+let create ?(seed = 42) ?(scale = Datagen.Imdb_gen.reference_scale)
+    ?(queries = Workload.Job.all) ?(jobs = 1)
     () =
   if jobs < 1 then invalid_arg "Harness.create: jobs must be >= 1";
   let db = Datagen.Imdb_gen.generate ~seed ~scale () in

@@ -40,34 +40,34 @@ let eval_cmp op lhs rhs =
   | Ge -> lhs >= rhs
 
 let rec compile_atom table atom =
-  let data col = (Storage.Table.column table col).Storage.Column.data in
+  let read col = Storage.Column.reader (Storage.Table.column table col) in
   let null = Storage.Value.null_code in
   match atom with
   | Const_false -> fun _ -> false
   | Cmp { col; op; code } ->
-      let d = data col in
+      let d = read col in
       fun row ->
-        let v = d.(row) in
+        let v = d row in
         v <> null && eval_cmp op v code
   | In { col; codes } ->
-      let d = data col in
+      let d = read col in
       let set = Hashtbl.create (List.length codes) in
       List.iter (fun c -> Hashtbl.replace set c ()) codes;
       fun row ->
-        let v = d.(row) in
+        let v = d row in
         v <> null && Hashtbl.mem set v
   | Between { col; lo; hi } ->
-      let d = data col in
+      let d = read col in
       fun row ->
-        let v = d.(row) in
+        let v = d row in
         v <> null && v >= lo && v <= hi
   | Is_null { col; negated } ->
-      let d = data col in
-      fun row -> if negated then d.(row) <> null else d.(row) = null
+      let d = read col in
+      fun row -> if negated then d row <> null else d row = null
   | Str_cmp { col; op; value } -> (
       let column = Storage.Table.column table col in
-      let d = column.Storage.Column.data in
-      match column.Storage.Column.dict with
+      let d = Storage.Column.reader column in
+      match Storage.Column.dict column with
       | None -> invalid_arg "Predicate.compile: string comparison on an integer column"
       | Some dict ->
           let bitmap =
@@ -75,19 +75,19 @@ let rec compile_atom table atom =
                 eval_cmp op (String.compare s value) 0)
           in
           fun row ->
-            let v = d.(row) in
+            let v = d row in
             v <> null && bitmap.(v))
   | Like { col; pattern; negated } -> (
       let column = Storage.Table.column table col in
-      let d = column.Storage.Column.data in
-      match column.Storage.Column.dict with
+      let d = Storage.Column.reader column in
+      match Storage.Column.dict column with
       | None -> invalid_arg "Predicate.compile: LIKE on an integer column"
       | Some dict ->
           let bitmap =
             Storage.Dict.matching_codes dict (fun s -> Like_match.matches ~pattern s)
           in
           fun row ->
-            let v = d.(row) in
+            let v = d row in
             v <> null && bitmap.(v) <> negated)
   | Or atoms ->
       let fns = List.map (compile_atom table) atoms in
@@ -107,17 +107,32 @@ let compile table preds =
    come in, the surviving prefix goes out. Each atom compiles to one
    refiner with the comparison specialized per operator, so the hot
    loop tests a plain int against a constant — no closure dispatch and
-   no allocation per row. *)
-let refiner_of_atom table atom =
-  let data col = (Storage.Table.column table col).Storage.Column.data in
+   no allocation per row.
+
+   Compressed columns are decoded late: the selector decodes each
+   referenced non-flat column for the current chunk into a per-source
+   scratch buffer before running the refiners, so the inner loops always
+   index a plain [int array]. Flat columns keep a zero-copy view of the
+   whole column ([off = 0]). *)
+type source = {
+  src_col : Storage.Column.t;
+  mutable arr : int array; (* row [r]'s code is [arr.(r - off)] *)
+  mutable off : int;
+  src_flat : bool;
+}
+
+let refiner_of_atom table source_for atom =
   let null = Storage.Value.null_code in
   (* One compaction loop per operator; [keep] must be a simple value
-     test so the compiler can inline it at each instantiation site. *)
-  let compact d keep sel n =
+     test so the compiler can inline it at each instantiation site. The
+     source's view is re-read per chunk: the selector re-points
+     [arr]/[off] before the refiners run. *)
+  let compact src keep sel n =
+    let a = src.arr and off = src.off in
     let m = ref 0 in
     for k = 0 to n - 1 do
       let row = Array.unsafe_get sel k in
-      let v = Array.unsafe_get d row in
+      let v = Array.unsafe_get a (row - off) in
       if keep v then begin
         Array.unsafe_set sel !m row;
         incr m
@@ -127,7 +142,7 @@ let refiner_of_atom table atom =
   in
   match atom with
   | Cmp { col; op; code } -> (
-      let d = data col in
+      let d = source_for col in
       match op with
       | Eq -> compact d (fun v -> v <> null && v = code)
       | Ne -> compact d (fun v -> v <> null && v <> code)
@@ -136,20 +151,20 @@ let refiner_of_atom table atom =
       | Gt -> compact d (fun v -> v <> null && v > code)
       | Ge -> compact d (fun v -> v <> null && v >= code))
   | Between { col; lo; hi } ->
-      let d = data col in
+      let d = source_for col in
       compact d (fun v -> v <> null && v >= lo && v <= hi)
   | In { col; codes } ->
-      let d = data col in
+      let d = source_for col in
       let set = Hashtbl.create (List.length codes) in
       List.iter (fun c -> Hashtbl.replace set c ()) codes;
       compact d (fun v -> v <> null && Hashtbl.mem set v)
   | Is_null { col; negated } ->
-      let d = data col in
+      let d = source_for col in
       if negated then compact d (fun v -> v <> null)
       else compact d (fun v -> v = null)
   | Str_cmp { col; op; value } -> (
       let column = Storage.Table.column table col in
-      match column.Storage.Column.dict with
+      match Storage.Column.dict column with
       | None ->
           invalid_arg "Predicate.compile: string comparison on an integer column"
       | Some dict ->
@@ -157,18 +172,17 @@ let refiner_of_atom table atom =
             Storage.Dict.matching_codes dict (fun s ->
                 eval_cmp op (String.compare s value) 0)
           in
-          compact column.Storage.Column.data (fun v -> v <> null && bitmap.(v)))
+          compact (source_for col) (fun v -> v <> null && bitmap.(v)))
   | Like { col; pattern; negated } -> (
       let column = Storage.Table.column table col in
-      match column.Storage.Column.dict with
+      match Storage.Column.dict column with
       | None -> invalid_arg "Predicate.compile: LIKE on an integer column"
       | Some dict ->
           let bitmap =
             Storage.Dict.matching_codes dict (fun s ->
                 Like_match.matches ~pattern s)
           in
-          compact column.Storage.Column.data (fun v ->
-              v <> null && bitmap.(v) <> negated))
+          compact (source_for col) (fun v -> v <> null && bitmap.(v) <> negated))
   | (Or _ | Const_false) as atom ->
       let f = compile_atom table atom in
       fun sel n ->
@@ -183,20 +197,45 @@ let refiner_of_atom table atom =
         !m
 
 let compile_selector table preds =
-  let refiners = List.map (refiner_of_atom table) preds in
+  let sources = ref [] in
+  let source_for col =
+    match List.assoc_opt col !sources with
+    | Some s -> s
+    | None ->
+        let column = Storage.Table.column table col in
+        let s =
+          match Storage.Column.flat_view column with
+          | Some a -> { src_col = column; arr = a; off = 0; src_flat = true }
+          | None -> { src_col = column; arr = [||]; off = 0; src_flat = false }
+        in
+        sources := (col, s) :: !sources;
+        s
+  in
+  let refiners = List.map (refiner_of_atom table source_for) preds in
+  let to_decode =
+    List.filter_map
+      (fun (_, s) -> if s.src_flat then None else Some s)
+      !sources
+  in
   fun sel lo hi ->
     let n = hi - lo in
+    List.iter
+      (fun s ->
+        if Array.length s.arr < n then s.arr <- Array.make (max n 4096) 0;
+        Storage.Column.decode_into s.src_col ~row_start:lo ~len:n s.arr;
+        s.off <- lo)
+      to_decode;
     for k = 0 to n - 1 do
       Array.unsafe_set sel k (lo + k)
     done;
     List.fold_left (fun n refine -> refine sel n) n refiners
 
 let column_name table col =
-  (Storage.Table.column table col).Storage.Column.name
+  Storage.Column.name (Storage.Table.column table col)
 
 let const_str table col code =
   let column = Storage.Table.column table col in
-  match column.Storage.Column.dict with
+  match Storage.Column.dict column with
   | None -> string_of_int code
   | Some dict -> Printf.sprintf "'%s'" (Storage.Dict.get dict code)
 

@@ -161,7 +161,7 @@ let pp fmt t =
   List.iter
     (fun e ->
       let rel i = t.relations.(i) in
-      let col r c = (Storage.Table.column (rel r).table c).Storage.Column.name in
+      let col r c = Storage.Column.name (Storage.Table.column (rel r).table c) in
       Format.fprintf fmt "  %s.%s = %s.%s%s@." (rel e.left).alias
         (col e.left e.left_col) (rel e.right).alias
         (col e.right e.right_col)

@@ -37,7 +37,7 @@ let resolve_column table (c : Ast.colref) =
 
 let encode_const table col (c : Ast.colref) v =
   let column = Storage.Table.column table col in
-  match (v, column.Storage.Column.ty) with
+  match (v, Storage.Column.ty column) with
   | Ast.Cint i, Storage.Value.Int_ty -> i
   | Ast.Cstr s, Storage.Value.Str_ty -> (
       match Storage.Column.encode column (Storage.Value.Str s) with
@@ -60,7 +60,7 @@ let rec bind_atom rels (atom : Ast.atom) : int * P.atom =
       let col = resolve_column r.table c in
       let column = Storage.Table.column r.table col in
       let op = cmp_of_ast op in
-      match (v, column.Storage.Column.ty, op) with
+      match (v, Storage.Column.ty column, op) with
       | Ast.Cstr s, Storage.Value.Str_ty, (P.Lt | P.Le | P.Gt | P.Ge) ->
           (r.idx, P.Str_cmp { col; op; value = s })
       | _ ->
@@ -70,7 +70,7 @@ let rec bind_atom rels (atom : Ast.atom) : int * P.atom =
       let r = rel_of c in
       let col = resolve_column r.table c in
       let column = Storage.Table.column r.table col in
-      if column.Storage.Column.ty <> Storage.Value.Int_ty then
+      if Storage.Column.ty column <> Storage.Value.Int_ty then
         fail "BETWEEN requires an integer column (%s.%s)" c.alias c.column;
       (r.idx, P.Between { col; lo; hi })
   | Ast.A_in (c, vs) ->
@@ -82,7 +82,7 @@ let rec bind_atom rels (atom : Ast.atom) : int * P.atom =
       let r = rel_of c in
       let col = resolve_column r.table c in
       let column = Storage.Table.column r.table col in
-      if column.Storage.Column.ty <> Storage.Value.Str_ty then
+      if Storage.Column.ty column <> Storage.Value.Str_ty then
         fail "LIKE requires a string column (%s.%s)" c.alias c.column;
       (r.idx, P.Like { col; pattern; negated })
   | Ast.A_null (c, negated) ->

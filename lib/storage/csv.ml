@@ -34,8 +34,7 @@ let export table ~path =
       let columns = Table.columns table in
       output_string oc
         (String.concat ","
-           (Array.to_list
-              (Array.map (fun (c : Column.t) -> c.Column.name) columns)));
+           (Array.to_list (Array.map Column.name columns)));
       output_char oc '\n';
       for row = 0 to Table.row_count table - 1 do
         let fields =

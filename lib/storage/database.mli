@@ -34,3 +34,8 @@ val force_index : t -> table:string -> col:int -> Index.t
     cardinality computation, never by the optimizer. *)
 
 val total_rows : t -> int
+
+val recode : t -> Column.encoding -> t
+(** Fresh catalog with every column re-encoded (dictionaries and codes
+    preserved, fresh index cache, same index configuration). Used by the
+    per-encoding golden tests and the scale sweep. *)

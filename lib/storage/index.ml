@@ -9,28 +9,26 @@ type t = {
 let empty_rows : int array = [||]
 
 let build table ~col =
-  let data = (Table.column table col).data in
+  let column = Table.column table col in
   let counts = Hashtbl.create 1024 in
-  Array.iter
-    (fun code ->
+  Column.iter_codes column (fun code ->
       if code <> Value.null_code then
         match Hashtbl.find_opt counts code with
         | Some n -> Hashtbl.replace counts code (n + 1)
-        | None -> Hashtbl.add counts code 1)
-    data;
+        | None -> Hashtbl.add counts code 1);
   let buckets = Hashtbl.create (Hashtbl.length counts) in
   Hashtbl.iter (fun code n -> Hashtbl.add buckets code (Array.make n 0)) counts;
   let fill = Hashtbl.create (Hashtbl.length counts) in
   let indexed = ref 0 in
-  Array.iteri
-    (fun row code ->
+  let row = ref 0 in
+  Column.iter_codes column (fun code ->
       if code <> Value.null_code then begin
         let pos = match Hashtbl.find_opt fill code with Some p -> p | None -> 0 in
-        (Hashtbl.find buckets code).(pos) <- row;
+        (Hashtbl.find buckets code).(pos) <- !row;
         Hashtbl.replace fill code (pos + 1);
         incr indexed
-      end)
-    data;
+      end;
+      incr row);
   { table_name = Table.name table; column = col; buckets; indexed_rows = !indexed }
 
 let table_name t = t.table_name

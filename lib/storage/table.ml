@@ -11,18 +11,20 @@ let create ~name ?pk ?(fks = []) columns =
   if Array.length columns = 0 then invalid_arg "Table.create: no columns";
   let row_count = Column.length columns.(0) in
   Array.iter
-    (fun (c : Column.t) ->
+    (fun c ->
       if Column.length c <> row_count then
         invalid_arg
           (Printf.sprintf "Table.create %s: column %s has %d rows, expected %d"
-             name c.name (Column.length c) row_count))
+             name (Column.name c) (Column.length c) row_count))
     columns;
   let by_name = Hashtbl.create (Array.length columns) in
   Array.iteri
-    (fun i (c : Column.t) ->
-      if Hashtbl.mem by_name c.name then
-        invalid_arg (Printf.sprintf "Table.create %s: duplicate column %s" name c.name);
-      Hashtbl.add by_name c.name i)
+    (fun i c ->
+      if Hashtbl.mem by_name (Column.name c) then
+        invalid_arg
+          (Printf.sprintf "Table.create %s: duplicate column %s" name
+             (Column.name c));
+      Hashtbl.add by_name (Column.name c) i)
     columns;
   let resolve what col_name =
     match Hashtbl.find_opt by_name col_name with

@@ -18,7 +18,7 @@ let lint_workload ~label ~db queries =
   (label, List.length queries, Violation.merge_all results)
 
 let workload () =
-  let imdb = Datagen.Imdb_gen.generate ~seed:42 ~scale:0.02 () in
+  let imdb = Datagen.Imdb_gen.generate ~seed:42 ~scale:0.0004 () in
   let job =
     List.map
       (fun q -> (q.Workload.Job.name, q.Workload.Job.sql))

@@ -8,10 +8,10 @@ module Bitset = Util.Bitset
 
 (* One small IMDB instance shared by all tests that need realistic data
    (generated once, ~1600 rows total). *)
-let imdb = lazy (Datagen.Imdb_gen.generate ~seed:7 ~scale:0.02 ())
+let imdb = lazy (Datagen.Imdb_gen.generate ~seed:7 ~scale:0.0004 ())
 
 (* A mid-sized instance for statistics-sensitive tests. *)
-let imdb_mid = lazy (Datagen.Imdb_gen.generate ~seed:7 ~scale:0.1 ())
+let imdb_mid = lazy (Datagen.Imdb_gen.generate ~seed:7 ~scale:0.002 ())
 
 let tpch = lazy (Datagen.Tpch_gen.generate ~scale:0.2 ())
 
@@ -130,7 +130,7 @@ let brute_force_count graph subset =
       (QG.edges graph)
   in
   let value rel col row =
-    (Storage.Table.column (QG.relation graph rel).QG.table col).Storage.Column.data.(row)
+    Storage.Column.get (Storage.Table.column (QG.relation graph rel).QG.table col) row
   in
   let count = ref 0 in
   let rec loop assignment = function

@@ -166,9 +166,7 @@ let test_schema_matches_generator () =
       let table = Storage.Database.find_table db spec.Datagen.Imdb_schema.name in
       let generated =
         Array.to_list
-          (Array.map
-             (fun (c : Storage.Column.t) -> c.Storage.Column.name)
-             (Storage.Table.columns table))
+          (Array.map Storage.Column.name (Storage.Table.columns table))
       in
       let declared =
         List.map (fun c -> c.Csv.name) spec.Datagen.Imdb_schema.columns

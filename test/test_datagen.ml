@@ -15,8 +15,8 @@ let test_schema_complete () =
     (Storage.Database.table_names db)
 
 let test_determinism () =
-  let a = Datagen.Imdb_gen.generate ~seed:5 ~scale:0.02 () in
-  let b = Datagen.Imdb_gen.generate ~seed:5 ~scale:0.02 () in
+  let a = Datagen.Imdb_gen.generate ~seed:5 ~scale:0.0004 () in
+  let b = Datagen.Imdb_gen.generate ~seed:5 ~scale:0.0004 () in
   List.iter
     (fun name ->
       let ta = Storage.Database.find_table a name in
@@ -35,10 +35,10 @@ let test_determinism () =
     Datagen.Imdb_gen.table_names
 
 let test_seeds_differ () =
-  let a = Datagen.Imdb_gen.generate ~seed:5 ~scale:0.02 () in
-  let b = Datagen.Imdb_gen.generate ~seed:6 ~scale:0.02 () in
-  let va = (col a "title" "production_year").Storage.Column.data in
-  let vb = (col b "title" "production_year").Storage.Column.data in
+  let a = Datagen.Imdb_gen.generate ~seed:5 ~scale:0.0004 () in
+  let b = Datagen.Imdb_gen.generate ~seed:6 ~scale:0.0004 () in
+  let va = Storage.Column.to_codes (col a "title" "production_year") in
+  let vb = Storage.Column.to_codes (col b "title" "production_year") in
   Alcotest.(check bool) "different data" true (va <> vb)
 
 let test_ids_contiguous () =
@@ -46,7 +46,7 @@ let test_ids_contiguous () =
   List.iter
     (fun name ->
       let t = Storage.Database.find_table db name in
-      let ids = (Storage.Table.find_column t "id").Storage.Column.data in
+      let ids = Storage.Column.to_codes (Storage.Table.find_column t "id") in
       Array.iteri
         (fun i v ->
           if v <> i + 1 then Alcotest.failf "%s id at %d is %d" name i v)
@@ -56,7 +56,7 @@ let test_ids_contiguous () =
 let test_fk_integrity () =
   let db = Lazy.force imdb in
   let check_fk table fk target =
-    let data = (col db table fk).Storage.Column.data in
+    let data = Storage.Column.to_codes (col db table fk) in
     let n = Storage.Table.row_count (Storage.Database.find_table db target) in
     Array.iter
       (fun v ->
@@ -80,7 +80,7 @@ let test_popularity_skew () =
   (* The shared Zipf: the most popular movie must collect far more cast
      entries than a mid-ranked one. *)
   let db = Lazy.force imdb in
-  let movie = (col db "cast_info" "movie_id").Storage.Column.data in
+  let movie = Storage.Column.to_codes (col db "cast_info" "movie_id") in
   let titles = Storage.Table.row_count (Storage.Database.find_table db "title") in
   let counts = Array.make (titles + 1) 0 in
   Array.iter (fun m -> if m >= 1 then counts.(m) <- counts.(m) + 1) movie;
@@ -92,8 +92,8 @@ let test_popularity_skew () =
 
 let test_gender_role_correlation () =
   let db = Lazy.force imdb in
-  let role = (col db "cast_info" "role_id").Storage.Column.data in
-  let person = (col db "cast_info" "person_id").Storage.Column.data in
+  let role = Storage.Column.to_codes (col db "cast_info" "role_id") in
+  let person = Storage.Column.to_codes (col db "cast_info" "person_id") in
   let gender = col db "name" "gender" in
   let female_code = Storage.Column.encode gender (Storage.Value.Str "f") in
   let f_actress = ref 0 and actress = ref 0 in
@@ -101,7 +101,7 @@ let test_gender_role_correlation () =
     (fun i r ->
       if r = 2 (* actress *) then begin
         incr actress;
-        if Some gender.Storage.Column.data.(person.(i) - 1) = female_code then
+        if Some (Storage.Column.get gender (person.(i) - 1)) = female_code then
           incr f_actress
       end)
     role;
@@ -112,9 +112,9 @@ let test_join_crossing_correlation () =
   (* Movies with a US production company carry info 'USA' much more
      often: the correlation no estimator can see. *)
   let db = Lazy.force imdb in
-  let mc_movie = (col db "movie_companies" "movie_id").Storage.Column.data in
-  let mc_type = (col db "movie_companies" "company_type_id").Storage.Column.data in
-  let mc_company = (col db "movie_companies" "company_id").Storage.Column.data in
+  let mc_movie = Storage.Column.to_codes (col db "movie_companies" "movie_id") in
+  let mc_type = Storage.Column.to_codes (col db "movie_companies" "company_type_id") in
+  let mc_company = Storage.Column.to_codes (col db "movie_companies" "company_id") in
   let country = col db "company_name" "country_code" in
   let us = Storage.Column.encode country (Storage.Value.Str "[us]") in
   let titles = Storage.Table.row_count (Storage.Database.find_table db "title") in
@@ -123,11 +123,11 @@ let test_join_crossing_correlation () =
     (fun i m ->
       if
         mc_type.(i) = 1
-        && Some country.Storage.Column.data.(mc_company.(i) - 1) = us
+        && Some (Storage.Column.get country (mc_company.(i) - 1)) = us
       then has_us.(m) <- true)
     mc_movie;
-  let mi_movie = (col db "movie_info" "movie_id").Storage.Column.data in
-  let mi_type = (col db "movie_info" "info_type_id").Storage.Column.data in
+  let mi_movie = Storage.Column.to_codes (col db "movie_info" "movie_id") in
+  let mi_type = Storage.Column.to_codes (col db "movie_info" "info_type_id") in
   let mi_info = col db "movie_info" "info" in
   let usa = Storage.Column.encode mi_info (Storage.Value.Str "USA") in
   let countries_id = Datagen.Vocab.info_type_id "countries" in
@@ -138,11 +138,11 @@ let test_join_crossing_correlation () =
       if mi_type.(i) = countries_id then
         if has_us.(m) then begin
           incr us_total;
-          if Some mi_info.Storage.Column.data.(i) = usa then incr us_and_usa
+          if Some (Storage.Column.get mi_info i) = usa then incr us_and_usa
         end
         else begin
           incr other_total;
-          if Some mi_info.Storage.Column.data.(i) = usa then incr other_usa
+          if Some (Storage.Column.get mi_info i) = usa then incr other_usa
         end)
     mi_movie;
   let p_us = float_of_int !us_and_usa /. float_of_int (max 1 !us_total) in
@@ -157,7 +157,7 @@ let test_rating_strings_ordered () =
      numeric comparison — required by the miidx.info > '8.0' predicates. *)
   let db = Lazy.force imdb in
   let t = Storage.Database.find_table db "movie_info_idx" in
-  let ty = (Storage.Table.find_column t "info_type_id").Storage.Column.data in
+  let ty = Storage.Column.to_codes (Storage.Table.find_column t "info_type_id") in
   let info = Storage.Table.find_column t "info" in
   let rating_id = Datagen.Vocab.info_type_id "rating" in
   Array.iteri
@@ -176,14 +176,14 @@ let test_tpch_generator () =
     "7 tables" Datagen.Tpch_gen.table_names
     (Storage.Database.table_names db);
   (* Key inclusion: every lineitem order key exists. *)
-  let li = (col db "lineitem" "l_orderkey").Storage.Column.data in
+  let li = Storage.Column.to_codes (col db "lineitem" "l_orderkey") in
   let orders = Storage.Table.row_count (Storage.Database.find_table db "orders") in
   Array.iter
     (fun v ->
       if v < 1 || v > orders then Alcotest.failf "orderkey %d out of range" v)
     li;
   (* Uniformity: order years roughly evenly spread. *)
-  let years = (col db "orders" "o_orderyear").Storage.Column.data in
+  let years = Storage.Column.to_codes (col db "orders" "o_orderyear") in
   let counts = Hashtbl.create 8 in
   Array.iter
     (fun y ->

@@ -203,8 +203,8 @@ let test_executor_mins () =
   (* Compute MIN(production_year) over movies with keywords manually. *)
   let t = Storage.Database.find_table db "title" in
   let mk = Storage.Database.find_table db "movie_keyword" in
-  let year = (Storage.Table.find_column t "production_year").Storage.Column.data in
-  let movie = (Storage.Table.find_column mk "movie_id").Storage.Column.data in
+  let year = Storage.Column.to_codes (Storage.Table.find_column t "production_year") in
+  let movie = Storage.Column.to_codes (Storage.Table.find_column mk "movie_id") in
   let best = ref max_int in
   Array.iter
     (fun m ->

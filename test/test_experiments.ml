@@ -11,7 +11,7 @@ let mini_queries =
     Workload.Job.all
 
 let harness =
-  lazy (Experiments.Harness.create ~seed:11 ~scale:0.03 ~queries:mini_queries ())
+  lazy (Experiments.Harness.create ~seed:11 ~scale:0.0006 ~queries:mini_queries ())
 
 let contains haystack needle =
   let n = String.length needle in

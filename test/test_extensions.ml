@@ -185,7 +185,7 @@ let test_extensions_render () =
       (fun q -> List.mem q.Workload.Job.name [ "1a"; "2b" ])
       Workload.Job.all
   in
-  let h = Experiments.Harness.create ~seed:5 ~scale:0.03 ~queries:mini () in
+  let h = Experiments.Harness.create ~seed:5 ~scale:0.0006 ~queries:mini () in
   let out = Experiments.Exp_extensions.render h in
   Alcotest.(check bool) "mentions join sampling" true
     (let needle = "join sampling" in

@@ -5,7 +5,7 @@
 module QG = Query.Query_graph
 
 (* One small session shared by the facade tests. *)
-let session = lazy (Core.Session.create ~seed:3 ~scale:0.03 ())
+let session = lazy (Core.Session.create ~seed:3 ~scale:0.0006 ())
 
 let test_session_job_roundtrip () =
   let s = Lazy.force session in
@@ -130,7 +130,7 @@ let mini_queries =
     (fun q -> List.mem q.Workload.Job.name [ "1a"; "2b"; "3a"; "6c" ])
     Workload.Job.all
 
-let harness = lazy (Experiments.Harness.create ~seed:3 ~scale:0.03 ~queries:mini_queries ())
+let harness = lazy (Experiments.Harness.create ~seed:3 ~scale:0.0006 ~queries:mini_queries ())
 
 let test_harness_table1_shape () =
   let h = Lazy.force harness in

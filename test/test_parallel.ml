@@ -143,7 +143,7 @@ let probe_everything h =
 let test_counters_match_serial () =
   let run jobs =
     let h =
-      Harness.create ~seed:11 ~scale:0.03 ~queries:mini_queries ~jobs ()
+      Harness.create ~seed:11 ~scale:0.0006 ~queries:mini_queries ~jobs ()
     in
     Fun.protect
       ~finally:(fun () -> Harness.shutdown h)
@@ -166,7 +166,7 @@ let test_counters_match_serial () =
 let test_catalog_deterministic () =
   let render_all jobs =
     let h =
-      Harness.create ~seed:11 ~scale:0.03 ~queries:mini_queries ~jobs ()
+      Harness.create ~seed:11 ~scale:0.0006 ~queries:mini_queries ~jobs ()
     in
     Fun.protect
       ~finally:(fun () -> Harness.shutdown h)

@@ -241,7 +241,7 @@ let predicate_compile_matches_interpreter =
               [ P.Cmp { col; op = P.Eq; code = c }; P.Is_null { col; negated = false } ]
       in
       let compiled = P.compile table [ atom ] in
-      let data = (Storage.Table.column table col).Storage.Column.data in
+      let data = Storage.Column.to_codes (Storage.Table.column table col) in
       let null = Storage.Value.null_code in
       let rec interpret a row =
         match a with

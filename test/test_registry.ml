@@ -182,7 +182,7 @@ let mini_queries names =
 
 let test_cache_across_experiments () =
   let h =
-    Experiments.Harness.create ~seed:11 ~scale:0.03
+    Experiments.Harness.create ~seed:11 ~scale:0.0006
       ~queries:(mini_queries [ "1a"; "3a"; "6a" ])
       ()
   in
@@ -209,7 +209,7 @@ let test_cache_across_experiments () =
 
 let test_verify_memo_scoped () =
   let queries = mini_queries [ "1a" ] in
-  let h = Experiments.Harness.create ~seed:11 ~scale:0.03 ~queries () in
+  let h = Experiments.Harness.create ~seed:11 ~scale:0.0006 ~queries () in
   let q = Experiments.Harness.find h "1a" in
   let est = Experiments.Harness.estimator h q "PostgreSQL" in
   Fun.protect
@@ -228,7 +228,7 @@ let test_verify_memo_scoped () =
                ()));
       Alcotest.(check int) "re-verified under the new physical design" 2
         (Util.Shard_map.length h.Experiments.Harness.verify_memo);
-      let h2 = Experiments.Harness.create ~seed:11 ~scale:0.03 ~queries () in
+      let h2 = Experiments.Harness.create ~seed:11 ~scale:0.0006 ~queries () in
       Alcotest.(check int) "a fresh harness starts with an empty memo" 0
         (Util.Shard_map.length h2.Experiments.Harness.verify_memo))
 

@@ -214,6 +214,160 @@ let column_value_roundtrip =
           (Array.init (Array.length cells) (fun i -> i))
       end)
 
+
+(* --- Compressed encodings ------------------------------------------------ *)
+
+module C = Storage.Column
+
+(* Every encoding must expose the exact code sequence of the flat
+   reference: same [get]/[reader]/[to_codes]/[iter_codes], same chunked
+   [decode_into] at awkward boundaries, same cached statistics. *)
+let encoding_roundtrip_law column =
+  let reference = C.to_codes column in
+  let n = Array.length reference in
+  List.for_all
+    (fun enc ->
+      let r = C.recode column enc in
+      let indices = Array.init n (fun i -> i) in
+      let chunks_ok =
+        let buf = Array.make (max n 1) 0 in
+        let ok = ref true in
+        let lo = ref 0 in
+        let step = max 1 (n / 3) in
+        while !lo < n do
+          let len = min step (n - !lo) in
+          C.decode_into r ~row_start:!lo ~len buf;
+          for i = 0 to len - 1 do
+            if buf.(i) <> reference.(!lo + i) then ok := false
+          done;
+          lo := !lo + len
+        done;
+        !ok
+      in
+      let iter_ok =
+        let got = ref [] in
+        C.iter_codes r (fun v -> got := v :: !got);
+        Array.of_list (List.rev !got) = reference
+      in
+      C.length r = n
+      && C.to_codes r = reference
+      && Array.for_all (fun i -> C.get r i = reference.(i)) indices
+      && (let read = C.reader r in
+          Array.for_all (fun i -> read i = reference.(i)) indices)
+      && chunks_ok && iter_ok
+      && C.distinct_count r = C.distinct_count column
+      && C.null_count r = C.null_count column
+      && C.min_max r = C.min_max column)
+    C.all_encodings
+
+let int_column_of cells = C.of_ints ~name:"x" (Array.of_list cells)
+
+let encoding_roundtrip_random =
+  Support.qcheck_case ~name:"encodings roundtrip on random int columns"
+    QCheck.(small_list (option int))
+    (fun cells -> encoding_roundtrip_law (int_column_of cells))
+
+let encoding_roundtrip_sorted =
+  Support.qcheck_case ~name:"encodings roundtrip on sorted columns (frame)"
+    QCheck.(small_list (option small_int))
+    (fun cells -> encoding_roundtrip_law (int_column_of (List.sort compare cells)))
+
+let encoding_roundtrip_runs =
+  Support.qcheck_case ~name:"encodings roundtrip on run-heavy columns (rle)"
+    QCheck.(small_list (pair (option (int_bound 5)) (int_bound 6)))
+    (fun pairs ->
+      let cells = List.concat_map (fun (v, k) -> List.init (k + 1) (fun _ -> v)) pairs in
+      encoding_roundtrip_law (int_column_of cells))
+
+let encoding_roundtrip_strings =
+  Support.qcheck_case ~name:"encodings roundtrip on dictionary columns"
+    QCheck.(small_list (option (string_of_size (QCheck.Gen.int_range 0 6))))
+    (fun cells ->
+      let column = C.of_strings ~name:"s" (Array.of_list cells) in
+      encoding_roundtrip_law column
+      && List.for_all
+           (fun enc ->
+             (* The dictionary is shared, so string decode survives. *)
+             let r = C.recode column enc in
+             List.for_all
+               (fun i -> C.value r i = C.value column i)
+               (List.init (C.length column) (fun i -> i)))
+           C.all_encodings)
+
+let test_encoding_chooser () =
+  (* Sorted dense ids: small per-block deltas, so frame-of-reference (or
+     bit-packing) wins and random access still decodes exactly. *)
+  let ids = C.of_ints ~name:"id" (Array.init 20_000 (fun i -> Some (i + 1))) in
+  Alcotest.(check bool)
+    (Printf.sprintf "ids compressed (%s)" (C.encoding_name (C.encoding ids)))
+    true
+    (C.encoding ids <> C.Flat && C.byte_size ids * 4 <= C.flat_byte_size ids);
+  check Alcotest.int "ids decode intact" 12_345 (C.get ids 12_344);
+  (* A narrow dictionary column packs to a few bits per row: >= 2x is the
+     acceptance floor, 8x the actual expectation at width <= 8. *)
+  let strs =
+    C.of_strings ~name:"kind"
+      (Array.init 8_192 (fun i ->
+           if i mod 97 = 0 then None
+           else Some [| "movie"; "tv"; "video" |].(i mod 3)))
+  in
+  Alcotest.(check bool) "dictionary column >= 2x compression" true
+    (2 * C.byte_size strs <= C.flat_byte_size strs);
+  Alcotest.(check bool) "null preserved in-band" true (C.is_null strs 0);
+  (* Constant columns collapse to a run. *)
+  let const = C.of_ints ~name:"c" (Array.make 10_000 (Some 7)) in
+  Alcotest.(check bool) "constant column is rle" true (C.encoding const = C.Rle);
+  Alcotest.(check bool) "rle tiny" true (C.byte_size const < 128);
+  (* All-NULL columns need no width at all. *)
+  let nulls = C.of_strings ~name:"n" (Array.make 4_096 None) in
+  check Alcotest.int "all-null distinct" 0 (C.distinct_count nulls);
+  Alcotest.(check bool) "all-null null_count" true (C.null_count nulls = 4_096);
+  Alcotest.(check bool) "all-null compresses" true
+    (C.byte_size nulls * 8 <= C.flat_byte_size nulls)
+
+let test_encoding_stats_cached () =
+  let c = C.of_ints ~name:"x" [| Some 5; None; Some 7; Some 5; Some (-3) |] in
+  check Alcotest.int "distinct" 3 (C.distinct_count c);
+  check Alcotest.int "nulls" 1 (C.null_count c);
+  check Alcotest.(option (pair int int)) "min/max" (Some (-3, 7)) (C.min_max c)
+
+let test_take_shares_dict () =
+  let c = C.of_strings ~name:"s" [| Some "a"; Some "b"; None; Some "a" |] in
+  let t = C.take c [| 3; 2; 1 |] in
+  check Alcotest.int "take length" 3 (C.length t);
+  Alcotest.(check bool) "same dict instance" true
+    (match (C.dict c, C.dict t) with Some a, Some b -> a == b | _ -> false);
+  (match C.value t 0 with
+  | Storage.Value.Str "a" -> ()
+  | v -> Alcotest.failf "unexpected %s" (Storage.Value.to_string v));
+  Alcotest.(check bool) "take null" true (C.is_null t 1);
+  (match C.value t 2 with
+  | Storage.Value.Str "b" -> ()
+  | v -> Alcotest.failf "unexpected %s" (Storage.Value.to_string v))
+
+let test_database_recode () =
+  let db = Lazy.force Support.imdb in
+  List.iter
+    (fun enc ->
+      let r = Storage.Database.recode db enc in
+      List.iter
+        (fun name ->
+          let t = Storage.Database.find_table db name
+          and t' = Storage.Database.find_table r name in
+          Alcotest.(check int)
+            (name ^ " rows")
+            (Storage.Table.row_count t)
+            (Storage.Table.row_count t');
+          Array.iteri
+            (fun i c ->
+              let c' = Storage.Table.column t' i in
+              if C.to_codes c <> C.to_codes c' then
+                Alcotest.failf "%s.%s differs under %s" name (C.name c)
+                  (C.encoding_name enc))
+            (Storage.Table.columns t))
+        (Storage.Database.table_names db))
+    C.all_encodings
+
 let suite =
   [
     Alcotest.test_case "dict roundtrip" `Quick test_dict_roundtrip;
@@ -232,4 +386,12 @@ let suite =
     Alcotest.test_case "index fanout" `Quick test_index_average_fanout;
     Alcotest.test_case "database catalog" `Quick test_database_catalog;
     Alcotest.test_case "database index config" `Quick test_database_index_config;
+    encoding_roundtrip_random;
+    encoding_roundtrip_sorted;
+    encoding_roundtrip_runs;
+    encoding_roundtrip_strings;
+    Alcotest.test_case "encoding chooser" `Quick test_encoding_chooser;
+    Alcotest.test_case "encoding stats cached" `Quick test_encoding_stats_cached;
+    Alcotest.test_case "take shares dict" `Quick test_take_shares_dict;
+    Alcotest.test_case "database recode" `Quick test_database_recode;
   ]

@@ -404,7 +404,7 @@ let test_ensure_plan_raises () =
 
 let test_harness_verifies_choices () =
   let h =
-    Experiments.Harness.create ~scale:0.02
+    Experiments.Harness.create ~scale:0.0004
       ~queries:[ Workload.Job.find "1a" ] ()
   in
   let qctx = Experiments.Harness.find h "1a" in
