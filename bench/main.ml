@@ -22,7 +22,15 @@
    --scale-sweep S1,S2,... runs only the storage scale sweep: per
    scale it builds the database, reports per-encoding compressed sizes
    and query times, and writes BENCH_scale.json (see run_scale_sweep
-   below). *)
+   below).
+
+   --morsel-sweep S1,S2,... runs only the intra-query scaling sweep:
+   per scale it runs the five sweep queries at every --morsel-jobs
+   worker count (default 1,2,4,8), enforces byte-identical results
+   against the serial baseline (mismatch = exit 1), and writes the
+   per-query scaling curves plus morsel-scheduler counters to
+   BENCH_morsel.json. --exec-jobs N turns morsel execution on inside
+   the regular experiment comparison (both twins get it). *)
 
 (* The experiment list is the catalog in lib/experiments — one source of
    truth shared with 'jobench experiment'. *)
@@ -360,11 +368,11 @@ let write_bench_json ~path ~jobs ~scale ~seed ~repeats rows =
     jobs scale seed repeats;
   List.iteri
     (fun i (id, serial_ms, parallel_ms) ->
+      let speedup = serial_ms /. Float.max 1e-9 parallel_ms in
       Printf.fprintf oc
         "    {\"id\": \"%s\", \"serial_ms\": %.3f, \"parallel_ms\": %.3f, \
-         \"speedup\": %.3f}%s\n"
-        (json_escape id) serial_ms parallel_ms
-        (serial_ms /. Float.max 1e-9 parallel_ms)
+         \"speedup\": %.3f, \"regression\": %b}%s\n"
+        (json_escape id) serial_ms parallel_ms speedup (speedup <= 1.0)
         (if i = List.length rows - 1 then "" else ",")
     )
     rows;
@@ -692,6 +700,172 @@ let run_scale_sweep ~seed scales =
     exit 1
   end
 
+(* ------------------------------------------------------------------ *)
+(* Morsel sweep: intra-query scaling curves. Per scale it builds the
+   database once, then runs the five sweep queries at each worker count
+   (default 1,2,4,8), enforcing byte-identical results against the
+   serial baseline and publishing per-query wall clock plus the morsel
+   scheduler's counters to BENCH_morsel.json. *)
+
+let morsel_run_queries s planned ~pool =
+  (* Untimed warm-up (indexes, heap sizing, page faults), then reset
+     the scheduler counters so the published telemetry covers exactly
+     the timed passes. Best-of-two per query, as in the scale sweep:
+     the executor is deterministic, so the minimum is the pass least
+     disturbed by GC pacing. *)
+  List.iter
+    (fun (_, q, choice) ->
+      ignore (Core.Session.run s ~engine:sweep_engine ?pool q choice))
+    planned;
+  Exec.Morsel.reset_stats ();
+  let pass () =
+    Gc.full_major ();
+    List.map
+      (fun (name, q, choice) ->
+        let t0 = Unix.gettimeofday () in
+        let r = Core.Session.run s ~engine:sweep_engine ?pool q choice in
+        let wall = (Unix.gettimeofday () -. t0) *. 1000.0 in
+        let fp =
+          ( name,
+            r.Exec.Executor.rows,
+            r.Exec.Executor.work,
+            List.map Storage.Value.to_string r.Exec.Executor.mins )
+        in
+        (fp, wall))
+      planned
+  in
+  let pass1 = pass () in
+  let pass2 = pass () in
+  let stats = Exec.Morsel.stats () in
+  let fingerprints = List.map fst pass1 in
+  let walls =
+    List.map2
+      (fun ((name, _, _, _), w1) (_, w2) -> (name, Float.min w1 w2))
+      pass1 pass2
+  in
+  (fingerprints, walls, stats)
+
+let run_morsel_sweep ~seed ~jobs_list scales =
+  Gc.set
+    { (Gc.get ()) with Gc.minor_heap_size = 4_194_304; space_overhead = 200 };
+  let jobs_list = match jobs_list with [] -> [ 1 ] | l -> l in
+  let mismatches = ref 0 in
+  let steps =
+    List.map
+      (fun scale ->
+        Printf.printf "scale %g: generating...%!" scale;
+        let db = Datagen.Imdb_gen.generate ~seed ~scale () in
+        let rows = Storage.Database.total_rows db in
+        Printf.printf " %d rows\n%!" rows;
+        let s = Core.Session.of_database db in
+        (* Plan once, outside every timed region: all worker counts
+           execute the same physical plans. *)
+        let planned =
+          List.map
+            (fun name ->
+              let q = Core.Session.job s name in
+              (name, q, Core.Session.optimize s q))
+            sweep_queries
+        in
+        let baseline = ref None in
+        let runs =
+          List.map
+            (fun nj ->
+              let pool =
+                if nj > 1 then Some (Util.Domain_pool.create ~domains:nj)
+                else None
+              in
+              let fingerprints, walls, stats =
+                Fun.protect
+                  ~finally:(fun () ->
+                    match pool with
+                    | Some p -> Util.Domain_pool.shutdown p
+                    | None -> ())
+                  (fun () -> morsel_run_queries s planned ~pool)
+              in
+              (match !baseline with
+              | None -> baseline := Some fingerprints
+              | Some fp0 ->
+                  if fingerprints <> fp0 then begin
+                    incr mismatches;
+                    Printf.printf
+                      "  RESULT MISMATCH at %d exec jobs (scale %g)\n%!" nj
+                      scale
+                  end);
+              let total = List.fold_left (fun a (_, w) -> a +. w) 0.0 walls in
+              Printf.printf
+                "  exec-jobs %d: %7.1f ms total  (%s)  phases %d, morsels \
+                 %d, stolen %d, skew %.2f\n%!"
+                nj total
+                (String.concat ", "
+                   (List.map
+                      (fun (n, w) -> Printf.sprintf "%s %.0f" n w)
+                      walls))
+                stats.Exec.Morsel.st_phases stats.Exec.Morsel.st_dispatched
+                stats.Exec.Morsel.st_stolen stats.Exec.Morsel.st_skew;
+              (nj, total, walls, stats))
+            jobs_list
+        in
+        (match runs with
+        | (1, serial_total, _, _) :: rest ->
+            List.iter
+              (fun (nj, total, _, _) ->
+                Printf.printf "  speedup at %d exec jobs: %.2fx\n%!" nj
+                  (serial_total /. Float.max 1e-9 total))
+              rest
+        | _ -> ());
+        (scale, rows, runs))
+      scales
+  in
+  let oc = open_out "BENCH_morsel.json" in
+  Printf.fprintf oc
+    "{\n  \"seed\": %d,\n  \"queries\": [%s],\n  \"exec_jobs\": [%s],\n  \
+     \"sweep\": [\n"
+    seed
+    (String.concat ", " (List.map (fun q -> "\"" ^ q ^ "\"") sweep_queries))
+    (String.concat ", " (List.map string_of_int jobs_list));
+  List.iteri
+    (fun i (scale, rows, runs) ->
+      let serial_total =
+        match runs with
+        | (1, t, _, _) :: _ -> Some t
+        | _ -> None
+      in
+      Printf.fprintf oc
+        "    {\n      \"scale\": %g,\n      \"rows\": %d,\n      \"runs\": [\n"
+        scale rows;
+      List.iteri
+        (fun j (nj, total, walls, (stats : Exec.Morsel.stats)) ->
+          Printf.fprintf oc
+            "        {\"exec_jobs\": %d, \"total_wall_ms\": %.3f, \
+             \"speedup\": %.3f, \"queries\": {%s}, \"morsel_phases\": %d, \
+             \"morsels_dispatched\": %d, \"morsels_stolen\": %d, \
+             \"build_skew\": %.3f}%s\n"
+            nj total
+            (match serial_total with
+            | Some st -> st /. Float.max 1e-9 total
+            | None -> 1.0)
+            (String.concat ", "
+               (List.map
+                  (fun (n, w) -> Printf.sprintf "\"%s\": %.3f" n w)
+                  walls))
+            stats.Exec.Morsel.st_phases stats.Exec.Morsel.st_dispatched
+            stats.Exec.Morsel.st_stolen stats.Exec.Morsel.st_skew
+            (if j = List.length runs - 1 then "" else ","))
+        runs;
+      Printf.fprintf oc "      ]\n    }%s\n"
+        (if i = List.length steps - 1 then "" else ","))
+    steps;
+  output_string oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote BENCH_morsel.json\n%!";
+  if !mismatches > 0 then begin
+    Printf.printf
+      "FAIL: %d serial-vs-morsel result mismatches (determinism violated)\n%!"
+      !mismatches;
+    exit 1
+  end
+
 let () =
   let scale = ref Datagen.Imdb_gen.reference_scale in
   let seed = ref 42 in
@@ -699,7 +873,10 @@ let () =
   let skip_micro = ref false in
   let repeat = ref 1 in
   let jobs = ref (Domain.recommended_domain_count ()) in
+  let exec_jobs = ref 1 in
   let sweep = ref None in
+  let morsel_sweep = ref None in
+  let morsel_jobs = ref [ 1; 2; 4; 8 ] in
   let rec parse = function
     | [] -> ()
     | "--scale-sweep" :: v :: rest ->
@@ -707,6 +884,20 @@ let () =
           Some
             (String.split_on_char ',' v |> List.map String.trim
            |> List.map float_of_string);
+        parse rest
+    | "--morsel-sweep" :: v :: rest ->
+        morsel_sweep :=
+          Some
+            (String.split_on_char ',' v |> List.map String.trim
+           |> List.map float_of_string);
+        parse rest
+    | "--morsel-jobs" :: v :: rest ->
+        morsel_jobs :=
+          String.split_on_char ',' v |> List.map String.trim
+          |> List.map int_of_string;
+        parse rest
+    | "--exec-jobs" :: v :: rest ->
+        exec_jobs := int_of_string v;
         parse rest
     | "--scale" :: v :: rest ->
         scale := float_of_string v;
@@ -730,10 +921,19 @@ let () =
   in
   parse (List.tl (Array.to_list Sys.argv));
   if !jobs < 1 then failwith "-j must be >= 1";
+  if !exec_jobs < 1 then failwith "--exec-jobs must be >= 1";
+  if List.exists (fun n -> n < 1) !morsel_jobs then
+    failwith "--morsel-jobs entries must be >= 1";
   (match !sweep with
   | Some scales ->
       Util.Domain_pool.tune_gc ();
       run_scale_sweep ~seed:!seed scales;
+      exit 0
+  | None -> ());
+  (match !morsel_sweep with
+  | Some scales ->
+      Util.Domain_pool.tune_gc ();
+      run_morsel_sweep ~seed:!seed ~jobs_list:!morsel_jobs scales;
       exit 0
   | None -> ());
   (* Pool workers tune their GC on spawn; the main domain executes the
@@ -775,7 +975,10 @@ let () =
         last_h := None;
         Gc.compact ()
     | None -> ());
-    let h = Experiments.Harness.create ~seed:!seed ~scale:!scale () in
+    let h =
+      Experiments.Harness.create ~seed:!seed ~scale:!scale
+        ~exec_jobs:!exec_jobs ()
+    in
     if r = 1 then
       Printf.printf "database: %d tables, %d rows\n\n%!"
         (List.length (Storage.Database.table_names h.Experiments.Harness.db))
@@ -783,10 +986,13 @@ let () =
     (* The parallel twin: same seed and scale, its own caches. Each
        experiment renders on both at an identical cache state (both have
        rendered exactly the same prior experiments). *)
+    (* Both twins get the same --exec-jobs, so the serial/parallel
+       comparison still isolates the inter-query fan-out. *)
     let h_par =
       if !jobs > 1 then
         Some
-          (Experiments.Harness.create ~seed:!seed ~scale:!scale ~jobs:!jobs ())
+          (Experiments.Harness.create ~seed:!seed ~scale:!scale ~jobs:!jobs
+             ~exec_jobs:!exec_jobs ())
       else None
     in
     (* Spawn the parallel pool's worker domains before any timed region:
@@ -867,6 +1073,17 @@ let () =
             "median of %d: %s serial %.1fs, %d jobs %.1fs, speedup %.2fx\n%!"
             !repeat id (s /. 1e3) !jobs (p /. 1e3) (s /. Float.max 1e-9 p))
         rows;
+    (* Per-experiment regression flag: a parallel render no faster than
+       serial is worth a loud line even though it is not an error (tiny
+       scales legitimately have nothing to win). *)
+    List.iter
+      (fun (id, s, p) ->
+        let speedup = s /. Float.max 1e-9 p in
+        if speedup <= 1.0 then
+          Printf.printf
+            "WARNING: %s shows no parallel speedup (%.2fx at %d jobs)\n%!" id
+            speedup !jobs)
+      rows;
     write_bench_json ~path:"BENCH_parallel.json" ~jobs:!jobs ~scale:!scale
       ~seed:!seed ~repeats:!repeat rows
   end;

@@ -60,6 +60,19 @@ let parse_enumerator s = Core.Registry.(find_exn enumerators) s
 
 let parse_engine s = Core.Registry.(find_exn engines) s
 
+let exec_jobs_arg =
+  let doc =
+    "Worker domains for morsel-driven intra-query parallelism (1 = \
+     serial executor; 0 = the number of cores). Results are \
+     byte-identical at any value — only wall clock changes."
+  in
+  Arg.(value & opt int 1 & info [ "exec-jobs" ] ~docv:"N" ~doc)
+
+let resolve_exec_jobs n =
+  if n < 0 then invalid_arg "jobench: --exec-jobs must be >= 0"
+  else if n = 0 then Domain.recommended_domain_count ()
+  else n
+
 let data_arg =
   let doc =
     "Load the database from a directory of CSV files (as written by \
@@ -144,24 +157,35 @@ let plan_cmd =
 (* --- run --------------------------------------------------------------- *)
 
 let run_cmd =
-  let run scale seed data indexes estimator model enumerator engine name =
-    let s = session ?data ~seed ~scale ~indexes () in
-    let q = load_query s name in
-    let choice =
-      Core.Session.optimize s ~estimator ~cost_model:model
-        ~enumerator:(parse_enumerator enumerator) q
+  let run scale seed data indexes estimator model enumerator engine exec_jobs
+      name =
+    let exec_jobs = resolve_exec_jobs exec_jobs in
+    if exec_jobs > 1 then Util.Domain_pool.tune_gc ();
+    let pool =
+      if exec_jobs > 1 then Some (Util.Domain_pool.create ~domains:exec_jobs)
+      else None
     in
-    let engine = parse_engine engine in
-    print_string (Core.Session.explain_analyze s ~engine q choice);
-    let result = Core.Session.run s ~engine q choice in
-    List.iter
-      (fun v -> Printf.printf "  MIN = %s\n" (Storage.Value.to_string v))
-      result.Exec.Executor.mins
+    Fun.protect
+      ~finally:(fun () ->
+        match pool with Some p -> Util.Domain_pool.shutdown p | None -> ())
+      (fun () ->
+        let s = session ?data ~seed ~scale ~indexes () in
+        let q = load_query s name in
+        let choice =
+          Core.Session.optimize s ~estimator ~cost_model:model
+            ~enumerator:(parse_enumerator enumerator) q
+        in
+        let engine = parse_engine engine in
+        print_string (Core.Session.explain_analyze s ~engine ?pool q choice);
+        let result = Core.Session.run s ~engine ?pool q choice in
+        List.iter
+          (fun v -> Printf.printf "  MIN = %s\n" (Storage.Value.to_string v))
+          result.Exec.Executor.mins)
   in
   Cmd.v (Cmd.info "run" ~doc:"Optimize and execute a query (EXPLAIN ANALYZE)")
     Term.(
       const run $ scale_arg $ seed_arg $ data_arg $ indexes_arg $ estimator_arg
-      $ model_arg $ enumerator_arg $ engine_arg $ query_arg)
+      $ model_arg $ enumerator_arg $ engine_arg $ exec_jobs_arg $ query_arg)
 
 (* --- generate ------------------------------------------------------------ *)
 
@@ -381,7 +405,8 @@ let experiment_cmd =
     let doc =
       "After rendering, print this domain's GC counters (allocated words, \
        minor/major collections) — the figure of merit for the \
-       allocation-free executor and true-cardinality kernels."
+       allocation-free executor and true-cardinality kernels — plus the \
+       hash-join load-factor and morsel-scheduler telemetry."
     in
     Arg.(value & flag & info [ "gc-stats" ] ~doc)
   in
@@ -395,7 +420,7 @@ let experiment_cmd =
     Arg.(
       value & opt float 2.0 & info [ "reopt-threshold" ] ~docv:"FACTOR" ~doc)
   in
-  let run scale seed verify stats gc_stats reopt_threshold jobs id =
+  let run scale seed verify stats gc_stats reopt_threshold jobs exec_jobs id =
     (* Workers tune their GC on spawn; the caller participates in every
        parallel map, so it needs the same treatment. *)
     Util.Domain_pool.tune_gc ();
@@ -408,7 +433,17 @@ let experiment_cmd =
       else if jobs = 0 then Domain.recommended_domain_count ()
       else jobs
     in
-    let h = Experiments.Harness.create ~seed ~scale ~jobs () in
+    (* The two parallelism levels compose but should not oversubscribe:
+       with N inter-query workers each racing for the shared morsel
+       pool, cap the morsel pool so jobs * exec_jobs stays within the
+       core budget. Results are byte-identical at any cap. *)
+    let exec_jobs =
+      let requested = resolve_exec_jobs exec_jobs in
+      if jobs <= 1 then requested
+      else
+        max 1 (min requested (Domain.recommended_domain_count () / jobs))
+    in
+    let h = Experiments.Harness.create ~seed ~scale ~jobs ~exec_jobs () in
     Fun.protect
       ~finally:(fun () -> Experiments.Harness.shutdown h)
       (fun () ->
@@ -430,14 +465,28 @@ let experiment_cmd =
              collections, %d major collections, %d compactions\n%!"
             (g.Gc.minor_words *. 8.0 /. 1048576.0)
             ((g.Gc.major_words -. g.Gc.promoted_words) *. 8.0 /. 1048576.0)
-            g.Gc.minor_collections g.Gc.major_collections g.Gc.compactions
+            g.Gc.minor_collections g.Gc.major_collections g.Gc.compactions;
+          let ls = Exec.Join_table.load_stats () in
+          Printf.printf
+            "--- join tables: %d sealed, %d entries / %d buckets, mean \
+             final load %.3f, max %.3f\n%!"
+            ls.Exec.Join_table.ls_tables ls.Exec.Join_table.ls_entries
+            ls.Exec.Join_table.ls_buckets ls.Exec.Join_table.ls_mean_load
+            ls.Exec.Join_table.ls_max_load;
+          let ms = Exec.Morsel.stats () in
+          Printf.printf
+            "--- morsels: %d parallel phases, %d dispatched, %d stolen, \
+             skew %.2f\n%!"
+            ms.Exec.Morsel.st_phases ms.Exec.Morsel.st_dispatched
+            ms.Exec.Morsel.st_stolen ms.Exec.Morsel.st_skew
         end)
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate a table or figure from the paper")
     Term.(
       const run $ scale_arg $ seed_arg $ verify_flag $ stats_flag
-      $ gc_stats_flag $ reopt_threshold_arg $ jobs_arg $ id_arg)
+      $ gc_stats_flag $ reopt_threshold_arg $ jobs_arg $ exec_jobs_arg
+      $ id_arg)
 
 (* --- lint ----------------------------------------------------------------- *)
 

@@ -70,14 +70,14 @@ let explain t query choice =
     (Plan.pp ~annot query.graph)
     choice.plan
 
-let run t ?(engine = Exec.Engine_config.robust) query choice =
+let run t ?(engine = Exec.Engine_config.robust) ?pool query choice =
   Exec.Executor.run ~db:(Pipeline.db t) ~graph:query.graph ~config:engine
-    ~size_est:choice.estimator.Cardest.Estimator.subset
+    ~size_est:choice.estimator.Cardest.Estimator.subset ?pool
     ~projections:query.projections choice.plan
 
-let explain_analyze t ?(engine = Exec.Engine_config.robust) query choice =
+let explain_analyze t ?(engine = Exec.Engine_config.robust) ?pool query choice =
   ignore (true_cardinalities t query);
-  let result = run t ~engine query choice in
+  let result = run t ~engine ?pool query choice in
   let tree = explain t query choice in
   let summary =
     if result.Exec.Executor.timed_out then

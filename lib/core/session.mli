@@ -91,12 +91,24 @@ val explain : t -> query -> plan_choice -> string
     true cardinalities. *)
 
 val run :
-  t -> ?engine:Exec.Engine_config.t -> query -> plan_choice -> Exec.Executor.result
+  t ->
+  ?engine:Exec.Engine_config.t ->
+  ?pool:Util.Domain_pool.t ->
+  query ->
+  plan_choice ->
+  Exec.Executor.result
 (** Execute under an engine configuration (default: the robust engine —
-    no NL joins, resizing hash tables). *)
+    no NL joins, resizing hash tables). [pool] turns on morsel-driven
+    intra-query parallelism; results are byte-identical with or without
+    it (see {!Exec.Executor.run}). *)
 
 val explain_analyze :
-  t -> ?engine:Exec.Engine_config.t -> query -> plan_choice -> string
+  t ->
+  ?engine:Exec.Engine_config.t ->
+  ?pool:Util.Domain_pool.t ->
+  query ->
+  plan_choice ->
+  string
 (** EXPLAIN ANALYZE: execute, then render the plan with estimated and
     exact cardinalities per operator plus a runtime summary. Computes the
     exact cardinalities on first use. *)

@@ -9,6 +9,8 @@
      R3  no global Random.* outside Util.Prng's implementation
      R4  the cross-module lock-nesting graph must be acyclic
      R5  no Domain.spawn outside Util.Domain_pool's implementation
+     R6  no Atomic.fetch_and_add (shared scheduler state) outside
+         Util.Domain_pool's and Exec.Morsel's implementations
 
    Findings report through {!Verify.Violation}, so `jobench lint` can
    print source findings and workload-graph findings in one format.
@@ -94,6 +96,7 @@ let scan ?(allow = []) paths =
       r4_result )
   in
   let r5 = per_rule "R5-domain-spawn" (Rules.check_r5 ~allow) in
+  let r6 = per_rule "R6-scheduler-state" (Rules.check_r6 ~allow) in
   let hygiene = per_rule "annotation" (fun f -> Rules.check_annotations f) in
   (* Allowlist entries that matched nothing are stale: report them so
      the committed list can only shrink as the tree gets cleaned. *)
@@ -117,7 +120,7 @@ let scan ?(allow = []) paths =
       violations = stale;
     }
   in
-  let stats_and_results = [ r1; r2; r3; r4; r5; hygiene ] in
+  let stats_and_results = [ r1; r2; r3; r4; r5; r6; hygiene ] in
   let stats =
     List.map fst stats_and_results
     @ [

@@ -16,7 +16,13 @@
    R3  no global [Random.*] outside lib/util/prng.ml (shared global
        state breaks deterministic -j N replay).
    R5  no [Domain.spawn] outside lib/util/domain_pool.ml (domains are a
-       bounded resource owned by the pool). *)
+       bounded resource owned by the pool).
+   R6  no [Atomic.fetch_and_add] — the work-distribution primitive —
+       outside lib/util/domain_pool.ml and lib/exec/morsel.ml: shared
+       mutable scheduler state belongs to the pool and the morsel
+       scheduler. Monotone telemetry counters elsewhere must carry an
+       explicit allowlist entry stating why they are not work
+       distribution. *)
 
 module Violation = Verify.Violation
 
@@ -267,6 +273,7 @@ let check_r1 ~allow ~mutable_fields (file : Source.t) =
 let r2_pass = "domlint/R2-lazy"
 let r3_pass = "domlint/R3-global-random"
 let r5_pass = "domlint/R5-domain-spawn"
+let r6_pass = "domlint/R6-scheduler-state"
 
 let exempt file suffixes =
   List.exists
@@ -364,6 +371,34 @@ let check_r5 ~allow (file : Source.t) =
               :: !findings
         | _ -> ());
     resolve ~allow ~file ~rule:"R5" ~pass:r5_pass
+      ~checks:(1 + List.length !findings)
+      (List.rev !findings)
+  end
+
+let check_r6 ~allow (file : Source.t) =
+  if exempt file [ "lib/util/domain_pool.ml"; "lib/exec/morsel.ml" ] then
+    { checks = 1; kept = []; suppressed = 0 }
+  else begin
+    let findings = ref [] in
+    iter_idents file
+      ~on_expr:(fun _ -> ())
+      ~on_lid:(fun loc lid ->
+        match List.rev (flatten lid) with
+        | "fetch_and_add" :: "Atomic" :: _ ->
+            findings :=
+              {
+                line = Source.line_of loc;
+                bind_line = Source.line_of loc;
+                symbol = "";
+                msg =
+                  "Atomic.fetch_and_add outside lib/util/domain_pool.ml and \
+                   lib/exec/morsel.ml: shared scheduler state belongs to the \
+                   pool or the morsel scheduler; a telemetry counter needs an \
+                   allowlist entry saying why it is not work distribution";
+              }
+              :: !findings
+        | _ -> ());
+    resolve ~allow ~file ~rule:"R6" ~pass:r6_pass
       ~checks:(1 + List.length !findings)
       (List.rev !findings)
   end

@@ -17,7 +17,7 @@
       allowlist can only shrink as the tree gets cleaned up. *)
 
 type entry = {
-  rule : string;  (** "R1".."R5", or "*" for any rule *)
+  rule : string;  (** "R1".."R6", or "*" for any rule *)
   file : string;  (** path suffix, e.g. "lib/datagen/vocab.ml" *)
   symbol : string;  (** toplevel binding name, or "*" for the file *)
   reason : string;  (** one-line justification; never empty *)
@@ -113,7 +113,7 @@ let parse_comment ~first_line ~last_line text =
             String.length rest >= i + 2
             && rest.[i] = 'R'
             && rest.[i + 1] >= '1'
-            && rest.[i + 1] <= '5'
+            && rest.[i + 1] <= '9'
           in
           let a_rule, rest =
             if

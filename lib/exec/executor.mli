@@ -42,12 +42,28 @@ val run :
   config:Engine_config.t ->
   size_est:(Util.Bitset.t -> float) ->
   ?observe:(Util.Bitset.t -> rows:int -> work:int -> unit) ->
+  ?pool:Util.Domain_pool.t ->
   ?projections:(int * int) list ->
   Plan.t ->
   result
 (** Raises [Invalid_argument] when the plan needs an index the current
     physical design does not provide, or uses a nested-loop join under a
     configuration that forbids it.
+
+    [pool] enables morsel-driven intra-query parallelism (HyPer-style):
+    base-table scans, hash-join builds, and hash/index probe pipelines
+    run morsel-at-a-time (4096-row chunks) on the pool's workers, with
+    per-morsel output reassembled in morsel-index order and all budgets
+    tripping on shared totals — results, work, and timeout behaviour
+    are byte-identical to the serial path at any worker count (the
+    morsel determinism guarantee; see DESIGN §2h). Plan evaluation
+    order, merge joins, and checkpoint observation stay on the calling
+    domain, so [observe] never races. Without [pool] — or with
+    [config.morsel_exec = false], or on inputs below
+    [config.morsel_min_rows] — execution is exactly the serial
+    reference path. The pool may be shared: if it is busy with another
+    task the executor transparently runs its phases on the calling
+    domain alone.
 
     [observe] is the checkpoint hook: called once per materialized plan
     node — in bottom-up execution order — with the node's relation

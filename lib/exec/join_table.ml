@@ -6,6 +6,7 @@ type t = {
   mutable payloads : int array;
   mutable count : int;
   resizable : bool;
+  initial_buckets : int; (* bucket count at creation, for seal's replay *)
 }
 
 let mix x =
@@ -22,24 +23,32 @@ let next_pow2 x =
   let rec go p = if p >= x then p else go (p * 2) in
   go 16
 
-let create ?(bucket_floor = 1024) ~estimated_rows ~resizable () =
+let create ?(bucket_floor = 1024) ~estimated_rows ?actual_rows ~resizable () =
   (* PostgreSQL floors its hash tables at ~1k buckets regardless of the
      estimate; without the floor every underestimate is a catastrophe
      rather than a slowdown. The floor is a parameter so the ablation
-     bench can quantify exactly that. *)
+     bench can quantify exactly that.
+
+     Buckets are always sized from the optimizer's *estimate* — that is
+     the paper's pathology and must stay. [actual_rows], when the build
+     side's true cardinality is already known (the executor has the
+     materialized batch in hand), pre-sizes only the entry arrays so a
+     big build skips the ~15 doubling copies. *)
   let est =
     int_of_float
       (Float.max (float_of_int (max 1 bucket_floor)) (Float.min 1e9 estimated_rows))
   in
   let n_buckets = next_pow2 est in
+  let entry_cap = max 64 (match actual_rows with Some r -> r | None -> 64) in
   {
     buckets = Array.make n_buckets (-1);
     mask = n_buckets - 1;
-    next = Array.make 64 (-1);
-    hashes = Array.make 64 0;
-    payloads = Array.make 64 0;
+    next = Array.make entry_cap (-1);
+    hashes = Array.make entry_cap 0;
+    payloads = Array.make entry_cap 0;
     count = 0;
     resizable;
+    initial_buckets = n_buckets;
   }
 
 let bucket_count t = Array.length t.buckets
@@ -83,6 +92,97 @@ let insert t ~hash ~payload =
   let b = hash land t.mask in
   t.next.(i) <- t.buckets.(b);
   t.buckets.(b) <- i;
+  !work
+
+(* ------------------------------------------------------------------ *)
+(* Two-phase build: [append] entries without bucket linking, then one
+   [seal] links every chain and settles the resize bill. The executor
+   uses this path exclusively: it decouples entry writing (whose key
+   hashes the morsel workers compute in parallel) from bucket state,
+   and it makes chain order canonical — seal links entries from the
+   highest payload down, so probes traverse each chain in ascending
+   payload order no matter how the build was scheduled. That canonical
+   order is one pillar of the serial-vs-morsel byte-identity guarantee.
+
+   Work parity with the incremental path: [insert] charges 1 per entry
+   plus, when resizable, a rehash of [count] entries every time an
+   insert finds [count >= buckets] (so at count = B0, 2*B0, 4*B0, ...).
+   The caller charges the 1-per-entry part itself; [seal] replays the
+   resize schedule against the final count and returns exactly the work
+   the interleaved rehashes would have charged — totals are identical,
+   only the trip point within the build moves, and the work budget
+   trips on totals. Do not mix [insert] and [append] on one table. *)
+
+let append t ~hash ~payload =
+  grow_entries t;
+  let i = t.count in
+  t.count <- i + 1;
+  t.hashes.(i) <- hash;
+  t.payloads.(i) <- payload
+
+(* Final load-factor telemetry across sealed tables, surfaced by
+   [--gc-stats]. Monotone counters, not work distribution — allowlisted
+   under domlint R6 (see lint/allowlist.ml). *)
+let lf_tables = Atomic.make 0
+let lf_entries = Atomic.make 0
+let lf_buckets = Atomic.make 0
+let lf_max_permille = Atomic.make 0
+
+let rec note_max a v =
+  let cur = Atomic.get a in
+  if v > cur && not (Atomic.compare_and_set a cur v) then note_max a v
+
+type load_stats = {
+  ls_tables : int;
+  ls_entries : int;
+  ls_buckets : int;
+  ls_mean_load : float;
+  ls_max_load : float;
+}
+
+let load_stats () =
+  let tables = Atomic.get lf_tables in
+  let entries = Atomic.get lf_entries in
+  let buckets = Atomic.get lf_buckets in
+  {
+    ls_tables = tables;
+    ls_entries = entries;
+    ls_buckets = buckets;
+    ls_mean_load =
+      (if buckets = 0 then 0.0 else float_of_int entries /. float_of_int buckets);
+    ls_max_load = float_of_int (Atomic.get lf_max_permille) /. 1000.0;
+  }
+
+let reset_load_stats () =
+  Atomic.set lf_tables 0;
+  Atomic.set lf_entries 0;
+  Atomic.set lf_buckets 0;
+  Atomic.set lf_max_permille 0
+
+let seal t =
+  let work = ref 0 in
+  if t.resizable then begin
+    let b = ref t.initial_buckets in
+    while t.count > !b do
+      work := !work + !b;
+      b := 2 * !b
+    done;
+    (* One allocation straight to the final size instead of the
+       incremental path's chain of doublings-plus-relinks. *)
+    if !b <> Array.length t.buckets then begin
+      t.buckets <- Array.make !b (-1);
+      t.mask <- !b - 1
+    end
+  end;
+  for i = t.count - 1 downto 0 do
+    let b = t.hashes.(i) land t.mask in
+    t.next.(i) <- t.buckets.(b);
+    t.buckets.(b) <- i
+  done;
+  ignore (Atomic.fetch_and_add lf_tables 1);
+  ignore (Atomic.fetch_and_add lf_entries t.count);
+  ignore (Atomic.fetch_and_add lf_buckets (Array.length t.buckets));
+  note_max lf_max_permille (1000 * t.count / Array.length t.buckets);
   !work
 
 let probe t ~hash ~f =

@@ -10,8 +10,18 @@
 
 type t
 
-val create : ?bucket_floor:int -> estimated_rows:float -> resizable:bool -> unit -> t
-(** [bucket_floor] defaults to 1024, PostgreSQL's effective minimum. *)
+val create :
+  ?bucket_floor:int ->
+  estimated_rows:float ->
+  ?actual_rows:int ->
+  resizable:bool ->
+  unit ->
+  t
+(** [bucket_floor] defaults to 1024, PostgreSQL's effective minimum.
+    Buckets are always sized from [estimated_rows] — preserving the
+    paper's undersized-table pathology. [actual_rows] (the build side's
+    known materialized cardinality) pre-sizes only the entry arrays so
+    large builds skip the incremental doubling copies. *)
 
 val bucket_count : t -> int
 
@@ -19,7 +29,36 @@ val entry_count : t -> int
 
 val insert : t -> hash:int -> payload:int -> int
 (** Add an entry; returns the work units spent (1, plus amortized rehash
-    work when a resize triggers). *)
+    work when a resize triggers). Incremental reference path — do not
+    mix with {!append}/{!seal} on the same table. *)
+
+val append : t -> hash:int -> payload:int -> unit
+(** Stage an entry without linking it into a bucket chain; probes see
+    it only after {!seal}. Charge 1 work unit per appended row yourself
+    (matching {!insert}'s base cost). *)
+
+val seal : t -> int
+(** Link every staged entry's chain and settle the resize bill: returns
+    exactly the rehash work the incremental {!insert} schedule would
+    have charged for the final entry count (0 when not resizable), and
+    replaces the growth-by-rehash chain of copies with one allocation
+    at the final bucket count. Chains come out in ascending payload
+    order regardless of build schedule — the canonical probe order the
+    serial-vs-morsel identity guarantee relies on. Call exactly once,
+    after the last {!append}. *)
+
+(** {1 Load-factor telemetry} *)
+
+type load_stats = {
+  ls_tables : int;  (** tables sealed since the last reset *)
+  ls_entries : int;
+  ls_buckets : int;
+  ls_mean_load : float;  (** entries per bucket across all sealed tables *)
+  ls_max_load : float;  (** worst single table's final load factor *)
+}
+
+val load_stats : unit -> load_stats
+val reset_load_stats : unit -> unit
 
 val probe : t -> hash:int -> f:(int -> unit) -> int
 (** Visit the payloads of every entry in the hash's chain (callers

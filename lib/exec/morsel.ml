@@ -1,0 +1,86 @@
+(* The executor's morsel scheduler: the one place intra-query work
+   distribution state lives. A phase (scan, hash build, probe) slices
+   its input into fixed-size morsels and hands them to pool workers
+   through an atomic cursor; per-phase work and row totals accumulate
+   in shared counters so the work/row budgets trip on the same global
+   condition as the serial path.
+
+   domlint R6 confines [Atomic.fetch_and_add] to this module and
+   [util/domain_pool.ml]: ad-hoc cursors elsewhere would bypass both
+   the determinism argument (assembly by morsel index) and the
+   accounting contract (monotone shared totals checked against the
+   serial budget). *)
+
+type cursor = { morsels : int; next : int Atomic.t }
+
+let cursor morsels = { morsels; next = Atomic.make 0 }
+
+(* Claims return -1 once exhausted. The pre-check keeps repeated claims
+   after exhaustion from advancing the counter (the same wrap-around
+   hazard Domain_pool documents), and makes post-exhaustion claims
+   side-effect free — the cursor law the QCheck tests pin down. *)
+let claim c =
+  if Atomic.get c.next >= c.morsels then -1
+  else
+    let i = Atomic.fetch_and_add c.next 1 in
+    if i >= c.morsels then -1 else i
+
+(* Shared accumulator for one parallel phase. [add] returns the total
+   including this contribution, so a worker can compare the committed
+   global figure against a budget without a second read. *)
+type acc = int Atomic.t
+
+let acc () = Atomic.make 0
+let add (a : acc) n = Atomic.fetch_and_add a n + n
+let total (a : acc) = Atomic.get a
+let reset (a : acc) = Atomic.set a 0
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler telemetry. Process-global and monotone between resets;
+   counters are observability only — never part of query results, which
+   stay byte-identical at any worker count. *)
+
+let phases = Atomic.make 0
+let dispatched = Atomic.make 0
+let stolen = Atomic.make 0
+let skew_permille = Atomic.make 0
+
+(* [note_phase claims] records one finished parallel phase from the
+   per-slot claim counts. "Stolen" counts morsels that ran off the
+   caller's domain (slot 0 is the caller); "skew" is the busiest slot's
+   share relative to a perfect split, 1000 = perfectly balanced. *)
+let note_phase claims =
+  let nslots = Array.length claims in
+  let total = Array.fold_left ( + ) 0 claims in
+  if total > 0 && nslots > 0 then begin
+    Atomic.incr phases;
+    ignore (Atomic.fetch_and_add dispatched total);
+    ignore (Atomic.fetch_and_add stolen (total - claims.(0)));
+    let busiest = Array.fold_left max 0 claims in
+    ignore
+      (Atomic.fetch_and_add skew_permille (1000 * busiest * nslots / total))
+  end
+
+type stats = {
+  st_phases : int;
+  st_dispatched : int;
+  st_stolen : int;
+  st_skew : float;  (* mean busiest-slot share, 1.0 = balanced *)
+}
+
+let stats () =
+  let p = Atomic.get phases in
+  {
+    st_phases = p;
+    st_dispatched = Atomic.get dispatched;
+    st_stolen = Atomic.get stolen;
+    st_skew =
+      (if p = 0 then 1.0
+       else float_of_int (Atomic.get skew_permille) /. (1000.0 *. float_of_int p));
+  }
+
+let reset_stats () =
+  Atomic.set phases 0;
+  Atomic.set dispatched 0;
+  Atomic.set stolen 0;
+  Atomic.set skew_permille 0

@@ -86,7 +86,7 @@ let measure_query (h : Harness.t) (q : Harness.qctx) =
     let drive max_replans =
       Reopt.Driver.run ~db:h.Harness.db ~graph:q.Harness.graph ~config:engine
         ~model ~estimator:est ~threshold:(Atomic.get threshold) ~max_replans
-        ~plan0
+        ~plan0 ?pool:(Harness.exec_pool h)
         ~projections:q.Harness.projections ()
     in
     (arm_of_outcome ~base_ms (drive 0), arm_of_outcome ~base_ms (drive 8))
@@ -188,7 +188,8 @@ let sweep h =
                 let o =
                   Reopt.Driver.run ~db:h.Harness.db ~graph:q.Harness.graph
                     ~config:engine ~model ~estimator:est ~threshold:t
-                    ~plan0 ~projections:q.Harness.projections ()
+                    ~plan0 ?pool:(Harness.exec_pool h)
+                    ~projections:q.Harness.projections ()
                 in
                 ( o.Reopt.Driver.result.Exec.Executor.runtime_ms /. base_ms,
                   o.Reopt.Driver.replans ))

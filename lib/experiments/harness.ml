@@ -16,6 +16,8 @@ type t = {
   verify_memo : (string, unit) Util.Shard_map.t;
   mutable jobs : int;
   mutable pool : Util.Domain_pool.t option;
+  mutable exec_jobs : int;
+  mutable exec_pool : Util.Domain_pool.t option;
   pool_lock : Mutex.t;
 }
 
@@ -29,9 +31,10 @@ let pquery (q : qctx) =
   }
 
 let create ?(seed = 42) ?(scale = Datagen.Imdb_gen.reference_scale)
-    ?(queries = Workload.Job.all) ?(jobs = 1)
+    ?(queries = Workload.Job.all) ?(jobs = 1) ?(exec_jobs = 1)
     () =
   if jobs < 1 then invalid_arg "Harness.create: jobs must be >= 1";
+  if exec_jobs < 1 then invalid_arg "Harness.create: exec_jobs must be >= 1";
   let db = Datagen.Imdb_gen.generate ~seed ~scale () in
   let pipeline = Core.Pipeline.create db in
   let queries =
@@ -65,6 +68,8 @@ let create ?(seed = 42) ?(scale = Datagen.Imdb_gen.reference_scale)
     verify_memo = Util.Shard_map.create ();
     jobs;
     pool = None;
+    exec_jobs;
+    exec_pool = None;
     pool_lock = Mutex.create ();
   }
 
@@ -86,7 +91,31 @@ let pool t =
   Mutex.unlock t.pool_lock;
   p
 
+(* The intra-query (morsel) pool, separate from the inter-query pool so
+   the two levels compose: with [-j] fan-out active, every concurrent
+   query hands the executor the same shared morsel pool and all but one
+   fall back to serial phases (Domain_pool's busy path) — results are
+   byte-identical either way, so the composition needs no coordination
+   beyond capping total domains at the CLI. *)
+let exec_pool t =
+  if t.exec_jobs <= 1 then None
+  else begin
+    Mutex.lock t.pool_lock;
+    let p =
+      match t.exec_pool with
+      | Some p -> p
+      | None ->
+          let p = Util.Domain_pool.create ~domains:t.exec_jobs in
+          t.exec_pool <- Some p;
+          p
+    in
+    Mutex.unlock t.pool_lock;
+    Some p
+  end
+
 let jobs t = t.jobs
+
+let exec_jobs t = t.exec_jobs
 
 let set_jobs t n =
   if n < 1 then invalid_arg "Harness.set_jobs: jobs must be >= 1";
@@ -96,10 +125,20 @@ let set_jobs t n =
   t.jobs <- n;
   Mutex.unlock t.pool_lock
 
+let set_exec_jobs t n =
+  if n < 1 then invalid_arg "Harness.set_exec_jobs: exec_jobs must be >= 1";
+  Mutex.lock t.pool_lock;
+  (match t.exec_pool with Some p -> Util.Domain_pool.shutdown p | None -> ());
+  t.exec_pool <- None;
+  t.exec_jobs <- n;
+  Mutex.unlock t.pool_lock
+
 let shutdown t =
   Mutex.lock t.pool_lock;
   (match t.pool with Some p -> Util.Domain_pool.shutdown p | None -> ());
   t.pool <- None;
+  (match t.exec_pool with Some p -> Util.Domain_pool.shutdown p | None -> ());
+  t.exec_pool <- None;
   Mutex.unlock t.pool_lock
 
 let par_map t f xs = Util.Domain_pool.map_array (pool t) f xs
@@ -200,7 +239,7 @@ let plan_with t qctx ~est ~model ?enumerator ?(allow_nl = false)
 
 let execute t qctx ~plan ~size_est ~engine =
   Exec.Executor.run ~db:t.db ~graph:qctx.graph ~config:engine ~size_est
-    ~projections:qctx.projections plan
+    ?pool:(exec_pool t) ~projections:qctx.projections plan
 
 let true_cost t qctx plan =
   let env =

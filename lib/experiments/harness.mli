@@ -39,6 +39,12 @@ type t = {
   mutable jobs : int;
   mutable pool : Util.Domain_pool.t option;
       (** Created lazily on the first {!par_map}. *)
+  mutable exec_jobs : int;
+  mutable exec_pool : Util.Domain_pool.t option;
+      (** The intra-query morsel pool, created lazily on the first
+          {!execute} with [exec_jobs > 1]. Separate from [pool]: the
+          two compose (all results are byte-identical at any setting of
+          either), concurrent queries simply share it first-come. *)
   pool_lock : Mutex.t;
 }
 
@@ -47,12 +53,13 @@ val create :
   ?scale:float ->
   ?queries:Workload.Job.query list ->
   ?jobs:int ->
+  ?exec_jobs:int ->
   unit ->
   t
 (** Defaults: seed 42, scale 1.0, the full 113-query workload, one job
-    (serial). Warms both ANALYZE instances over the workload in the
-    serial demand order, so later parallel probes cannot reorder the
-    statistics sampling. *)
+    (serial), one exec job (serial executor). Warms both ANALYZE
+    instances over the workload in the serial demand order, so later
+    parallel probes cannot reorder the statistics sampling. *)
 
 val jobs : t -> int
 
@@ -60,9 +67,21 @@ val set_jobs : t -> int -> unit
 (** Change the parallelism; shuts down any existing pool (a fresh one is
     spawned lazily by the next {!par_map}). *)
 
+val exec_jobs : t -> int
+
+val set_exec_jobs : t -> int -> unit
+(** Change the intra-query (morsel) parallelism; shuts down any
+    existing morsel pool. Results of {!execute} never depend on this —
+    only wall clock does. *)
+
+val exec_pool : t -> Util.Domain_pool.t option
+(** The morsel pool when [exec_jobs > 1] (spawned on first use), for
+    callers executing outside {!execute} (e.g. the re-optimization
+    driver). *)
+
 val shutdown : t -> unit
-(** Join the worker domains, if any were spawned. The harness remains
-    usable; the next {!par_map} spawns a fresh pool. *)
+(** Join the worker domains of both pools, if any were spawned. The
+    harness remains usable; the next use spawns fresh pools. *)
 
 val par_map : t -> ('a -> 'b) -> 'a array -> 'b array
 (** Fan a per-item function (typically per query) out over the harness

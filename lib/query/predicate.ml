@@ -121,47 +121,55 @@ type source = {
   src_flat : bool;
 }
 
-let refiner_of_atom table source_for atom =
+(* One compaction loop per operator; [keep] must be a simple value
+   test so the compiler can inline it at each instantiation site. The
+   source's view is re-read per chunk: the selector re-points
+   [arr]/[off] before the refiners run. *)
+let compact src keep sel n =
+  let a = src.arr and off = src.off in
+  let m = ref 0 in
+  for k = 0 to n - 1 do
+    let row = Array.unsafe_get sel k in
+    let v = Array.unsafe_get a (row - off) in
+    if keep v then begin
+      Array.unsafe_set sel !m row;
+      incr m
+    end
+  done;
+  !m
+
+(* A kernel is an atom's refiner with the expensive precomputation
+   (LIKE / string-compare dictionary bitmaps, IN sets) hoisted out of
+   instantiation. Everything a kernel captures is read-only after
+   construction, so one kernel serves any number of selector instances
+   — including instances running on different domains (morsel scans
+   instantiate one selector per worker). *)
+let kernel_of_atom table atom =
   let null = Storage.Value.null_code in
-  (* One compaction loop per operator; [keep] must be a simple value
-     test so the compiler can inline it at each instantiation site. The
-     source's view is re-read per chunk: the selector re-points
-     [arr]/[off] before the refiners run. *)
-  let compact src keep sel n =
-    let a = src.arr and off = src.off in
-    let m = ref 0 in
-    for k = 0 to n - 1 do
-      let row = Array.unsafe_get sel k in
-      let v = Array.unsafe_get a (row - off) in
-      if keep v then begin
-        Array.unsafe_set sel !m row;
-        incr m
-      end
-    done;
-    !m
-  in
   match atom with
   | Cmp { col; op; code } -> (
-      let d = source_for col in
-      match op with
-      | Eq -> compact d (fun v -> v <> null && v = code)
-      | Ne -> compact d (fun v -> v <> null && v <> code)
-      | Lt -> compact d (fun v -> v <> null && v < code)
-      | Le -> compact d (fun v -> v <> null && v <= code)
-      | Gt -> compact d (fun v -> v <> null && v > code)
-      | Ge -> compact d (fun v -> v <> null && v >= code))
+      fun source_for ->
+        let d = source_for col in
+        match op with
+        | Eq -> compact d (fun v -> v <> null && v = code)
+        | Ne -> compact d (fun v -> v <> null && v <> code)
+        | Lt -> compact d (fun v -> v <> null && v < code)
+        | Le -> compact d (fun v -> v <> null && v <= code)
+        | Gt -> compact d (fun v -> v <> null && v > code)
+        | Ge -> compact d (fun v -> v <> null && v >= code))
   | Between { col; lo; hi } ->
-      let d = source_for col in
-      compact d (fun v -> v <> null && v >= lo && v <= hi)
+      fun source_for ->
+        compact (source_for col) (fun v -> v <> null && v >= lo && v <= hi)
   | In { col; codes } ->
-      let d = source_for col in
       let set = Hashtbl.create (List.length codes) in
       List.iter (fun c -> Hashtbl.replace set c ()) codes;
-      compact d (fun v -> v <> null && Hashtbl.mem set v)
+      fun source_for ->
+        compact (source_for col) (fun v -> v <> null && Hashtbl.mem set v)
   | Is_null { col; negated } ->
-      let d = source_for col in
-      if negated then compact d (fun v -> v <> null)
-      else compact d (fun v -> v = null)
+      fun source_for ->
+        let d = source_for col in
+        if negated then compact d (fun v -> v <> null)
+        else compact d (fun v -> v = null)
   | Str_cmp { col; op; value } -> (
       let column = Storage.Table.column table col in
       match Storage.Column.dict column with
@@ -172,7 +180,8 @@ let refiner_of_atom table source_for atom =
             Storage.Dict.matching_codes dict (fun s ->
                 eval_cmp op (String.compare s value) 0)
           in
-          compact (source_for col) (fun v -> v <> null && bitmap.(v)))
+          fun source_for ->
+            compact (source_for col) (fun v -> v <> null && bitmap.(v)))
   | Like { col; pattern; negated } -> (
       let column = Storage.Table.column table col in
       match Storage.Column.dict column with
@@ -182,10 +191,14 @@ let refiner_of_atom table source_for atom =
             Storage.Dict.matching_codes dict (fun s ->
                 Like_match.matches ~pattern s)
           in
-          compact (source_for col) (fun v -> v <> null && bitmap.(v) <> negated))
+          fun source_for ->
+            compact (source_for col) (fun v -> v <> null && bitmap.(v) <> negated))
   | (Or _ | Const_false) as atom ->
+      (* Row-predicate fallback. The compiled closure's only mutable
+         state is the RLE reader's run cache, which is validated before
+         use — safe (if cache-thrashy) to share across domains. *)
       let f = compile_atom table atom in
-      fun sel n ->
+      fun _source_for sel n ->
         let m = ref 0 in
         for k = 0 to n - 1 do
           let row = Array.unsafe_get sel k in
@@ -196,39 +209,46 @@ let refiner_of_atom table source_for atom =
         done;
         !m
 
-let compile_selector table preds =
-  let sources = ref [] in
-  let source_for col =
-    match List.assoc_opt col !sources with
-    | Some s -> s
-    | None ->
-        let column = Storage.Table.column table col in
-        let s =
-          match Storage.Column.flat_view column with
-          | Some a -> { src_col = column; arr = a; off = 0; src_flat = true }
-          | None -> { src_col = column; arr = [||]; off = 0; src_flat = false }
-        in
-        sources := (col, s) :: !sources;
-        s
-  in
-  let refiners = List.map (refiner_of_atom table source_for) preds in
-  let to_decode =
-    List.filter_map
-      (fun (_, s) -> if s.src_flat then None else Some s)
-      !sources
-  in
-  fun sel lo hi ->
-    let n = hi - lo in
-    List.iter
-      (fun s ->
-        if Array.length s.arr < n then s.arr <- Array.make (max n 4096) 0;
-        Storage.Column.decode_into s.src_col ~row_start:lo ~len:n s.arr;
-        s.off <- lo)
-      to_decode;
-    for k = 0 to n - 1 do
-      Array.unsafe_set sel k (lo + k)
-    done;
-    List.fold_left (fun n refine -> refine sel n) n refiners
+let selector_factory table preds =
+  let kernels = List.map (kernel_of_atom table) preds in
+  fun () ->
+    (* Per-instance mutable state: the decode scratch the refiners read
+       through. This is why a selector instance belongs to exactly one
+       domain while the factory itself is freely shared. *)
+    let sources = ref [] in
+    let source_for col =
+      match List.assoc_opt col !sources with
+      | Some s -> s
+      | None ->
+          let column = Storage.Table.column table col in
+          let s =
+            match Storage.Column.flat_view column with
+            | Some a -> { src_col = column; arr = a; off = 0; src_flat = true }
+            | None -> { src_col = column; arr = [||]; off = 0; src_flat = false }
+          in
+          sources := (col, s) :: !sources;
+          s
+    in
+    let refiners = List.map (fun kernel -> kernel source_for) kernels in
+    let to_decode =
+      List.filter_map
+        (fun (_, s) -> if s.src_flat then None else Some s)
+        !sources
+    in
+    fun sel lo hi ->
+      let n = hi - lo in
+      List.iter
+        (fun s ->
+          if Array.length s.arr < n then s.arr <- Array.make (max n 4096) 0;
+          Storage.Column.decode_into s.src_col ~row_start:lo ~len:n s.arr;
+          s.off <- lo)
+        to_decode;
+      for k = 0 to n - 1 do
+        Array.unsafe_set sel k (lo + k)
+      done;
+      List.fold_left (fun n refine -> refine sel n) n refiners
+
+let compile_selector table preds = selector_factory table preds ()
 
 let column_name table col =
   Storage.Column.name (Storage.Table.column table col)

@@ -50,6 +50,17 @@ val compile_selector : Storage.Table.t -> t -> int array -> int -> int -> int
     on the executor's hot scan path; both paths select exactly the same
     rows. *)
 
+val selector_factory :
+  Storage.Table.t -> t -> unit -> int array -> int -> int -> int
+(** [selector_factory table preds] compiles the predicates once —
+    including the expensive dictionary bitmaps for LIKE and string
+    comparisons — and returns a thunk minting {!compile_selector}-style
+    [fill] instances that share that compilation. An instance owns
+    mutable decode scratch and must stay on one domain; the factory is
+    freely shared, so morsel-parallel scans mint one instance per
+    worker without recompiling (or re-scanning the dictionary) per
+    worker. *)
+
 val pp_atom : Storage.Table.t -> Format.formatter -> atom -> unit
 
 val pp : Storage.Table.t -> Format.formatter -> t -> unit

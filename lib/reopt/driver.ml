@@ -51,7 +51,7 @@ let rec subtree_with_set (p : Plan.t) set =
         | None -> subtree_with_set inner set)
 
 let run ~db ~graph ~config ~model ~(estimator : Cardest.Estimator.t)
-    ?(threshold = 2.0) ?(max_replans = 8) ?plan0 ?(projections = []) () =
+    ?(threshold = 2.0) ?(max_replans = 8) ?plan0 ?pool ?(projections = []) () =
   if threshold < 1.0 then
     invalid_arg "Reopt.Driver.run: threshold must be >= 1.0";
   if max_replans < 0 then
@@ -122,7 +122,7 @@ let run ~db ~graph ~config ~model ~(estimator : Cardest.Estimator.t)
     in
     match
       Exec.Executor.run ~db ~graph ~config
-        ~size_est:est.Cardest.Estimator.subset ~observe ~projections plan
+        ~size_est:est.Cardest.Estimator.subset ~observe ?pool ~projections plan
     with
     | result ->
         (* A timed-out attempt's work is already capped at the limit —

@@ -46,6 +46,7 @@ val run :
   ?threshold:float ->
   ?max_replans:int ->
   ?plan0:Plan.t ->
+  ?pool:Util.Domain_pool.t ->
   ?projections:(int * int) list ->
   unit ->
   outcome
@@ -54,5 +55,11 @@ val run :
     plan (e.g. the pipeline's cached choice for this estimator/model);
     when absent the driver runs its own exhaustive DP. The non-index
     nested-loop join is allowed in re-planning exactly when [config]
-    allows it at execution. Raises [Invalid_argument] when [threshold <
-    1.0] or [max_replans < 0]. *)
+    allows it at execution. [pool] turns on morsel-parallel execution
+    inside every attempt: plan evaluation — and with it the post-order
+    checkpoint sequence the feedback loop observes — stays on the
+    calling domain, and each checkpoint sees the same cumulative work
+    as the serial path (phase totals are order-independent sums), so
+    re-planning decisions, q-errors, and the wasted/reused accounting
+    are byte-identical at any worker count. Raises [Invalid_argument]
+    when [threshold < 1.0] or [max_replans < 0]. *)

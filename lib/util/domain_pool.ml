@@ -222,4 +222,63 @@ let map_array t f xs =
     end
   end
 
+(* Run one body per worker slot on the existing task machinery: a task
+   with [n = size] and [chunk = 1] hands out slot indices instead of
+   item indices. Slots are claimed dynamically, so a late-waking worker
+   may find the counter exhausted and run nothing while the caller runs
+   two slots back to back — but every slot in [0, size) runs exactly
+   once, and never concurrently with itself, so slot-indexed state needs
+   no locking. The executor's morsel scheduler builds on exactly that. *)
+let run_workers t f =
+  if t.stopped then invalid_arg "Domain_pool.run_workers: pool is shut down";
+  if Array.length t.workers = 0 then f 0
+  else begin
+    Mutex.lock t.mutex;
+    if t.stopped then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Domain_pool.run_workers: pool is shut down"
+    end;
+    if t.busy then begin
+      (* The single task slot is taken (a nested call from inside a
+         running task, or another domain's query): the caller runs alone
+         as slot 0, mirroring the nested-map serial fallback. *)
+      Mutex.unlock t.mutex;
+      f 0
+    end
+    else begin
+      let task =
+        {
+          n = Array.length t.workers + 1;
+          run = f;
+          chunk = 1;
+          next = Atomic.make 0;
+          failed = Atomic.make false;
+          entered = 0;
+          exited = 0;
+          error = None;
+        }
+      in
+      t.generation <- t.generation + 1;
+      t.task <- Some task;
+      t.busy <- true;
+      Condition.broadcast t.work_ready;
+      Mutex.unlock t.mutex;
+      run_items t task;
+      Mutex.lock t.mutex;
+      while
+        not
+          (task.entered = task.exited
+          && (Atomic.get task.failed || Atomic.get task.next >= task.n))
+      do
+        Condition.wait t.work_done t.mutex
+      done;
+      t.busy <- false;
+      t.task <- None;
+      Mutex.unlock t.mutex;
+      match task.error with
+      | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ()
+    end
+  end
+
 let map_list t f xs = Array.to_list (map_array t f (Array.of_list xs))

@@ -38,6 +38,17 @@ val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
 
 val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
 
+val run_workers : t -> (int -> unit) -> unit
+(** [run_workers t f] runs [f slot] once for every slot in
+    [0, size t), the caller participating. Each slot runs exactly once
+    and two invocations never share a slot concurrently, so
+    slot-indexed scratch needs no locking (the morsel scheduler's
+    contract). When the pool is busy — a nested call, or a concurrent
+    caller from another domain — the caller runs [f 0] alone, so the
+    function always completes and callers must not assume real
+    parallelism. Exceptions follow {!map_array}: lowest-slot error is
+    re-raised after in-flight slots finish. *)
+
 val shutdown : t -> unit
 (** Stop and join all worker domains. Further maps raise
     [Invalid_argument]. Idempotent. *)

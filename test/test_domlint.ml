@@ -158,6 +158,63 @@ let test_r5 () =
            ] );
        ])
 
+(* --- R6: scheduler atomics outside the pool / morsel scheduler ------- *)
+
+let r6 = "domlint/R6-scheduler-state"
+
+let test_r6 () =
+  check_flagged "Atomic.fetch_and_add flagged" r6
+    (scan
+       [
+         ( "dlt_r6_bad.ml",
+           [
+             "let next = Atomic.make 0";
+             "let claim () = Atomic.fetch_and_add next 1";
+           ] );
+       ]);
+  check_ok "plain Atomic get/set clean"
+    (scan
+       [
+         ( "dlt_r6_ok.ml",
+           [
+             "let flag = Atomic.make false";
+             "let trip () = Atomic.set flag true";
+           ] );
+       ]);
+  check_ok "annotated counter suppressed"
+    (scan
+       [
+         ( "dlt_r6_sup.ml",
+           [
+             "let hits = Atomic.make 0";
+             "(* domlint: safe R6 — fixture: monotone telemetry counter *)";
+             "let note () = ignore (Atomic.fetch_and_add hits 1)";
+           ] );
+       ]);
+  let allow =
+    [
+      {
+        Domlint.Suppress.rule = "R6";
+        file = "dlt_r6_allow.ml";
+        symbol = "*";
+        reason = "fixture: telemetry counters, not work distribution";
+      };
+    ]
+  in
+  let r =
+    scan ~allow
+      [
+        ( "dlt_r6_allow.ml",
+          [
+            "let hits = Atomic.make 0";
+            "let note () = ignore (Atomic.fetch_and_add hits 1)";
+          ] );
+      ]
+  in
+  check_ok "allowlist entry suppresses" r;
+  Alcotest.(check int) "suppression counted" 1
+    (suppressed_of "R6-scheduler-state" r)
+
 (* --- annotation hygiene ---------------------------------------------- *)
 
 let test_annotation_hygiene () =
@@ -249,6 +306,7 @@ let suite =
     Alcotest.test_case "R2 lazy" `Quick test_r2;
     Alcotest.test_case "R3 global Random" `Quick test_r3;
     Alcotest.test_case "R5 Domain.spawn" `Quick test_r5;
+    Alcotest.test_case "R6 scheduler atomics" `Quick test_r6;
     Alcotest.test_case "annotation hygiene" `Quick test_annotation_hygiene;
     Alcotest.test_case "R4 rejects lock cycle" `Quick test_r4_cycle;
     Alcotest.test_case "R4 accepts acyclic nesting" `Quick test_r4_acyclic;

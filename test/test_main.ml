@@ -16,6 +16,7 @@ let () =
       ("registry", Test_registry.suite);
       ("parallel", Test_parallel.suite);
       ("exec", Test_exec.suite);
+      ("morsel", Test_morsel.suite);
       ("kernels", Test_kernels.suite);
       ("workload", Test_workload.suite);
       ("experiments", Test_experiments.suite);

@@ -1,0 +1,200 @@
+(* The morsel scheduler and the executor's intra-query parallelism:
+   QCheck laws for the work-stealing cursor (every morsel claimed
+   exactly once, no claim after exhaustion, under concurrent
+   claimants), accumulator semantics, and the end-to-end determinism
+   guarantee — the full 113-query workload byte-identical at
+   exec-jobs 1/2/4 under every forced column encoding, and the
+   re-optimization driver's whole trajectory unchanged by a pool. *)
+
+module Morsel = Exec.Morsel
+
+let with_pool domains f =
+  let pool = Util.Domain_pool.create ~domains in
+  Fun.protect
+    ~finally:(fun () -> Util.Domain_pool.shutdown pool)
+    (fun () -> f pool)
+
+(* --- cursor laws ----------------------------------------------------- *)
+
+(* 3 worker domains + the calling domain = 4 concurrent claimants, each
+   draining the cursor as fast as it can. The union of the per-slot
+   claims must be exactly [0 .. n-1] with no duplicates, and the cursor
+   must stay exhausted afterwards. Slots are claimed dynamically but
+   each runs exactly once, so the per-slot lists need no locking. *)
+let cursor_claims_each_exactly_once n =
+  with_pool 4 (fun pool ->
+      let c = Morsel.cursor n in
+      let per_slot = Array.make 4 [] in
+      Util.Domain_pool.run_workers pool (fun slot ->
+          let rec loop () =
+            match Morsel.claim c with
+            | -1 -> ()
+            | i ->
+                per_slot.(slot) <- i :: per_slot.(slot);
+                loop ()
+          in
+          loop ());
+      let all = List.sort compare (List.concat (Array.to_list per_slot)) in
+      Morsel.claim c = -1 && all = List.init n Fun.id)
+
+let test_cursor_serial () =
+  let c = Morsel.cursor 3 in
+  let a = Morsel.claim c in
+  let b = Morsel.claim c in
+  let d = Morsel.claim c in
+  Alcotest.(check (list int)) "hands out indices in order" [ 0; 1; 2 ]
+    [ a; b; d ];
+  Alcotest.(check int) "exhausted" (-1) (Morsel.claim c);
+  Alcotest.(check int) "stays exhausted" (-1) (Morsel.claim c);
+  let empty = Morsel.cursor 0 in
+  Alcotest.(check int) "empty cursor starts exhausted" (-1)
+    (Morsel.claim empty)
+
+(* --- accumulators ----------------------------------------------------- *)
+
+let test_acc () =
+  let a = Morsel.acc () in
+  Alcotest.(check int) "add returns committed total" 5 (Morsel.add a 5);
+  Alcotest.(check int) "totals accumulate" 12 (Morsel.add a 7);
+  Alcotest.(check int) "total reads the sum" 12 (Morsel.total a);
+  Morsel.reset a;
+  Alcotest.(check int) "reset zeroes" 0 (Morsel.total a);
+  (* Concurrent adds commit every contribution exactly once: 4 slots
+     (3 workers + caller) x 1000 ones. *)
+  with_pool 4 (fun pool ->
+      Util.Domain_pool.run_workers pool (fun _slot ->
+          for _ = 1 to 1000 do
+            ignore (Morsel.add a 1)
+          done);
+      Alcotest.(check int) "4000 concurrent adds all commit" 4000
+        (Morsel.total a))
+
+(* --- the end-to-end determinism guarantee ----------------------------- *)
+
+(* Force the morsel path onto every phase regardless of input size, so
+   the tiny test database still exercises the parallel scan, build and
+   probe code. Results must not depend on this (or any) threshold. *)
+let engine =
+  { Exec.Engine_config.robust with name = "morsel test"; morsel_min_rows = 0 }
+
+let run_all db pool =
+  let s = Core.Session.of_database db in
+  List.map
+    (fun (q : Workload.Job.query) ->
+      let query =
+        Core.Session.sql s ~name:q.Workload.Job.name q.Workload.Job.sql
+      in
+      let choice = Core.Session.optimize s query in
+      let r = Core.Session.run s ~engine ?pool query choice in
+      ( q.Workload.Job.name,
+        r.Exec.Executor.rows,
+        r.Exec.Executor.work,
+        r.Exec.Executor.timed_out,
+        List.map Storage.Value.to_string r.Exec.Executor.mins ))
+    Workload.Job.all
+
+let check_identical label baseline got =
+  List.iter2
+    (fun (name, rows, work, timed_out, mins)
+         (gname, grows, gwork, gtimed, gmins) ->
+      let l = Printf.sprintf "%s (%s)" name label in
+      Alcotest.(check string) (l ^ " name") name gname;
+      Alcotest.(check int) (l ^ " rows") rows grows;
+      Alcotest.(check int) (l ^ " work") work gwork;
+      Alcotest.(check bool) (l ^ " timed_out") timed_out gtimed;
+      Alcotest.(check (list string)) (l ^ " mins") mins gmins)
+    baseline got
+
+(* The tentpole acceptance test: all 113 queries, serial vs exec-jobs 2
+   vs exec-jobs 4, under every forced physical encoding — rows, work,
+   timeout flags and aggregates all byte-identical. *)
+let test_workload_exec_jobs () =
+  let base = Datagen.Imdb_gen.generate ~seed:5 ~scale:0.0004 () in
+  Morsel.reset_stats ();
+  List.iter
+    (fun enc ->
+      let db = Storage.Database.recode base enc in
+      let ename = Storage.Column.encoding_name enc in
+      let serial = run_all db None in
+      with_pool 2 (fun p2 ->
+          check_identical (ename ^ " exec-jobs 2") serial
+            (run_all db (Some p2)));
+      with_pool 4 (fun p4 ->
+          check_identical (ename ^ " exec-jobs 4") serial
+            (run_all db (Some p4))))
+    Storage.Column.all_encodings;
+  (* Guard against the identity passing vacuously: the parallel runs
+     must actually have taken the morsel path. *)
+  let stats = Morsel.stats () in
+  Alcotest.(check bool) "parallel phases actually ran" true
+    (stats.Morsel.st_phases > 0);
+  Alcotest.(check bool) "morsels were dispatched" true
+    (stats.Morsel.st_dispatched > 0)
+
+(* --- re-optimization composes with the pool --------------------------- *)
+
+let test_reopt_pool_parity () =
+  let database = Lazy.force Support.imdb_mid in
+  Storage.Database.set_index_config database Storage.Database.Pk_only;
+  let config =
+    { Exec.Engine_config.default_9_4 with morsel_min_rows = 0 }
+  in
+  List.iter
+    (fun name ->
+      let q = Workload.Job.find name in
+      let b =
+        Sqlfront.Binder.bind_sql database ~name q.Workload.Job.sql
+      in
+      let graph = b.Sqlfront.Binder.graph in
+      let estimator =
+        Cardest.Systems.postgres
+          (Dbstats.Analyze.create database)
+          { Cardest.Systems.db = database; graph }
+      in
+      let drive pool =
+        Reopt.Driver.run ~db:database ~graph ~config
+          ~model:Cost.Cost_model.postgres ~estimator ~threshold:1.1
+          ~max_replans:8 ?pool
+          ~projections:b.Sqlfront.Binder.projections ()
+      in
+      let serial = drive None in
+      let pooled = with_pool 4 (fun p -> drive (Some p)) in
+      Alcotest.(check int)
+        (name ^ ": same number of re-plans")
+        serial.Reopt.Driver.replans pooled.Reopt.Driver.replans;
+      Alcotest.(check int)
+        (name ^ ": same rows")
+        serial.Reopt.Driver.result.Exec.Executor.rows
+        pooled.Reopt.Driver.result.Exec.Executor.rows;
+      Alcotest.(check int)
+        (name ^ ": same cumulative work")
+        serial.Reopt.Driver.result.Exec.Executor.work
+        pooled.Reopt.Driver.result.Exec.Executor.work;
+      Alcotest.(check int)
+        (name ^ ": same wasted work")
+        serial.Reopt.Driver.wasted_work pooled.Reopt.Driver.wasted_work;
+      Alcotest.(check int)
+        (name ^ ": same reused work")
+        serial.Reopt.Driver.reused_work pooled.Reopt.Driver.reused_work;
+      Alcotest.(check (list string))
+        (name ^ ": same aggregates")
+        (List.map Storage.Value.to_string
+           serial.Reopt.Driver.result.Exec.Executor.mins)
+        (List.map Storage.Value.to_string
+           pooled.Reopt.Driver.result.Exec.Executor.mins))
+    [ "6a"; "16d"; "17b" ]
+
+let suite =
+  [
+    Alcotest.test_case "cursor hands out indices serially" `Quick
+      test_cursor_serial;
+    Support.qcheck_case ~count:20
+      ~name:"cursor: every morsel claimed exactly once under concurrency"
+      QCheck.(int_range 0 300)
+      cursor_claims_each_exactly_once;
+    Alcotest.test_case "phase accumulators" `Quick test_acc;
+    Alcotest.test_case "113-query workload identical at exec-jobs 1/2/4"
+      `Slow test_workload_exec_jobs;
+    Alcotest.test_case "reopt trajectory identical with a pool" `Slow
+      test_reopt_pool_parity;
+  ]
