@@ -362,17 +362,21 @@ let json_escape s =
 
 let write_bench_json ~path ~jobs ~scale ~seed ~repeats rows =
   let oc = open_out path in
+  (* [cores] records the host's parallelism so a downstream reader can
+     tell a real regression from a single-core host that had no
+     parallelism to win (see the WARNING gating below). *)
+  let cores = Domain.recommended_domain_count () in
   Printf.fprintf oc
-    "{\n  \"jobs\": %d,\n  \"scale\": %g,\n  \"seed\": %d,\n  \
-     \"repeats\": %d,\n  \"experiments\": [\n"
-    jobs scale seed repeats;
+    "{\n  \"jobs\": %d,\n  \"cores\": %d,\n  \"scale\": %g,\n  \"seed\": \
+     %d,\n  \"repeats\": %d,\n  \"experiments\": [\n"
+    jobs cores scale seed repeats;
   List.iteri
     (fun i (id, serial_ms, parallel_ms) ->
       let speedup = serial_ms /. Float.max 1e-9 parallel_ms in
       Printf.fprintf oc
         "    {\"id\": \"%s\", \"serial_ms\": %.3f, \"parallel_ms\": %.3f, \
-         \"speedup\": %.3f, \"regression\": %b}%s\n"
-        (json_escape id) serial_ms parallel_ms speedup (speedup <= 1.0)
+         \"speedup\": %.3f, \"cores\": %d, \"regression\": %b}%s\n"
+        (json_escape id) serial_ms parallel_ms speedup cores (speedup <= 1.0)
         (if i = List.length rows - 1 then "" else ",")
     )
     rows;
@@ -1075,15 +1079,19 @@ let () =
         rows;
     (* Per-experiment regression flag: a parallel render no faster than
        serial is worth a loud line even though it is not an error (tiny
-       scales legitimately have nothing to win). *)
-    List.iter
-      (fun (id, s, p) ->
-        let speedup = s /. Float.max 1e-9 p in
-        if speedup <= 1.0 then
-          Printf.printf
-            "WARNING: %s shows no parallel speedup (%.2fx at %d jobs)\n%!" id
-            speedup !jobs)
-      rows;
+       scales legitimately have nothing to win). On a single-core host
+       every row is trivially "no speedup" — extra domains only add
+       scheduling overhead — so the noise is suppressed there; the JSON
+       rows still record the host's core count for downstream readers. *)
+    if Domain.recommended_domain_count () > 1 then
+      List.iter
+        (fun (id, s, p) ->
+          let speedup = s /. Float.max 1e-9 p in
+          if speedup <= 1.0 then
+            Printf.printf
+              "WARNING: %s shows no parallel speedup (%.2fx at %d jobs)\n%!"
+              id speedup !jobs)
+        rows;
     write_bench_json ~path:"BENCH_parallel.json" ~jobs:!jobs ~scale:!scale
       ~seed:!seed ~repeats:!repeat rows
   end;

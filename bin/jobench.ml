@@ -488,6 +488,281 @@ let experiment_cmd =
       $ gc_stats_flag $ reopt_threshold_arg $ jobs_arg $ exec_jobs_arg
       $ id_arg)
 
+(* --- serve ---------------------------------------------------------------- *)
+
+let serve_cmd =
+  let clients_arg =
+    let doc =
+      "Comma-separated simulated client-session counts; one benchmark row \
+       per value."
+    in
+    Arg.(value & opt string "1,4,16" & info [ "clients" ] ~docv:"NS" ~doc)
+  in
+  let duration_arg =
+    let doc = "Total queries per row, split across the client sessions." in
+    Arg.(value & opt int 1000 & info [ "duration-queries" ] ~docv:"N" ~doc)
+  in
+  let theta_arg =
+    let doc =
+      "Zipf skew of query popularity over the 113-statement catalog (0 = \
+       uniform)."
+    in
+    Arg.(value & opt float 1.1 & info [ "zipf-theta" ] ~docv:"T" ~doc)
+  in
+  let think_arg =
+    let doc =
+      "Mean client think time between requests, in wall-clock milliseconds \
+       (0 disables; applied identically in every arm)."
+    in
+    Arg.(value & opt float 0.0 & info [ "think-ms" ] ~docv:"MS" ~doc)
+  in
+  let cache_mb_arg =
+    let doc = "Join-build recycling cache byte budget, in MiB." in
+    Arg.(value & opt int 64 & info [ "cache-mb" ] ~docv:"MB" ~doc)
+  in
+  let inflight_arg =
+    let doc =
+      "Admission limit on concurrently executing queries (0 = the client \
+       count)."
+    in
+    Arg.(value & opt int 0 & info [ "max-inflight" ] ~docv:"N" ~doc)
+  in
+  let budget_arg =
+    let doc =
+      "Per-session work budget in simulated work units; a session retires \
+       once its cumulative work crosses it (0 = unlimited). Deterministic: \
+       simulated work is scheduling-independent."
+    in
+    Arg.(value & opt int 0 & info [ "session-budget" ] ~docv:"W" ~doc)
+  in
+  let jobs_arg =
+    let doc =
+      "Worker domains serving sessions concurrently (1 = serial; 0 = the \
+       number of cores). Replies are byte-identical at any value."
+    in
+    Arg.(value & opt int 0 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+  in
+  let json_arg =
+    let doc = "Write the benchmark rows to $(docv)." in
+    Arg.(value & opt string "BENCH_serve.json" & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let stats_flag =
+    let doc = "After serving, print the pipeline's cache counters." in
+    Arg.(value & flag & info [ "stats" ] ~doc)
+  in
+  let run scale seed data indexes estimator model engine_name clients duration
+      theta think cache_mb inflight budget jobs exec_jobs json stats =
+    Util.Domain_pool.tune_gc ();
+    let jobs =
+      if jobs < 0 then invalid_arg "jobench serve: --jobs must be >= 0"
+      else if jobs = 0 then Domain.recommended_domain_count ()
+      else jobs
+    in
+    (* Same oversubscription cap as `experiment`: inter-query workers
+       times morsel workers stays within the core budget. *)
+    let exec_jobs =
+      let requested = resolve_exec_jobs exec_jobs in
+      if jobs <= 1 then requested
+      else max 1 (min requested (Domain.recommended_domain_count () / jobs))
+    in
+    if duration < 1 then invalid_arg "jobench serve: --duration-queries must be >= 1";
+    if cache_mb < 1 then invalid_arg "jobench serve: --cache-mb must be >= 1";
+    let clients_list =
+      String.split_on_char ',' clients |> List.map String.trim
+      |> List.filter (fun s -> s <> "")
+      |> List.map (fun s ->
+             match int_of_string_opt s with
+             | Some n when n >= 1 -> n
+             | _ ->
+                 invalid_arg
+                   (Printf.sprintf "jobench serve: bad client count %S" s))
+    in
+    if clients_list = [] then invalid_arg "jobench serve: empty --clients";
+    let engine = parse_engine engine_name in
+    let serve_pool =
+      if jobs > 1 then Some (Util.Domain_pool.create ~domains:jobs) else None
+    in
+    let exec_pool =
+      if exec_jobs > 1 then Some (Util.Domain_pool.create ~domains:exec_jobs)
+      else None
+    in
+    let shutdown = function
+      | Some p -> Util.Domain_pool.shutdown p
+      | None -> ()
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        shutdown serve_pool;
+        shutdown exec_pool)
+      (fun () ->
+        let s = session ?data ~seed ~scale ~indexes () in
+        let statements =
+          Array.of_list
+            (List.map
+               (fun q -> (q.Workload.Job.name, q.Workload.Job.sql))
+               Workload.Job.all)
+        in
+        (* Bind and plan the whole catalog up front (through the
+           pipeline's bind and plan caches), so the timed arms measure
+           serving, not planning. *)
+        let catalog =
+          Serve.Engine.prepare s ~estimator ~cost_model:model statements
+        in
+        let rows =
+          List.map
+            (fun c ->
+              let traffic =
+                Serve.Traffic.generate ~sessions:c ~total:duration
+                  ~catalog:(Array.length catalog) ~theta ~think_ms:think ~seed
+              in
+              let limit = if inflight = 0 then c else inflight in
+              (* The serial uncached reference is the identity oracle
+                 every timed arm must reproduce byte-for-byte. It also
+                 doubles as the process warm-up (lazy index builds,
+                 first-touch decompression, heap growth), so the timed
+                 arms start from the same state. *)
+              let reference =
+                Serve.Engine.run s catalog traffic
+                  {
+                    Serve.Engine.engine;
+                    cache = None;
+                    exec_pool = None;
+                    serve_pool = None;
+                    max_inflight = 1;
+                    session_budget = budget;
+                  }
+              in
+              let concurrent cache =
+                {
+                  Serve.Engine.engine;
+                  cache;
+                  exec_pool;
+                  serve_pool;
+                  max_inflight = limit;
+                  session_budget = budget;
+                }
+              in
+              (* Timing discipline matches the storage/morsel sweeps —
+                 full major collection before every pass, best-of-three
+                 of a deterministic engine — with the off/on passes
+                 interleaved (off, on, off, on, ...) so slow drift in
+                 the GC climate lands on both arms alike. The repeat
+                 equality is a free determinism check, folded into the
+                 identity verdict. The cache-on arm shares one cache
+                 across its passes: after the first, it serves with the
+                 cache populated, so best-of-three measures steady-state
+                 recycling. *)
+              let pass cfg =
+                Gc.full_major ();
+                Serve.Engine.run s catalog traffic cfg
+              in
+              let off_cfg = concurrent None in
+              let jc =
+                Exec.Join_cache.create
+                  ~budget_bytes:(cache_mb * 1024 * 1024) ()
+              in
+              let on_cfg = concurrent (Some jc) in
+              let passes = 3 in
+              let offs = Array.make passes None
+              and ons = Array.make passes None in
+              for i = 0 to passes - 1 do
+                offs.(i) <- Some (pass off_cfg);
+                ons.(i) <- Some (pass on_cfg)
+              done;
+              let get a i = Option.get a.(i) in
+              let best a =
+                let r = ref (get a 0) in
+                for i = 1 to passes - 1 do
+                  let c = get a i in
+                  if c.Serve.Engine.wall_s < !r.Serve.Engine.wall_s then
+                    r := c
+                done;
+                !r
+              in
+              let stable a =
+                let ok = ref true in
+                for i = 1 to passes - 1 do
+                  ok :=
+                    !ok
+                    && Serve.Engine.replies_equal
+                          (get a 0).Serve.Engine.replies
+                          (get a i).Serve.Engine.replies
+                done;
+                !ok
+              in
+              let off = best offs and on = best ons in
+              let off_stable = stable offs and on_stable = stable ons in
+              let identity =
+                off_stable && on_stable
+                && Serve.Engine.replies_equal reference.Serve.Engine.replies
+                     off.Serve.Engine.replies
+                && Serve.Engine.replies_equal reference.Serve.Engine.replies
+                     on.Serve.Engine.replies
+              in
+              if not identity then
+                Printf.eprintf
+                  "serve: replies diverged from the serial uncached \
+                   reference at %d clients\n\
+                   %!"
+                  c;
+              let cs = Exec.Join_cache.stats jc in
+              let hit_rate = Exec.Join_cache.hit_rate cs in
+              let row =
+                {
+                  Serve.Report.clients = c;
+                  queries = on.Serve.Engine.completed;
+                  on = Serve.Report.arm_of on;
+                  off = Serve.Report.arm_of off;
+                  cache = cs;
+                  hit_rate;
+                  retired_sessions = on.Serve.Engine.retired_sessions;
+                  admission_peak = on.Serve.Engine.admission.Serve.Admission.peak;
+                  identity;
+                }
+              in
+              Printf.printf
+                "clients %3d: on %8.1f q/s (p50 %6.2f ms, p95 %6.2f, p99 \
+                 %6.2f) | off %8.1f q/s | speedup %5.2fx | hit rate %5.1f%% \
+                 (%d hits, %d misses, %d evictions) | %s\n\
+                 %!"
+                c row.Serve.Report.on.Serve.Report.a_qps
+                row.Serve.Report.on.Serve.Report.a_p50_ms
+                row.Serve.Report.on.Serve.Report.a_p95_ms
+                row.Serve.Report.on.Serve.Report.a_p99_ms
+                row.Serve.Report.off.Serve.Report.a_qps
+                (if row.Serve.Report.off.Serve.Report.a_qps <= 0.0 then 0.0
+                 else
+                   row.Serve.Report.on.Serve.Report.a_qps
+                   /. row.Serve.Report.off.Serve.Report.a_qps)
+                (100.0 *. hit_rate) cs.Exec.Join_cache.hits
+                cs.Exec.Join_cache.misses cs.Exec.Join_cache.evictions
+                (if identity then "identity ok" else "IDENTITY MISMATCH");
+              row)
+            clients_list
+        in
+        let out = open_out json in
+        output_string out
+          (Serve.Report.to_json ~scale ~seed ~theta ~cache_mb ~jobs ~exec_jobs
+             ~cores:(Domain.recommended_domain_count ())
+             rows);
+        close_out out;
+        Printf.printf "wrote %s\n%!" json;
+        if stats then
+          Printf.printf "--- %s\n%!"
+            (Core.Pipeline.stats_summary (Core.Session.pipeline s));
+        if List.exists (fun r -> not r.Serve.Report.identity) rows then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve Zipfian query traffic from simulated concurrent clients and \
+          benchmark throughput with cross-query join-build recycling")
+    Term.(
+      const run $ scale_arg $ seed_arg $ data_arg $ indexes_arg $ estimator_arg
+      $ model_arg $ engine_arg $ clients_arg $ duration_arg $ theta_arg
+      $ think_arg $ cache_mb_arg $ inflight_arg $ budget_arg $ jobs_arg
+      $ exec_jobs_arg $ json_arg $ stats_flag)
+
 (* --- lint ----------------------------------------------------------------- *)
 
 let lint_cmd =
@@ -526,4 +801,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; show_cmd; plan_cmd; run_cmd; generate_cmd; stats_cmd;
-            estimate_cmd; verify_cmd; experiment_cmd; lint_cmd ]))
+            estimate_cmd; verify_cmd; experiment_cmd; serve_cmd; lint_cmd ]))

@@ -21,6 +21,8 @@ type stats = {
   estimators_built : int;
   estimators_reused : int;
   estimator_probes : int;
+  bind_hits : int;
+  bind_misses : int;
 }
 
 (* Live counters are atomics so [--stats] stays truthful when several
@@ -32,12 +34,15 @@ type counters = {
   c_estimators_built : int Atomic.t;
   c_estimators_reused : int Atomic.t;
   c_estimator_probes : int Atomic.t;
+  c_bind_hits : int Atomic.t;
+  c_bind_misses : int Atomic.t;
 }
 
 type t = {
   db : Storage.Database.t;
   analyze : Dbstats.Analyze.t;
   coarse : Dbstats.Analyze.t;
+  binds : (string * string, query Util.Once.t) Util.Shard_map.t;
   truths : (string * string, Cardest.True_card.t Util.Once.t) Util.Shard_map.t;
   estimators :
     (string * string * string, Cardest.Estimator.t Util.Once.t) Util.Shard_map.t;
@@ -62,6 +67,7 @@ let create db =
     db;
     analyze = Dbstats.Analyze.create db;
     coarse = Cardest.Systems.coarse_analyze db;
+    binds = Util.Shard_map.create ();
     truths = Util.Shard_map.create ();
     estimators = Util.Shard_map.create ();
     plans = Util.Shard_map.create ~shards:32 ();
@@ -73,6 +79,8 @@ let create db =
         c_estimators_built = Atomic.make 0;
         c_estimators_reused = Atomic.make 0;
         c_estimator_probes = Atomic.make 0;
+        c_bind_hits = Atomic.make 0;
+        c_bind_misses = Atomic.make 0;
       };
   }
 
@@ -86,6 +94,8 @@ let stats t =
     estimators_built = Atomic.get t.counters.c_estimators_built;
     estimators_reused = Atomic.get t.counters.c_estimators_reused;
     estimator_probes = Atomic.get t.counters.c_estimator_probes;
+    bind_hits = Atomic.get t.counters.c_bind_hits;
+    bind_misses = Atomic.get t.counters.c_bind_misses;
   }
 
 let reset_stats t =
@@ -94,15 +104,17 @@ let reset_stats t =
   Atomic.set t.counters.c_plans_enumerated 0;
   Atomic.set t.counters.c_estimators_built 0;
   Atomic.set t.counters.c_estimators_reused 0;
-  Atomic.set t.counters.c_estimator_probes 0
+  Atomic.set t.counters.c_estimator_probes 0;
+  Atomic.set t.counters.c_bind_hits 0;
+  Atomic.set t.counters.c_bind_misses 0
 
 let stats_summary t =
   let s = stats t in
   Printf.sprintf
     "plan cache: %d hits, %d misses (%d plans enumerated) | estimators: %d \
-     built, %d reused, %d probes"
+     built, %d reused, %d probes | binds: %d hits, %d misses"
     s.plan_hits s.plan_misses s.plans_enumerated s.estimators_built
-    s.estimators_reused s.estimator_probes
+    s.estimators_reused s.estimator_probes s.bind_hits s.bind_misses
 
 (* Find-or-create a memo cell; only the cheap cell allocation runs
    under the shard lock. The (possibly expensive) computation itself is
@@ -111,6 +123,28 @@ let stats_summary t =
    neither do concurrent lookups of unrelated keys. *)
 let find_or_add_cell table key make =
   Util.Shard_map.find_or_add table key (fun () -> Util.Once.make make)
+
+(* ------------------------------------------------------------------ *)
+(* Binding                                                             *)
+
+(* Parse-and-bind memoization, keyed on (name, SQL text). A serving
+   loop replays the same statements over and over; binding is pure
+   (the graph depends only on the text and the schema), so cached
+   [query] values are safely shared across domains. *)
+let bind t ~name text =
+  let cell, fresh =
+    find_or_add_cell t.binds (name, text) (fun () ->
+        let bound = Sqlfront.Binder.bind_sql t.db ~name text in
+        {
+          name;
+          sql = text;
+          graph = bound.Sqlfront.Binder.graph;
+          projections = bound.Sqlfront.Binder.projections;
+        })
+  in
+  if fresh then Atomic.incr t.counters.c_bind_misses
+  else Atomic.incr t.counters.c_bind_hits;
+  Util.Once.force cell
 
 (* ------------------------------------------------------------------ *)
 (* Exact cardinalities                                                 *)

@@ -53,6 +53,8 @@ type stats = {
   estimators_reused : int;
   estimator_probes : int;
       (** Subset-cardinality probes answered by cached estimators. *)
+  bind_hits : int;  (** Parse-and-bind lookups served from memory. *)
+  bind_misses : int;
 }
 (** An immutable snapshot of the pipeline's atomic counters. *)
 
@@ -63,12 +65,15 @@ type counters = {
   c_estimators_built : int Atomic.t;
   c_estimators_reused : int Atomic.t;
   c_estimator_probes : int Atomic.t;
+  c_bind_hits : int Atomic.t;
+  c_bind_misses : int Atomic.t;
 }
 
 type t = {
   db : Storage.Database.t;
   analyze : Dbstats.Analyze.t;  (** Default-settings ANALYZE. *)
   coarse : Dbstats.Analyze.t;  (** DBMS B's degraded statistics. *)
+  binds : (string * string, query Util.Once.t) Util.Shard_map.t;
   truths : (string * string, Cardest.True_card.t Util.Once.t) Util.Shard_map.t;
   estimators :
     (string * string * string, Cardest.Estimator.t Util.Once.t) Util.Shard_map.t;
@@ -101,7 +106,15 @@ val reset_stats : t -> unit
 
 val stats_summary : t -> string
 (** One line, e.g. ["plan cache: 310 hits, 113 misses (113 plans
-    enumerated) | estimators: 5 built, 108 reused, 201839 probes"]. *)
+    enumerated) | estimators: 5 built, 108 reused, 201839 probes |
+    binds: 452 hits, 113 misses"]. *)
+
+val bind : t -> name:string -> string -> query
+(** Parse and bind a JOB-dialect statement, memoized on (name, text).
+    Binding is pure given the schema, so the cached [query] (and its
+    query graph) is shared across domains; a serving loop replaying the
+    same statements binds each distinct one once. Parse/bind failures
+    are also memoized and re-raised. *)
 
 val warm_statistics : t -> query list -> unit
 (** Force both ANALYZE instances over the given workload by replaying

@@ -34,14 +34,7 @@ let pipeline t = t
 let set_physical_design t config =
   Storage.Database.set_index_config (Pipeline.db t) config
 
-let sql t ?(name = "adhoc") text =
-  let bound = Sqlfront.Binder.bind_sql (Pipeline.db t) ~name text in
-  {
-    name;
-    sql = text;
-    graph = bound.Sqlfront.Binder.graph;
-    projections = bound.Sqlfront.Binder.projections;
-  }
+let sql t ?(name = "adhoc") text = Pipeline.bind t ~name text
 
 let job t name =
   let q = Workload.Job.find name in
@@ -70,9 +63,9 @@ let explain t query choice =
     (Plan.pp ~annot query.graph)
     choice.plan
 
-let run t ?(engine = Exec.Engine_config.robust) ?pool query choice =
+let run t ?(engine = Exec.Engine_config.robust) ?pool ?cache query choice =
   Exec.Executor.run ~db:(Pipeline.db t) ~graph:query.graph ~config:engine
-    ~size_est:choice.estimator.Cardest.Estimator.subset ?pool
+    ~size_est:choice.estimator.Cardest.Estimator.subset ?pool ?cache
     ~projections:query.projections choice.plan
 
 let explain_analyze t ?(engine = Exec.Engine_config.robust) ?pool query choice =

@@ -57,7 +57,9 @@ val set_physical_design : t -> Storage.Database.index_config -> unit
     PK only. *)
 
 val sql : t -> ?name:string -> string -> query
-(** Parse and bind a query in the JOB SQL subset. *)
+(** Parse and bind a query in the JOB SQL subset. Memoized on
+    (name, text) through {!Pipeline.bind}, so a serving loop replaying
+    the same statements binds each distinct one once. *)
 
 val job : t -> string -> query
 (** One of the 113 benchmark queries, by name (e.g. ["16d"]). *)
@@ -94,13 +96,15 @@ val run :
   t ->
   ?engine:Exec.Engine_config.t ->
   ?pool:Util.Domain_pool.t ->
+  ?cache:Exec.Join_cache.t ->
   query ->
   plan_choice ->
   Exec.Executor.result
 (** Execute under an engine configuration (default: the robust engine —
     no NL joins, resizing hash tables). [pool] turns on morsel-driven
-    intra-query parallelism; results are byte-identical with or without
-    it (see {!Exec.Executor.run}). *)
+    intra-query parallelism; [cache] turns on cross-query join-build
+    recycling; results are byte-identical with or without either (see
+    {!Exec.Executor.run}). *)
 
 val explain_analyze :
   t ->

@@ -22,7 +22,14 @@
        mutable scheduler state belongs to the pool and the morsel
        scheduler. Monotone telemetry counters elsewhere must carry an
        explicit allowlist entry stating why they are not work
-       distribution. *)
+       distribution.
+   R7  serving-session bookkeeping (toplevel bindings or mutable record
+       fields whose names speak the serving vocabulary — session, conn,
+       admission, inflight, lru) is confined to lib/serve/ and the
+       join-build recycling cache in lib/exec/join_cache.ml. Even
+       individually synchronized state counts: the point is confinement
+       — one layer owns admission and eviction, so its invariants can
+       be audited in one place. *)
 
 module Violation = Verify.Violation
 
@@ -400,6 +407,120 @@ let check_r6 ~allow (file : Source.t) =
         | _ -> ());
     resolve ~allow ~file ~rule:"R6" ~pass:r6_pass
       ~checks:(1 + List.length !findings)
+      (List.rev !findings)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* R7: serving-state confinement                                       *)
+
+let r7_pass = "domlint/R7-serving-state"
+
+(* Session/connection bookkeeping vocabulary. A toplevel binding with
+   one of these in its name that creates state — even individually
+   synchronized state like an [Atomic] — is serving infrastructure
+   leaking out of the serving layer, where it would dodge the admission
+   and eviction discipline lib/serve maintains. *)
+let r7_vocab =
+  [ "session"; "conn"; "admission"; "inflight"; "in_flight"; "lru" ]
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec at i =
+    i + m <= n && (String.equal (String.sub s i m) sub || at (i + 1))
+  in
+  m > 0 && at 0
+
+let r7_serving_name s =
+  let s = String.lowercase_ascii s in
+  List.exists (contains_sub s) r7_vocab
+
+(* The owning layer. [Suppress.path_matches] is suffix-only, so the
+   lib/serve/ directory needs a substring containment check. *)
+let r7_confined (file : Source.t) =
+  contains_sub file.Source.rel "lib/serve/"
+  || Suppress.path_matches ~pattern:"lib/exec/join_cache.ml" file.Source.rel
+
+let check_r7 ~allow ~mutable_fields (file : Source.t) =
+  if r7_confined file then { checks = 1; kept = []; suppressed = 0 }
+  else begin
+    let checks = ref 0 in
+    let findings = ref [] in
+    let add ~line ~bind_line ~symbol msg =
+      findings := { line; bind_line; symbol; msg } :: !findings
+    in
+    let hint =
+      "serving-session bookkeeping is confined to lib/serve/ (and the \
+       join-build recycling cache in lib/exec/join_cache.ml)"
+    in
+    let scan_binding ~bind_line ~symbol (rhs : Parsetree.expression) =
+      let named = r7_serving_name symbol in
+      (* Same traversal discipline as R1: skip function bodies (per-call
+         state is local), flag state created once at module init. *)
+      let rec walk (e : Parsetree.expression) =
+        let line = Source.line_of e.pexp_loc in
+        match e.pexp_desc with
+        | Pexp_fun _ | Pexp_function _ | Pexp_newtype _ -> ()
+        | Pexp_array _ when named ->
+            add ~line ~bind_line ~symbol
+              (Printf.sprintf
+                 "toplevel binding '%s' holds serving state (bare array): %s"
+                 symbol hint)
+        | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) ->
+            let stateful =
+              match split_qualified txt with
+              | Some (md, fn) ->
+                  List.mem md safe_wrapper_modules
+                  || List.exists
+                       (fun (m, fns) -> String.equal m md && List.mem fn fns)
+                       mutable_constructors
+              | None -> flatten txt = [ "ref" ]
+            in
+            if named && stateful then
+              add ~line ~bind_line ~symbol
+                (Printf.sprintf
+                   "toplevel binding '%s' holds serving state (%s): %s" symbol
+                   (String.concat "." (flatten txt))
+                   hint)
+            else List.iter (fun (_, a) -> walk a) args
+        | Pexp_record (fields, base) ->
+            List.iter
+              (fun (({ txt; _ } : Longident.t Location.loc), value) ->
+                (match List.rev (flatten txt) with
+                | fname :: _
+                  when Hashtbl.mem mutable_fields fname
+                       && (named || r7_serving_name fname) ->
+                    add ~line ~bind_line ~symbol
+                      (Printf.sprintf
+                         "toplevel binding '%s' builds serving state (mutable \
+                          field '%s'): %s"
+                         symbol fname hint)
+                | _ -> ());
+                walk value)
+              fields;
+            Option.iter walk base
+        | _ ->
+            let it =
+              {
+                Ast_iterator.default_iterator with
+                expr = (fun _ child -> walk child);
+              }
+            in
+            Ast_iterator.default_iterator.expr it e
+      in
+      walk rhs
+    in
+    List.iter
+      (fun (vb : Parsetree.value_binding) ->
+        match binding_name vb with
+        | None -> ()
+        | Some symbol ->
+            if not (is_function_body vb.pvb_expr) then begin
+              incr checks;
+              scan_binding ~bind_line:(Source.line_of vb.pvb_loc) ~symbol
+                vb.pvb_expr
+            end)
+      (toplevel_bindings file.Source.ast);
+    resolve ~allow ~file ~rule:"R7" ~pass:r7_pass ~checks:(max 1 !checks)
       (List.rev !findings)
   end
 

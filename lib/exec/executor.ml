@@ -65,7 +65,8 @@ let wbuf_reserve w extra =
     w.wbuf <- bigger
   end
 
-let run ~db ~graph ~config ~size_est ?observe ?pool ?(projections = []) plan =
+let run ~db ~graph ~config ~size_est ?observe ?pool ?cache ?(projections = [])
+    plan =
   let work = ref 0 in
   let limit = config.Engine_config.work_limit in
   let row_limit = config.Engine_config.row_limit in
@@ -368,52 +369,73 @@ let run ~db ~graph ~config ~size_est ?observe ?pool ?(projections = []) plan =
      quadratic pair count instead). Emitted rows are always charged, so
      materialized intermediates can never outgrow the work budget. *)
   let emit_cost = 2 in
-  let hash_match ~oset ~iset ~charge_hash ~table_size outer inner =
+  let hash_match ~oset ~iset ~charge_hash ~table_size ?(retire_inner = true)
+      ?prebuilt ?install outer inner =
     let edges = QG.edges_between graph oset iset in
     if edges = [] then invalid_arg "Executor: cross product";
     let oslots, odatas = key_arrays outer `Outer edges in
     let islots, idatas = key_arrays inner `Inner edges in
     let jt =
-      Join_table.create ~bucket_floor:config.Engine_config.hash_bucket_floor
-        ~estimated_rows:table_size ~actual_rows:inner.nrows
-        ~resizable:config.Engine_config.resize_hash_tables ()
+      match prebuilt with
+      | Some jt ->
+          (* Recycled sealed table (the caller already replayed the
+             build's work charges): straight to the probe phase. *)
+          jt
+      | None ->
+          let jt =
+            Join_table.create
+              ~bucket_floor:config.Engine_config.hash_bucket_floor
+              ~estimated_rows:table_size ~actual_rows:inner.nrows
+              ~resizable:config.Engine_config.resize_hash_tables ()
+          in
+          (* Build, two-phase: append entries (1 work unit per build row,
+             NULL keys included, matching the incremental path), then one
+             seal that links chains in canonical ascending-payload order
+             and charges the replayed resize bill. When parallel, workers
+             only compute the key hashes — disjoint writes into a shared
+             buffer — and the cheap append loop stays serial, so entry
+             order (hence payload numbering) is identical at any worker
+             count. *)
+          (match par_pool inner.nrows with
+          | Some p ->
+              let n = inner.nrows in
+              let kbuf = pool_acquire n in
+              let morsels = (n + chunk - 1) / chunk in
+              let base = !work in
+              run_phase p ~morsels ~body:(fun _w m ->
+                  let lo = m * chunk in
+                  let hi = min n (lo + chunk) in
+                  for j = lo to hi - 1 do
+                    kbuf.(j) <- tuple_key inner islots idatas j
+                  done;
+                  if charge_hash then begin
+                    let t = Morsel.add phase_work (hi - lo) in
+                    if base + t > limit then raise Timeout
+                  end);
+              for j = 0 to n - 1 do
+                let h = kbuf.(j) in
+                if h <> null_key then Join_table.append jt ~hash:h ~payload:j
+              done;
+              pool_release kbuf
+          | None ->
+              for j = 0 to inner.nrows - 1 do
+                let h = tuple_key inner islots idatas j in
+                if h <> null_key then Join_table.append jt ~hash:h ~payload:j;
+                if charge_hash then spend 1
+              done);
+          let seal_work = Join_table.seal jt in
+          if charge_hash then spend seal_work;
+          (* Publish to the recycling cache while the build batch is
+             still alive: the row-id copy must happen before [retire]
+             returns the batch's array to the scratch pool. *)
+          (match install with
+          | Some f ->
+              f
+                ~rows:(Array.sub inner.data 0 inner.nrows)
+                ~nrows:inner.nrows ~table:jt ~seal_work
+          | None -> ());
+          jt
     in
-    (* Build, two-phase: append entries (1 work unit per build row, NULL
-       keys included, matching the incremental path), then one seal that
-       links chains in canonical ascending-payload order and charges the
-       replayed resize bill. When parallel, workers only compute the key
-       hashes — disjoint writes into a shared buffer — and the cheap
-       append loop stays serial, so entry order (hence payload numbering)
-       is identical at any worker count. *)
-    (match par_pool inner.nrows with
-    | Some p ->
-        let n = inner.nrows in
-        let kbuf = pool_acquire n in
-        let morsels = (n + chunk - 1) / chunk in
-        let base = !work in
-        run_phase p ~morsels ~body:(fun _w m ->
-            let lo = m * chunk in
-            let hi = min n (lo + chunk) in
-            for j = lo to hi - 1 do
-              kbuf.(j) <- tuple_key inner islots idatas j
-            done;
-            if charge_hash then begin
-              let t = Morsel.add phase_work (hi - lo) in
-              if base + t > limit then raise Timeout
-            end);
-        for j = 0 to n - 1 do
-          let h = kbuf.(j) in
-          if h <> null_key then Join_table.append jt ~hash:h ~payload:j
-        done;
-        pool_release kbuf
-    | None ->
-        for j = 0 to inner.nrows - 1 do
-          let h = tuple_key inner islots idatas j in
-          if h <> null_key then Join_table.append jt ~hash:h ~payload:j;
-          if charge_hash then spend 1
-        done);
-    let seal_work = Join_table.seal jt in
-    if charge_hash then spend seal_work;
     let out = batch_create (Array.append outer.rels inner.rels) in
     (match par_pool outer.nrows with
     | Some p ->
@@ -478,7 +500,7 @@ let run ~db ~graph ~config ~size_est ?observe ?pool ?(projections = []) plan =
           else if charge_hash then spend 1
         done);
     retire outer;
-    retire inner;
+    if retire_inner then retire inner;
     out
   in
 
@@ -588,13 +610,81 @@ let run ~db ~graph ~config ~size_est ?observe ?pool ?(projections = []) plan =
         let ob = eval op in
         let ib = eval ip in
         merge_join ~oset:op.Plan.set ~iset:ip.Plan.set ob ib
-    | Plan.Join { algo = Plan.Hash_join; outer = op; inner = ip } ->
-        let ob = eval op in
-        let ib = eval ip in
+    | Plan.Join { algo = Plan.Hash_join; outer = op; inner = ip } -> (
         (* The hash table is sized from the optimizer's estimate of the
            build (inner) side — the 9.4 pathology under underestimates. *)
-        hash_match ~oset:op.Plan.set ~iset:ip.Plan.set ~charge_hash:true
-          ~table_size:(size_est ip.Plan.set) ob ib
+        let table_size = size_est ip.Plan.set in
+        (* Recycling applies only when the build side is a bare
+           base-relation scan: then the sealed table plus the surviving
+           row set is a pure function of (table, predicate, key columns,
+           encodings, bucket sizing), all captured by the cache key. *)
+        let cacheable =
+          match (cache, ip.Plan.op) with
+          | Some c, Plan.Scan rel ->
+              let relation = QG.relation graph rel in
+              let table = relation.QG.table in
+              let edges = QG.edges_between graph op.Plan.set ip.Plan.set in
+              let cols = List.map (fun (e : QG.edge) -> e.QG.right_col) edges in
+              let key =
+                Join_cache.make_key
+                  ~table:(Storage.Table.name table)
+                  ~table_rows:(Storage.Table.row_count table)
+                  ~pred:(Join_cache.pred_digest relation.QG.preds)
+                  ~cols
+                  ~encoding:(Join_cache.encoding_fingerprint table)
+                  ~buckets:
+                    (Join_table.planned_buckets
+                       ~bucket_floor:config.Engine_config.hash_bucket_floor
+                       ~estimated_rows:table_size ())
+                  ~resizable:config.Engine_config.resize_hash_tables
+              in
+              Some (c, key, rel, Storage.Table.row_count table)
+          | _ -> None
+        in
+        match cacheable with
+        | None ->
+            let ob = eval op in
+            let ib = eval ip in
+            hash_match ~oset:op.Plan.set ~iset:ip.Plan.set ~charge_hash:true
+              ~table_size ob ib
+        | Some (c, key, rel, scan_rows) -> (
+            match Join_cache.find c key with
+            | Some entry ->
+                (* Hit: skip the build-side scan and the hash build, but
+                   replay their exact simulated-work charges and fire the
+                   inner scan's checkpoint where the uncached path would
+                   have — results, work, observer sequences, and timeout
+                   behaviour stay byte-identical; only wall-clock drops. *)
+                let ob = eval op in
+                spend entry.Join_cache.e_scan_work;
+                let slots = Array.make (rel + 1) (-1) in
+                slots.(rel) <- 0;
+                let ib =
+                  {
+                    rels = [| rel |];
+                    slots;
+                    width = 1;
+                    data = entry.Join_cache.e_rows;
+                    nrows = entry.Join_cache.e_nrows;
+                  }
+                in
+                ignore (checkpoint ip.Plan.set ib);
+                spend entry.Join_cache.e_build_work;
+                spend entry.Join_cache.e_seal_work;
+                (* [retire_inner:false]: the cached row array is shared
+                   and must never enter the scratch pool. *)
+                hash_match ~oset:op.Plan.set ~iset:ip.Plan.set
+                  ~charge_hash:true ~table_size ~retire_inner:false
+                  ~prebuilt:entry.Join_cache.e_table ob ib
+            | None ->
+                let ob = eval op in
+                let ib = eval ip in
+                hash_match ~oset:op.Plan.set ~iset:ip.Plan.set
+                  ~charge_hash:true ~table_size
+                  ~install:(fun ~rows ~nrows ~table ~seal_work ->
+                    Join_cache.install c key ~rows ~nrows ~table
+                      ~scan_work:scan_rows ~build_work:nrows ~seal_work)
+                  ob ib))
     | Plan.Join { algo = Plan.Nl_join; outer = op; inner = ip } ->
         if not config.Engine_config.allow_nl_join then
           invalid_arg "Executor: nested-loop join disabled in this configuration";

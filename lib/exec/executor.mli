@@ -43,6 +43,7 @@ val run :
   size_est:(Util.Bitset.t -> float) ->
   ?observe:(Util.Bitset.t -> rows:int -> work:int -> unit) ->
   ?pool:Util.Domain_pool.t ->
+  ?cache:Join_cache.t ->
   ?projections:(int * int) list ->
   Plan.t ->
   result
@@ -64,6 +65,16 @@ val run :
     reference path. The pool may be shared: if it is busy with another
     task the executor transparently runs its phases on the calling
     domain alone.
+
+    [cache] enables cross-query join-build recycling: hash joins whose
+    build side is a base-relation scan look up a sealed {!Join_table}
+    (plus the scanned row set) in the shared {!Join_cache} and, on a
+    hit, skip the scan and the build and go probe-only — while
+    replaying the skipped work charges, so results, work accounting,
+    checkpoint sequences, and timeout behaviour are byte-identical to
+    an uncached run. Misses install the freshly sealed build for later
+    queries. Off by default; the serving engine ([lib/serve]) is the
+    intended user.
 
     [observe] is the checkpoint hook: called once per materialized plan
     node — in bottom-up execution order — with the node's relation

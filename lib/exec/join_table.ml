@@ -23,6 +23,16 @@ let next_pow2 x =
   let rec go p = if p >= x then p else go (p * 2) in
   go 16
 
+(* The initial bucket count [create] derives from the optimizer's
+   estimate — exposed so the recycling cache can key sealed tables on
+   exactly the sizing the executor would have used. *)
+let planned_buckets ?(bucket_floor = 1024) ~estimated_rows () =
+  let est =
+    int_of_float
+      (Float.max (float_of_int (max 1 bucket_floor)) (Float.min 1e9 estimated_rows))
+  in
+  next_pow2 est
+
 let create ?(bucket_floor = 1024) ~estimated_rows ?actual_rows ~resizable () =
   (* PostgreSQL floors its hash tables at ~1k buckets regardless of the
      estimate; without the floor every underestimate is a catastrophe
@@ -34,11 +44,7 @@ let create ?(bucket_floor = 1024) ~estimated_rows ?actual_rows ~resizable () =
      side's true cardinality is already known (the executor has the
      materialized batch in hand), pre-sizes only the entry arrays so a
      big build skips the ~15 doubling copies. *)
-  let est =
-    int_of_float
-      (Float.max (float_of_int (max 1 bucket_floor)) (Float.min 1e9 estimated_rows))
-  in
-  let n_buckets = next_pow2 est in
+  let n_buckets = planned_buckets ~bucket_floor ~estimated_rows () in
   let entry_cap = max 64 (match actual_rows with Some r -> r | None -> 64) in
   {
     buckets = Array.make n_buckets (-1);
@@ -54,6 +60,14 @@ let create ?(bucket_floor = 1024) ~estimated_rows ?actual_rows ~resizable () =
 let bucket_count t = Array.length t.buckets
 
 let entry_count t = t.count
+
+(* Physical footprint of the table's arrays (words, at 8 bytes each),
+   for the recycling cache's byte budget. Counts capacities, not
+   [count]: retained garbage headroom is still resident memory. *)
+let byte_size t =
+  8
+  * (Array.length t.buckets + Array.length t.next + Array.length t.hashes
+    + Array.length t.payloads)
 
 let grow_entries t =
   let capacity = Array.length t.next in

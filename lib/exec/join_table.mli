@@ -23,9 +23,19 @@ val create :
     known materialized cardinality) pre-sizes only the entry arrays so
     large builds skip the incremental doubling copies. *)
 
+val planned_buckets : ?bucket_floor:int -> estimated_rows:float -> unit -> int
+(** The initial bucket count {!create} would choose for this floor and
+    estimate — the sizing half of the recycling cache's key, so a
+    cached sealed table is only reused where a fresh build would have
+    been bucketed identically. *)
+
 val bucket_count : t -> int
 
 val entry_count : t -> int
+
+val byte_size : t -> int
+(** Physical bytes of the table's bucket and entry arrays (capacity,
+    not live count) — what a recycled table keeps resident. *)
 
 val insert : t -> hash:int -> payload:int -> int
 (** Add an entry; returns the work units spent (1, plus amortized rehash

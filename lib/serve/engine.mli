@@ -1,0 +1,71 @@
+(** The concurrent query-serving engine behind [jobench serve].
+
+    Simulated client sessions replay pregenerated {!Traffic} scripts
+    against one shared registry pipeline ({!Core.Session}): statements
+    bind through the pipeline's bind cache, plan through its plan
+    cache, and execute on the morsel executor — optionally with a
+    shared {!Exec.Join_cache} recycling hash-join builds across queries
+    and sessions. Sessions are distributed over the serve pool by a
+    work-stealing cursor; {!Admission} bounds globally in-flight
+    queries; an optional per-session work budget retires sessions.
+
+    Replies are deterministic — a pure function of the traffic seed and
+    the planning/engine configuration, independent of worker count,
+    admission limit, scheduling, and cache on/off (the executor's
+    recycling cache replays skipped work charges). Only measured
+    wall-clock latency varies. [jobench serve] enforces this by
+    comparing every arm against an uncached serial reference run. *)
+
+type reply = {
+  p_query : int;  (** catalog index *)
+  p_rows : int;
+  p_work : int;
+  p_timed_out : bool;
+  p_mins : string list;  (** rendered MIN() projections *)
+}
+
+type config = {
+  engine : Exec.Engine_config.t;
+  cache : Exec.Join_cache.t option;  (** join-build recycling *)
+  exec_pool : Util.Domain_pool.t option;  (** intra-query morsels *)
+  serve_pool : Util.Domain_pool.t option;  (** inter-query concurrency *)
+  max_inflight : int;  (** admission limit; must be >= 1 *)
+  session_budget : int;  (** work units per session; 0 = unlimited *)
+}
+
+type outcome = {
+  replies : reply array array;
+      (** per session, in script order; a session retired by the work
+          budget contributes the prefix it completed *)
+  latencies_ms : float array;  (** all completed requests, unordered *)
+  wall_s : float;
+  completed : int;
+  issued : int;
+  retired_sessions : int;
+  admission : Admission.stats;
+}
+
+type catalog_entry = {
+  ce_name : string;
+  ce_query : Core.Session.query;
+  ce_choice : Core.Session.plan_choice;
+}
+
+val prepare :
+  Core.Session.t ->
+  ?estimator:string ->
+  ?cost_model:string ->
+  (string * string) array ->
+  catalog_entry array
+(** Bind and plan each (name, SQL) statement through the pipeline's
+    caches. Serving warm (prepare first, then {!run}) keeps planning
+    cost out of the latency measurements; serving cold is also safe —
+    the pipeline's memo cells compute each plan exactly once under
+    concurrency. *)
+
+val run : Core.Session.t -> catalog_entry array -> Traffic.t -> config -> outcome
+(** Raises [Invalid_argument] when [max_inflight < 1]. *)
+
+val replies_equal : reply array array -> reply array array -> bool
+(** Deep byte-identity over every reply of every session, including
+    script prefix lengths. *)

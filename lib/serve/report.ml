@@ -1,0 +1,95 @@
+(* Latency/throughput aggregation and the BENCH_serve.json renderer. *)
+
+(* Nearest-rank percentile over an unsorted sample; [q] in [0, 1]. *)
+let percentile sample q =
+  let n = Array.length sample in
+  if n = 0 then 0.0
+  else begin
+    let sorted = Array.copy sample in
+    Array.sort compare sorted;
+    let rank = int_of_float (ceil (q *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+  end
+
+type arm = {
+  a_completed : int;
+  a_wall_s : float;
+  a_qps : float;
+  a_mean_ms : float;
+  a_p50_ms : float;
+  a_p95_ms : float;
+  a_p99_ms : float;
+}
+
+let arm_of (o : Engine.outcome) =
+  let lat = o.Engine.latencies_ms in
+  let n = Array.length lat in
+  {
+    a_completed = o.Engine.completed;
+    a_wall_s = o.Engine.wall_s;
+    a_qps =
+      (if o.Engine.wall_s <= 0.0 then 0.0
+       else float_of_int o.Engine.completed /. o.Engine.wall_s);
+    a_mean_ms =
+      (if n = 0 then 0.0
+       else Array.fold_left ( +. ) 0.0 lat /. float_of_int n);
+    a_p50_ms = percentile lat 0.50;
+    a_p95_ms = percentile lat 0.95;
+    a_p99_ms = percentile lat 0.99;
+  }
+
+type row = {
+  clients : int;
+  queries : int;
+  on : arm;  (* recycling cache enabled *)
+  off : arm;  (* same run shape, cache disabled *)
+  cache : Exec.Join_cache.stats;
+  hit_rate : float;
+  retired_sessions : int;
+  admission_peak : int;
+  identity : bool;  (* replies byte-identical to the serial reference *)
+}
+
+let fmt_arm prefix a =
+  Printf.sprintf
+    "\"%s_qps\": %.2f, \"%s_mean_ms\": %.4f, \"%s_p50_ms\": %.4f, \
+     \"%s_p95_ms\": %.4f, \"%s_p99_ms\": %.4f, \"%s_wall_s\": %.4f"
+    prefix a.a_qps prefix a.a_mean_ms prefix a.a_p50_ms prefix a.a_p95_ms
+    prefix a.a_p99_ms prefix a.a_wall_s
+
+let to_json ~scale ~seed ~theta ~cache_mb ~jobs ~exec_jobs ~cores rows =
+  let b = Buffer.create 2048 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"benchmark\": \"serve\",\n\
+       \  \"scale\": %g,\n\
+       \  \"seed\": %d,\n\
+       \  \"zipf_theta\": %g,\n\
+       \  \"cache_mb\": %d,\n\
+       \  \"jobs\": %d,\n\
+       \  \"exec_jobs\": %d,\n\
+       \  \"cores\": %d,\n\
+       \  \"rows\": [\n"
+       scale seed theta cache_mb jobs exec_jobs cores);
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"clients\": %d, \"queries\": %d, %s, %s, \"speedup\": %.3f, \
+            \"hit_rate\": %.4f, \"cache_hits\": %d, \"cache_misses\": %d, \
+            \"cache_installs\": %d, \"cache_evictions\": %d, \
+            \"cache_entries\": %d, \"cache_bytes\": %d, \
+            \"retired_sessions\": %d, \"admission_peak\": %d, \
+            \"identity\": %b}"
+           r.clients r.queries (fmt_arm "on" r.on) (fmt_arm "off" r.off)
+           (if r.off.a_qps <= 0.0 then 0.0 else r.on.a_qps /. r.off.a_qps)
+           r.hit_rate r.cache.Exec.Join_cache.hits
+           r.cache.Exec.Join_cache.misses r.cache.Exec.Join_cache.installs
+           r.cache.Exec.Join_cache.evictions r.cache.Exec.Join_cache.entries
+           r.cache.Exec.Join_cache.bytes r.retired_sessions r.admission_peak
+           r.identity))
+    rows;
+  Buffer.add_string b "\n  ]\n}\n";
+  Buffer.contents b

@@ -1,0 +1,42 @@
+(** Latency/throughput aggregation and the [BENCH_serve.json] renderer
+    for the serving benchmark. *)
+
+val percentile : float array -> float -> float
+(** Nearest-rank percentile of an unsorted sample; the quantile is in
+    [0, 1]. Returns 0 on an empty sample. Does not modify the input. *)
+
+type arm = {
+  a_completed : int;
+  a_wall_s : float;
+  a_qps : float;
+  a_mean_ms : float;
+  a_p50_ms : float;
+  a_p95_ms : float;
+  a_p99_ms : float;
+}
+
+val arm_of : Engine.outcome -> arm
+
+type row = {
+  clients : int;
+  queries : int;
+  on : arm;  (** recycling cache enabled *)
+  off : arm;  (** same run shape, cache disabled *)
+  cache : Exec.Join_cache.stats;
+  hit_rate : float;
+  retired_sessions : int;
+  admission_peak : int;
+  identity : bool;
+      (** replies byte-identical to the uncached serial reference *)
+}
+
+val to_json :
+  scale:float ->
+  seed:int ->
+  theta:float ->
+  cache_mb:int ->
+  jobs:int ->
+  exec_jobs:int ->
+  cores:int ->
+  row list ->
+  string

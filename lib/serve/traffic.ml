@@ -1,0 +1,67 @@
+(* Closed-loop traffic generation: every session's request script is
+   pregenerated from a master seed before serving starts, so the set of
+   queries each session issues — and therefore every reply — is a pure
+   function of (seed, sessions, total, catalog, theta, think_ms),
+   independent of how the scheduler interleaves the sessions at run
+   time. Wall-clock latency is the only nondeterministic output.
+
+   Popularity is Zipfian over the catalog ({!Util.Zipf}, the same
+   sampler the data generator uses to plant IMDB's skew): rank 0 is
+   the most popular statement. A seeded shuffle maps ranks to catalog
+   positions so that "popular" is not always the first query of the
+   workload file. Think times, when enabled, are uniform in
+   [0, 2*think_ms) — mean [think_ms] — drawn per request from the
+   session's own PRNG stream. *)
+
+type request = {
+  r_seq : int;  (* position within the session's script *)
+  r_query : int;  (* catalog index *)
+  r_think_ms : float;  (* pause before issuing this request *)
+}
+
+type t = {
+  scripts : request array array;  (* one script per session *)
+  rank_of : int array;  (* catalog index -> popularity rank *)
+}
+
+let generate ~sessions ~total ~catalog ~theta ~think_ms ~seed =
+  if sessions < 1 then invalid_arg "Traffic.generate: sessions must be >= 1";
+  if catalog < 1 then invalid_arg "Traffic.generate: catalog must be >= 1";
+  if total < 0 then invalid_arg "Traffic.generate: total must be >= 0";
+  let master = Util.Prng.create seed in
+  (* perm.(rank) = catalog index holding that popularity rank. *)
+  let perm = Array.init catalog Fun.id in
+  Util.Prng.shuffle master perm;
+  let rank_of = Array.make catalog 0 in
+  Array.iteri (fun rank q -> rank_of.(q) <- rank) perm;
+  let zipf = Util.Zipf.create ~n:catalog ~theta in
+  (* Each session draws from its own split stream, so adding a session
+     never perturbs the scripts of the existing ones. *)
+  let rngs = Array.init sessions (fun _ -> Util.Prng.split master) in
+  let base = total / sessions and extra = total mod sessions in
+  let scripts =
+    Array.init sessions (fun s ->
+        let rng = rngs.(s) in
+        let count = base + if s < extra then 1 else 0 in
+        Array.init count (fun i ->
+            {
+              r_seq = i;
+              r_query = perm.(Util.Zipf.sample zipf rng);
+              r_think_ms =
+                (if think_ms <= 0.0 then 0.0
+                 else Util.Prng.float rng (2.0 *. think_ms));
+            }))
+  in
+  { scripts; rank_of }
+
+let sessions t = Array.length t.scripts
+
+let total t = Array.fold_left (fun n s -> n + Array.length s) 0 t.scripts
+
+let distinct_queries t =
+  let seen = Hashtbl.create 64 in
+  Array.iter
+    (fun script ->
+      Array.iter (fun r -> Hashtbl.replace seen r.r_query ()) script)
+    t.scripts;
+  List.sort compare (Hashtbl.fold (fun q () acc -> q :: acc) seen [])

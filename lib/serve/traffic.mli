@@ -1,0 +1,43 @@
+(** Closed-loop traffic generation for the serving benchmark.
+
+    Scripts are pregenerated: the queries each simulated session issues
+    are a pure function of the master seed and the shape parameters,
+    independent of run-time scheduling — the foundation of the serving
+    loop's deterministic-replies guarantee. Popularity is Zipfian over
+    the catalog with a seeded rank-to-query shuffle; think times are
+    uniform with the requested mean, drawn per request from the
+    session's own split PRNG stream. *)
+
+type request = {
+  r_seq : int;  (** position within the session's script *)
+  r_query : int;  (** catalog index *)
+  r_think_ms : float;  (** pause before issuing this request *)
+}
+
+type t = {
+  scripts : request array array;  (** one script per session *)
+  rank_of : int array;  (** catalog index -> popularity rank *)
+}
+
+val generate :
+  sessions:int ->
+  total:int ->
+  catalog:int ->
+  theta:float ->
+  think_ms:float ->
+  seed:int ->
+  t
+(** [total] requests are split across [sessions] as evenly as possible
+    (earlier sessions get the remainder). [theta = 0] degenerates to
+    uniform popularity; the serving benchmark's default is 1.1. A
+    non-positive [think_ms] disables think time. Raises
+    [Invalid_argument] on [sessions < 1], [catalog < 1] or
+    [total < 0]. *)
+
+val sessions : t -> int
+
+val total : t -> int
+
+val distinct_queries : t -> int list
+(** Sorted catalog indices appearing anywhere in the scripts — the set
+    to pre-plan before timed serving starts. *)

@@ -1,17 +1,25 @@
 type ('a, 'b) t = {
   mask : int;
+  capacity : int; (* max bindings per shard; max_int = unbounded *)
   locks : Mutex.t array;
   tables : ('a, 'b) Hashtbl.t array;
 }
 
-let create ?(shards = 16) () =
+let create ?(shards = 16) ?capacity () =
   if shards < 1 then invalid_arg "Shard_map.create: shards must be >= 1";
+  let capacity =
+    match capacity with
+    | None -> max_int
+    | Some c when c < 1 -> invalid_arg "Shard_map.create: capacity must be >= 1"
+    | Some c -> c
+  in
   let n = ref 1 in
   while !n < shards do
     n := !n * 2
   done;
   {
     mask = !n - 1;
+    capacity;
     locks = Array.init !n (fun _ -> Mutex.create ());
     tables = Array.init !n (fun _ -> Hashtbl.create 32);
   }
@@ -35,6 +43,14 @@ let length t =
     t.tables;
   !n
 
+let remove t k =
+  let s = shard t k in
+  Mutex.lock t.locks.(s);
+  let existed = Hashtbl.mem t.tables.(s) k in
+  if existed then Hashtbl.remove t.tables.(s) k;
+  Mutex.unlock t.locks.(s);
+  existed
+
 let find_or_add t k make =
   let s = shard t k in
   Mutex.lock t.locks.(s);
@@ -45,9 +61,14 @@ let find_or_add t k make =
   | None -> (
       match make () with
       | v ->
-          Hashtbl.add t.tables.(s) k v;
+          (* At capacity the shard rejects the new binding rather than
+             evicting an arbitrary victim: this map has no iteration
+             order to pick one by, and callers that bound it (the join
+             recycling cache) run their own policy via {!remove}. *)
+          let created = Hashtbl.length t.tables.(s) < t.capacity in
+          if created then Hashtbl.add t.tables.(s) k v;
           Mutex.unlock t.locks.(s);
-          (v, true)
+          (v, created)
       | exception e ->
           let bt = Printexc.get_raw_backtrace () in
           Mutex.unlock t.locks.(s);

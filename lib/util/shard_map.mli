@@ -8,12 +8,19 @@
 
     Iteration order is unspecified; this container deliberately has no
     [iter] — the pipeline's determinism argument rests on values being
-    addressed by key only. *)
+    addressed by key only. Bounded consumers (the executor's join-build
+    recycling cache) keep their own key registry and evict through
+    {!remove}. *)
 
 type ('a, 'b) t
 
-val create : ?shards:int -> unit -> ('a, 'b) t
-(** [shards] (default 16) is rounded up to a power of two. *)
+val create : ?shards:int -> ?capacity:int -> unit -> ('a, 'b) t
+(** [shards] (default 16) is rounded up to a power of two. [capacity]
+    (default unbounded) caps the bindings each shard retains: a
+    {!find_or_add} landing on a full shard still evaluates [make] and
+    returns its value, but does not retain the binding — a hard backstop
+    for bounded caches whose real eviction policy runs through
+    {!remove}. Raises [Invalid_argument] when [< 1]. *)
 
 val find_opt : ('a, 'b) t -> 'a -> 'b option
 
@@ -21,8 +28,14 @@ val length : ('a, 'b) t -> int
 (** Total bindings across all shards. Not a consistent snapshot under
     concurrent insertion (shards are summed one lock at a time). *)
 
+val remove : ('a, 'b) t -> 'a -> bool
+(** Drop the binding for a key; [true] iff one existed. Values already
+    handed out by {!find_opt}/{!find_or_add} stay valid — removal only
+    unpublishes the key. *)
+
 val find_or_add : ('a, 'b) t -> 'a -> (unit -> 'b) -> 'b * bool
 (** [find_or_add t k make] returns the value bound to [k], binding
     [make ()] first when absent. The boolean is [true] iff this call
-    created the binding. [make] runs under the shard lock: keep it
-    cheap and non-reentrant. *)
+    created (and retained) the binding — [false] both for hits and for
+    insertions rejected by a full shard. [make] runs under the shard
+    lock: keep it cheap and non-reentrant. *)

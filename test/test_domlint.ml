@@ -215,6 +215,82 @@ let test_r6 () =
   Alcotest.(check int) "suppression counted" 1
     (suppressed_of "R6-scheduler-state" r)
 
+(* --- R7: serving state confined to lib/serve -------------------------- *)
+
+let r7 = "domlint/R7-serving-state"
+
+let test_r7 () =
+  check_flagged "toplevel session atomic flagged" r7
+    (scan
+       [
+         ( "dlt_r7_bad.ml",
+           [
+             "let sessions = Atomic.make 0";
+             "let bump () = Atomic.incr sessions";
+           ] );
+       ]);
+  check_flagged "mutable inflight record field flagged" r7
+    (scan
+       [
+         ( "dlt_r7_rec.ml",
+           [
+             "type gate = { mutable inflight : int }";
+             "(* domlint: safe R1 — fixture: exercising R7's own check *)";
+             "let gate = { inflight = 0 }";
+           ] );
+       ]);
+  check_ok "pure bindings and per-call state clean"
+    (scan
+       [
+         ( "dlt_r7_ok.ml",
+           [
+             "let session_label = \"sess\"";
+             "let make_session () = Atomic.make 0";
+           ] );
+       ]);
+  let r =
+    scan
+      [
+        ( "dlt_r7_sup.ml",
+          [
+            "(* domlint: safe R7 — fixture: single-domain bench helper *)";
+            "let session_count = Atomic.make 0";
+          ] );
+      ]
+  in
+  check_ok "annotated serving state suppressed" r;
+  Alcotest.(check int) "suppression counted" 1
+    (suppressed_of "R7-serving-state" r)
+
+let test_r7_allowlist () =
+  let allow =
+    [
+      {
+        Domlint.Suppress.rule = "R7";
+        file = "dlt_r7_allow.ml";
+        symbol = "session_count";
+        reason = "fixture: migration grace period";
+      };
+    ]
+  in
+  check_ok "allowlist entry suppresses"
+    (scan ~allow
+       [ ("dlt_r7_allow.ml", [ "let session_count = Atomic.make 0" ]) ])
+
+let test_r7_confined () =
+  (* A fixture placed under a lib/serve/ directory is the owning layer:
+     the same binding that test_r7 flags must pass untouched. *)
+  let lib = Filename.concat fixture_dir "lib" in
+  let dir = Filename.concat lib "serve" in
+  List.iter
+    (fun d -> if not (Sys.file_exists d) then Sys.mkdir d 0o755)
+    [ fixture_dir; lib; dir ];
+  let path = Filename.concat dir "dlt_r7_conf.ml" in
+  let oc = open_out path in
+  output_string oc "let sessions = Atomic.make 0\n";
+  close_out oc;
+  check_ok "serving state inside lib/serve/ is exempt" (Domlint.scan [ path ])
+
 (* --- annotation hygiene ---------------------------------------------- *)
 
 let test_annotation_hygiene () =
@@ -307,6 +383,9 @@ let suite =
     Alcotest.test_case "R3 global Random" `Quick test_r3;
     Alcotest.test_case "R5 Domain.spawn" `Quick test_r5;
     Alcotest.test_case "R6 scheduler atomics" `Quick test_r6;
+    Alcotest.test_case "R7 serving state" `Quick test_r7;
+    Alcotest.test_case "R7 allowlist" `Quick test_r7_allowlist;
+    Alcotest.test_case "R7 lib/serve exempt" `Quick test_r7_confined;
     Alcotest.test_case "annotation hygiene" `Quick test_annotation_hygiene;
     Alcotest.test_case "R4 rejects lock cycle" `Quick test_r4_cycle;
     Alcotest.test_case "R4 accepts acyclic nesting" `Quick test_r4_acyclic;

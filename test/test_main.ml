@@ -17,6 +17,7 @@ let () =
       ("parallel", Test_parallel.suite);
       ("exec", Test_exec.suite);
       ("morsel", Test_morsel.suite);
+      ("serve", Test_serve.suite);
       ("kernels", Test_kernels.suite);
       ("workload", Test_workload.suite);
       ("experiments", Test_experiments.suite);

@@ -237,6 +237,86 @@ let test_bitset_lowest () =
   Alcotest.(check int) "lowest" 3 (Util.Bitset.lowest (Util.Bitset.of_list [ 3; 7 ]));
   Alcotest.(check int) "full 4" 15 (Util.Bitset.full 4)
 
+(* --- Shard_map --------------------------------------------------------- *)
+
+let shard_map_laws =
+  Support.qcheck_case ~name:"shard_map find_or_add/remove/length laws"
+    QCheck.(pair (int_range 1 8) (small_list small_int))
+    (fun (shards, keys) ->
+      let m = Util.Shard_map.create ~shards () in
+      let distinct = List.sort_uniq compare keys in
+      List.for_all
+        (fun k ->
+          let v1, c1 = Util.Shard_map.find_or_add m k (fun () -> k * 3) in
+          let v2, c2 = Util.Shard_map.find_or_add m k (fun () -> -1) in
+          c1 && (not c2) && v1 = k * 3 && v2 = k * 3
+          && Util.Shard_map.find_opt m k = Some (k * 3))
+        distinct
+      && Util.Shard_map.length m = List.length distinct
+      && List.for_all
+           (fun k ->
+             Util.Shard_map.remove m k
+             && (not (Util.Shard_map.remove m k))
+             && Util.Shard_map.find_opt m k = None)
+           distinct
+      && Util.Shard_map.length m = 0)
+
+let shard_map_capacity_backstop =
+  Support.qcheck_case ~name:"shard_map capacity caps retention, not results"
+    QCheck.(pair (int_range 1 8) (int_range 1 64))
+    (fun (capacity, n) ->
+      let m = Util.Shard_map.create ~shards:1 ~capacity () in
+      let results_ok = ref true in
+      for k = 0 to n - 1 do
+        let v, _created = Util.Shard_map.find_or_add m k (fun () -> k + 100) in
+        results_ok := !results_ok && v = k + 100
+      done;
+      !results_ok
+      && Util.Shard_map.length m = min n capacity
+      && (n <= capacity
+         || (* eviction through remove reopens the slot *)
+         Util.Shard_map.remove m 0
+         &&
+         let v, created = Util.Shard_map.find_or_add m n (fun () -> 7) in
+         v = 7 && created))
+
+(* 3 worker domains + the caller race on the same keys: find_or_add must
+   elect exactly one winner per key (everyone observing its value), and
+   concurrent removes must succeed exactly once per key. *)
+let test_shard_map_concurrent () =
+  let pool = Util.Domain_pool.create ~domains:4 in
+  Fun.protect
+    ~finally:(fun () -> Util.Domain_pool.shutdown pool)
+    (fun () ->
+      let m = Util.Shard_map.create ~shards:4 () in
+      let created = Atomic.make 0 in
+      let winners = Array.make 4 (-1) in
+      Util.Domain_pool.run_workers pool (fun slot ->
+          for k = 0 to 99 do
+            let v, c =
+              Util.Shard_map.find_or_add m k (fun () -> (k * 10) + slot)
+            in
+            if c then Atomic.incr created;
+            if k = 0 then winners.(slot) <- v
+          done);
+      Alcotest.(check int) "each key created exactly once" 100
+        (Atomic.get created);
+      Alcotest.(check int) "length counts every key" 100
+        (Util.Shard_map.length m);
+      Array.iter
+        (fun w ->
+          Alcotest.(check int) "every domain saw key 0's winner" winners.(0) w)
+        winners;
+      let removed = Atomic.make 0 in
+      Util.Domain_pool.run_workers pool (fun _slot ->
+          for k = 0 to 99 do
+            if Util.Shard_map.remove m k then Atomic.incr removed
+          done);
+      Alcotest.(check int) "each key removed exactly once" 100
+        (Atomic.get removed);
+      Alcotest.(check int) "empty after concurrent removal" 0
+        (Util.Shard_map.length m))
+
 (* --- Render ------------------------------------------------------------ *)
 
 let test_render_table () =
@@ -303,6 +383,10 @@ let suite =
     bitset_roundtrip;
     Alcotest.test_case "bitset subsets_iter" `Quick test_bitset_subsets_iter;
     Alcotest.test_case "bitset lowest/full" `Quick test_bitset_lowest;
+    shard_map_laws;
+    shard_map_capacity_backstop;
+    Alcotest.test_case "shard_map concurrent winners" `Quick
+      test_shard_map_concurrent;
     Alcotest.test_case "render table" `Quick test_render_table;
     Alcotest.test_case "render float cell" `Quick test_render_float_cell;
     Alcotest.test_case "render percent" `Quick test_render_percent;
