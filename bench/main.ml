@@ -30,7 +30,15 @@
    against the serial baseline (mismatch = exit 1), and writes the
    per-query scaling curves plus morsel-scheduler counters to
    BENCH_morsel.json. --exec-jobs N turns morsel execution on inside
-   the regular experiment comparison (both twins get it). *)
+   the regular experiment comparison (both twins get it).
+
+   --obs-gate runs only the observability overhead gate: the golden
+   113-query workload with tracing off and on (interleaved, best of
+   three per arm), a byte-identity check between the arms, and a
+   micro-measurement of the disabled instrumentation path, written to
+   BENCH_obs.json. The gate fails (exit 1) if the arms diverge or the
+   estimated disabled-path overhead exceeds 1% of the untraced wall
+   time. *)
 
 (* The experiment list is the catalog in lib/experiments — one source of
    truth shared with 'jobench experiment'. *)
@@ -870,6 +878,119 @@ let run_morsel_sweep ~seed ~jobs_list scales =
     exit 1
   end
 
+(* ------------------------------------------------------------------ *)
+(* The observability overhead gate (--obs-gate): acceptance evidence
+   that the executor can carry its trace instrumentation permanently.
+   Two arms over the golden 113-query workload — tracing disabled and
+   enabled — interleaved best-of-three with a byte-identity check, plus
+   a direct micro-measurement of the disabled start/span pair, scaled
+   by the spans one traced pass records. The per-pass estimate is the
+   enforced figure: wall-clock deltas between the arms on a busy box
+   are dominated by scheduler noise, while ns-per-site times
+   sites-per-pass is stable and conservative. *)
+
+let run_obs_gate ~seed ~scale =
+  Printf.printf
+    "obs gate: golden workload traced vs untraced (scale %g, seed %d)\n%!"
+    scale seed;
+  let sess = Core.Session.create ~seed ~scale () in
+  let entries =
+    List.map
+      (fun (jq : Workload.Job.query) ->
+        let q = Core.Session.job sess jq.Workload.Job.name in
+        (q, Core.Session.optimize sess q))
+      Workload.Job.all
+  in
+  let pass () =
+    List.map
+      (fun (q, c) ->
+        let r = Core.Session.run sess q c in
+        ( r.Exec.Executor.rows,
+          r.Exec.Executor.work,
+          List.map Storage.Value.to_string r.Exec.Executor.mins ))
+      entries
+  in
+  ignore (pass ());
+  (* Warmed caches; both arms now execute identical plans. *)
+  let timed f =
+    Gc.full_major ();
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (v, (Unix.gettimeofday () -. t0) *. 1e3)
+  in
+  let off_ms = ref infinity and on_ms = ref infinity in
+  let off_fp = ref None and on_fp = ref None in
+  let spans_per_pass = ref 0 in
+  for _ = 1 to 3 do
+    Obs.Trace.set_enabled false;
+    let fp, ms = timed pass in
+    off_ms := Float.min !off_ms ms;
+    off_fp := Some fp;
+    Obs.Trace.set_enabled true;
+    Obs.Trace.clear ();
+    let fp, ms = timed pass in
+    let spans, _ = Obs.Trace.flush () in
+    spans_per_pass := List.length spans;
+    on_ms := Float.min !on_ms ms;
+    on_fp := Some fp
+  done;
+  Obs.Trace.set_enabled false;
+  let identity = !off_fp = !on_fp in
+  (* The disabled path in isolation: one start/span pair per site. *)
+  let ph_probe = Obs.Trace.intern "bench.obs_probe" in
+  let iters = 20_000_000 in
+  let t0 = Unix.gettimeofday () in
+  let sink = ref 0 in
+  for _ = 1 to iters do
+    let t = Obs.Trace.start () in
+    Obs.Trace.span ph_probe ~t0:t ~a:0 ~b:0;
+    sink := !sink + t
+  done;
+  let ns_per_site = (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int iters in
+  ignore (Sys.opaque_identity !sink);
+  let disabled_overhead_est =
+    if !off_ms <= 0.0 then 0.0
+    else ns_per_site *. float_of_int !spans_per_pass /. (!off_ms *. 1e6)
+  in
+  let within_budget = disabled_overhead_est < 0.01 in
+  let enabled_overhead =
+    if !off_ms <= 0.0 then 0.0 else (!on_ms -. !off_ms) /. !off_ms
+  in
+  let oc = open_out "BENCH_obs.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"obs\",\n\
+    \  \"scale\": %g,\n\
+    \  \"seed\": %d,\n\
+    \  \"queries\": %d,\n\
+    \  \"off_wall_ms\": %.3f,\n\
+    \  \"on_wall_ms\": %.3f,\n\
+    \  \"enabled_overhead\": %.4f,\n\
+    \  \"spans_per_pass\": %d,\n\
+    \  \"disabled_ns_per_site\": %.2f,\n\
+    \  \"disabled_overhead_est\": %.6f,\n\
+    \  \"within_budget\": %b,\n\
+    \  \"identity\": %b\n\
+     }\n"
+    scale seed Workload.Job.query_count !off_ms !on_ms enabled_overhead
+    !spans_per_pass ns_per_site disabled_overhead_est within_budget identity;
+  close_out oc;
+  Printf.printf
+    "wrote BENCH_obs.json (untraced %.1fms, traced %.1fms, %d spans/pass, \
+     disabled path %.1fns/site = %.4f%% est overhead)\n\
+     %!"
+    !off_ms !on_ms !spans_per_pass ns_per_site
+    (100.0 *. disabled_overhead_est);
+  if not identity then begin
+    Printf.printf "FAIL: traced and untraced results diverge\n%!";
+    exit 1
+  end;
+  if not within_budget then begin
+    Printf.printf
+      "FAIL: disabled tracing path estimated at >= 1%% of workload wall time\n%!";
+    exit 1
+  end
+
 let () =
   let scale = ref Datagen.Imdb_gen.reference_scale in
   let seed = ref 42 in
@@ -881,6 +1002,7 @@ let () =
   let sweep = ref None in
   let morsel_sweep = ref None in
   let morsel_jobs = ref [ 1; 2; 4; 8 ] in
+  let obs_gate = ref false in
   let rec parse = function
     | [] -> ()
     | "--scale-sweep" :: v :: rest ->
@@ -912,6 +1034,9 @@ let () =
     | "--only" :: v :: rest ->
         only := Some v;
         parse rest
+    | "--obs-gate" :: rest ->
+        obs_gate := true;
+        parse rest
     | "--skip-micro" :: rest ->
         skip_micro := true;
         parse rest
@@ -940,6 +1065,11 @@ let () =
       run_morsel_sweep ~seed:!seed ~jobs_list:!morsel_jobs scales;
       exit 0
   | None -> ());
+  if !obs_gate then begin
+    Util.Domain_pool.tune_gc ();
+    run_obs_gate ~seed:!seed ~scale:!scale;
+    exit 0
+  end;
   (* Pool workers tune their GC on spawn; the main domain executes the
      serial halves and its share of parallel maps, so it runs under the
      same regime. *)
@@ -954,6 +1084,15 @@ let () =
     | None -> experiments
     | Some ids ->
         let wanted = String.split_on_char ',' ids |> List.map String.trim in
+        let known = List.map fst experiments in
+        let unknown = List.filter (fun w -> not (List.mem w known)) wanted in
+        if unknown <> [] then begin
+          Printf.eprintf "error: unknown experiment%s %s for --only\n"
+            (if List.length unknown > 1 then "s" else "")
+            (String.concat ", " unknown);
+          Printf.eprintf "valid experiments: %s\n%!" (String.concat ", " known);
+          exit 2
+        end;
         List.filter (fun (i, _) -> List.mem i wanted) experiments
   in
   (* id -> per-repeat (serial_ms, parallel_ms) samples. Each repeat is a
@@ -1058,11 +1197,7 @@ let () =
   let h = Option.get !last_h in
   Printf.printf "\n--- %s\n\n%!" (Experiments.Harness.stats_summary h);
   if !jobs > 1 then begin
-    let median xs =
-      let a = Array.of_list xs in
-      Array.sort Float.compare a;
-      a.(Array.length a / 2)
-    in
+    let median = Obs.Histogram.median_of_list in
     let rows =
       List.map
         (fun (id, _) ->

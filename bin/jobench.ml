@@ -6,7 +6,11 @@
      show QUERY                   SQL and bound join graph
      plan QUERY [options]         optimize and explain
      run QUERY [options]          optimize, execute, report
-     experiment ID [--scale S]    regenerate one paper table/figure *)
+     trace QUERY [--out FILE]     run with span recording, dump the trace
+     experiment ID [--scale S]    regenerate one paper table/figure
+
+   run, experiment and serve also take --trace FILE: record spans for
+   the whole command and write one trace document at the end. *)
 
 open Cmdliner
 
@@ -154,11 +158,81 @@ let plan_cmd =
       const run $ scale_arg $ seed_arg $ data_arg $ indexes_arg $ estimator_arg
       $ model_arg $ enumerator_arg $ dot_arg $ query_arg)
 
+(* Whole-command tracing (--trace FILE on run/experiment/serve): enable
+   span recording around the command body, then flush every buffer into
+   one trace document. The wall clock here brackets the entire command
+   — database generation included — so coverage is only meaningful for
+   the single-query [trace] subcommand, which starts its clock after
+   the session is built. *)
+let trace_arg =
+  let doc =
+    "Record trace spans for the whole command and write the trace \
+     document (spans, per-phase totals, metrics registry) as JSON to \
+     $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let with_trace trace f =
+  match trace with
+  | None -> f ()
+  | Some file ->
+      Obs.Trace.set_enabled true;
+      Obs.Trace.clear ();
+      let t0 = Obs.Trace.now_ns () in
+      Fun.protect ~finally:(fun () -> Obs.Trace.set_enabled false) f;
+      let wall_ms = float_of_int (Obs.Trace.now_ns () - t0) /. 1e6 in
+      let spans, dropped = Obs.Trace.flush () in
+      let oc = open_out file in
+      output_string oc (Obs.Export.trace_json ~wall_ms ~spans ~dropped ());
+      close_out oc;
+      Printf.printf "wrote trace to %s (%d spans)\n%!" file
+        (List.length spans)
+
 (* --- run --------------------------------------------------------------- *)
 
 let run_cmd =
   let run scale seed data indexes estimator model enumerator engine exec_jobs
-      name =
+      trace name =
+    let exec_jobs = resolve_exec_jobs exec_jobs in
+    if exec_jobs > 1 then Util.Domain_pool.tune_gc ();
+    let pool =
+      if exec_jobs > 1 then Some (Util.Domain_pool.create ~domains:exec_jobs)
+      else None
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        match pool with Some p -> Util.Domain_pool.shutdown p | None -> ())
+      (fun () ->
+        with_trace trace (fun () ->
+            let s = session ?data ~seed ~scale ~indexes () in
+            let q = load_query s name in
+            let choice =
+              Core.Session.optimize s ~estimator ~cost_model:model
+                ~enumerator:(parse_enumerator enumerator) q
+            in
+            let engine = parse_engine engine in
+            print_string (Core.Session.explain_analyze s ~engine ?pool q choice);
+            let result = Core.Session.run s ~engine ?pool q choice in
+            List.iter
+              (fun v ->
+                Printf.printf "  MIN = %s\n" (Storage.Value.to_string v))
+              result.Exec.Executor.mins))
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Optimize and execute a query (EXPLAIN ANALYZE)")
+    Term.(
+      const run $ scale_arg $ seed_arg $ data_arg $ indexes_arg $ estimator_arg
+      $ model_arg $ enumerator_arg $ engine_arg $ exec_jobs_arg $ trace_arg
+      $ query_arg)
+
+(* --- trace ------------------------------------------------------------- *)
+
+let trace_cmd =
+  let out_arg =
+    let doc = "Write the trace JSON to $(docv) instead of stdout." in
+    Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE" ~doc)
+  in
+  let run scale seed data indexes estimator model enumerator engine exec_jobs
+      out name =
     let exec_jobs = resolve_exec_jobs exec_jobs in
     if exec_jobs > 1 then Util.Domain_pool.tune_gc ();
     let pool =
@@ -170,22 +244,54 @@ let run_cmd =
         match pool with Some p -> Util.Domain_pool.shutdown p | None -> ())
       (fun () ->
         let s = session ?data ~seed ~scale ~indexes () in
+        (* The clock starts after the session (database + ANALYZE) is
+           built, so the traced window is exactly the query pipeline:
+           parse -> bind -> plan -> verify -> exec. Coverage — the
+           top-level phase sum over this wall time — is the acceptance
+           figure for span placement. *)
+        Obs.Trace.set_enabled true;
+        Obs.Trace.clear ();
+        let t0 = Obs.Trace.now_ns () in
         let q = load_query s name in
         let choice =
           Core.Session.optimize s ~estimator ~cost_model:model
             ~enumerator:(parse_enumerator enumerator) q
         in
-        let engine = parse_engine engine in
-        print_string (Core.Session.explain_analyze s ~engine ?pool q choice);
-        let result = Core.Session.run s ~engine ?pool q choice in
-        List.iter
-          (fun v -> Printf.printf "  MIN = %s\n" (Storage.Value.to_string v))
-          result.Exec.Executor.mins)
+        let result =
+          Core.Session.run s ~engine:(parse_engine engine) ?pool q choice
+        in
+        let wall_ms = float_of_int (Obs.Trace.now_ns () - t0) /. 1e6 in
+        Obs.Trace.set_enabled false;
+        let spans, dropped = Obs.Trace.flush () in
+        let doc =
+          Obs.Export.trace_json ~query:q.Core.Session.name ~wall_ms ~spans
+            ~dropped ()
+        in
+        (match out with
+        | Some file ->
+            let oc = open_out file in
+            output_string oc doc;
+            close_out oc;
+            Printf.printf "wrote %s\n" file
+        | None -> print_string doc);
+        let cov = Obs.Export.coverage ~wall_ms spans in
+        Printf.eprintf
+          "%s: %d rows, wall %.2f ms, %d spans, phase coverage %.1f%%\n%!"
+          q.Core.Session.name result.Exec.Executor.rows wall_ms
+          (List.length spans) (100.0 *. cov);
+        if cov < 0.95 then
+          Printf.eprintf
+            "warning: top-level phases cover < 95%% of wall time\n%!")
   in
-  Cmd.v (Cmd.info "run" ~doc:"Optimize and execute a query (EXPLAIN ANALYZE)")
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Optimize and execute a query with span recording on and dump the \
+          trace as JSON")
     Term.(
       const run $ scale_arg $ seed_arg $ data_arg $ indexes_arg $ estimator_arg
-      $ model_arg $ enumerator_arg $ engine_arg $ exec_jobs_arg $ query_arg)
+      $ model_arg $ enumerator_arg $ engine_arg $ exec_jobs_arg $ out_arg
+      $ query_arg)
 
 (* --- generate ------------------------------------------------------------ *)
 
@@ -420,7 +526,8 @@ let experiment_cmd =
     Arg.(
       value & opt float 2.0 & info [ "reopt-threshold" ] ~docv:"FACTOR" ~doc)
   in
-  let run scale seed verify stats gc_stats reopt_threshold jobs exec_jobs id =
+  let run scale seed verify stats gc_stats reopt_threshold jobs exec_jobs
+      trace id =
     (* Workers tune their GC on spawn; the caller participates in every
        parallel map, so it needs the same treatment. *)
     Util.Domain_pool.tune_gc ();
@@ -447,6 +554,7 @@ let experiment_cmd =
     Fun.protect
       ~finally:(fun () -> Experiments.Harness.shutdown h)
       (fun () ->
+        with_trace trace @@ fun () ->
         let selected =
           if String.equal id "all" then Experiments.Catalog.all
           else [ Experiments.Catalog.find_exn id ]
@@ -486,7 +594,7 @@ let experiment_cmd =
     Term.(
       const run $ scale_arg $ seed_arg $ verify_flag $ stats_flag
       $ gc_stats_flag $ reopt_threshold_arg $ jobs_arg $ exec_jobs_arg
-      $ id_arg)
+      $ trace_arg $ id_arg)
 
 (* --- serve ---------------------------------------------------------------- *)
 
@@ -551,7 +659,7 @@ let serve_cmd =
     Arg.(value & flag & info [ "stats" ] ~doc)
   in
   let run scale seed data indexes estimator model engine_name clients duration
-      theta think cache_mb inflight budget jobs exec_jobs json stats =
+      theta think cache_mb inflight budget jobs exec_jobs json stats trace =
     Util.Domain_pool.tune_gc ();
     let jobs =
       if jobs < 0 then invalid_arg "jobench serve: --jobs must be >= 0"
@@ -595,6 +703,7 @@ let serve_cmd =
         shutdown serve_pool;
         shutdown exec_pool)
       (fun () ->
+        with_trace trace @@ fun () ->
         let s = session ?data ~seed ~scale ~indexes () in
         let statements =
           Array.of_list
@@ -761,7 +870,7 @@ let serve_cmd =
       const run $ scale_arg $ seed_arg $ data_arg $ indexes_arg $ estimator_arg
       $ model_arg $ engine_arg $ clients_arg $ duration_arg $ theta_arg
       $ think_arg $ cache_mb_arg $ inflight_arg $ budget_arg $ jobs_arg
-      $ exec_jobs_arg $ json_arg $ stats_flag)
+      $ exec_jobs_arg $ json_arg $ stats_flag $ trace_arg)
 
 (* --- lint ----------------------------------------------------------------- *)
 
@@ -800,5 +909,6 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; show_cmd; plan_cmd; run_cmd; generate_cmd; stats_cmd;
-            estimate_cmd; verify_cmd; experiment_cmd; serve_cmd; lint_cmd ]))
+          [ list_cmd; show_cmd; plan_cmd; run_cmd; trace_cmd; generate_cmd;
+            stats_cmd; estimate_cmd; verify_cmd; experiment_cmd; serve_cmd;
+            lint_cmd ]))

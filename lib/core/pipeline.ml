@@ -25,6 +25,31 @@ type stats = {
   bind_misses : int;
 }
 
+(* Trace phases for the planning pipeline. Spans record inside the memo
+   cells, so a cache hit emits nothing — the trace shows where compute
+   actually happened, and "bind"/"plan"/"verify" never overlap ("parse"
+   nests inside "bind", see Sqlfront.Binder). *)
+let ph_bind = Obs.Trace.intern "bind"
+let ph_plan = Obs.Trace.intern "plan"
+let ph_verify = Obs.Trace.intern "verify"
+
+(* Process-wide mirrors of the per-pipeline counters below, living in
+   the Obs.Metrics registry. A process can run several pipelines (the
+   bench harness builds serial/parallel twins), so the registry rows
+   aggregate across all of them while [stats] stays per instance. *)
+let m_plan_hits = Obs.Metrics.counter "core.pipeline.plan_hits"
+let m_plan_misses = Obs.Metrics.counter "core.pipeline.plan_misses"
+let m_plans_enumerated = Obs.Metrics.counter "core.pipeline.plans_enumerated"
+let m_estimators_built = Obs.Metrics.counter "core.pipeline.estimators_built"
+let m_estimators_reused = Obs.Metrics.counter "core.pipeline.estimators_reused"
+let m_estimator_probes = Obs.Metrics.counter "core.pipeline.estimator_probes"
+let m_bind_hits = Obs.Metrics.counter "core.pipeline.bind_hits"
+let m_bind_misses = Obs.Metrics.counter "core.pipeline.bind_misses"
+
+let bump cell mirror =
+  Atomic.incr cell;
+  Obs.Metrics.Counter.incr mirror
+
 (* Live counters are atomics so [--stats] stays truthful when several
    domains plan and probe concurrently; {!stats} takes a snapshot. *)
 type counters = {
@@ -134,16 +159,21 @@ let find_or_add_cell table key make =
 let bind t ~name text =
   let cell, fresh =
     find_or_add_cell t.binds (name, text) (fun () ->
+        let t0 = Obs.Trace.start () in
         let bound = Sqlfront.Binder.bind_sql t.db ~name text in
-        {
-          name;
-          sql = text;
-          graph = bound.Sqlfront.Binder.graph;
-          projections = bound.Sqlfront.Binder.projections;
-        })
+        let q =
+          {
+            name;
+            sql = text;
+            graph = bound.Sqlfront.Binder.graph;
+            projections = bound.Sqlfront.Binder.projections;
+          }
+        in
+        Obs.Trace.span ph_bind ~t0 ~a:0 ~b:0;
+        q)
   in
-  if fresh then Atomic.incr t.counters.c_bind_misses
-  else Atomic.incr t.counters.c_bind_hits;
+  if fresh then bump t.counters.c_bind_misses m_bind_misses
+  else bump t.counters.c_bind_hits m_bind_hits;
   Util.Once.force cell
 
 (* ------------------------------------------------------------------ *)
@@ -203,12 +233,12 @@ let estimator t q system =
           Cardest.Estimator.base = locked est.Cardest.Estimator.base;
           subset =
             (fun s ->
-              Atomic.incr t.counters.c_estimator_probes;
+              bump t.counters.c_estimator_probes m_estimator_probes;
               locked est.Cardest.Estimator.subset s);
         })
   in
-  if fresh then Atomic.incr t.counters.c_estimators_built
-  else Atomic.incr t.counters.c_estimators_reused;
+  if fresh then bump t.counters.c_estimators_built m_estimators_built
+  else bump t.counters.c_estimators_reused m_estimators_reused;
   Util.Once.force cell
 
 (* ------------------------------------------------------------------ *)
@@ -276,6 +306,7 @@ let plan_with t q ~est ~model ?(enumerator = Registry.Exhaustive_dp)
   in
   let cell, fresh =
     find_or_add_cell t.plans key (fun () ->
+        let t0 = Obs.Trace.start () in
         let search =
           Planner.Search.create ~allow_nl ~allow_hash ~shape ~model
             ~graph:q.graph ~db:t.db ~card:est.Cardest.Estimator.subset ()
@@ -288,14 +319,17 @@ let plan_with t q ~est ~model ?(enumerator = Registry.Exhaustive_dp)
           | Registry.Greedy_operator_ordering -> Planner.Goo.optimize search
           | Registry.Simpli_squared -> Planner.Simpli.optimize search
         in
-        Atomic.incr t.counters.c_plans_enumerated;
+        bump t.counters.c_plans_enumerated m_plans_enumerated;
+        Obs.Trace.span ph_plan ~t0 ~a:0 ~b:0;
         (* Every plan an enumerator emits is statically sanitized before
            it can reach the cache, an executor, or a figure. *)
+        let tv = Obs.Trace.start () in
         Verify.ensure_plan ~shape ~what:q.name q.graph (fst entry);
+        Obs.Trace.span ph_verify ~t0:tv ~a:0 ~b:0;
         entry)
   in
-  if fresh then Atomic.incr t.counters.c_plan_misses
-  else Atomic.incr t.counters.c_plan_hits;
+  if fresh then bump t.counters.c_plan_misses m_plan_misses
+  else bump t.counters.c_plan_hits m_plan_hits;
   Util.Once.force cell
 
 let estimator_by_name = estimator

@@ -13,6 +13,9 @@
          Util.Domain_pool's and Exec.Morsel's implementations
      R7  serving-session bookkeeping (session/conn/admission/inflight/
          lru-named state) confined to lib/serve and Exec.Join_cache
+     R8  observability state (metric/span/trace/telemetry-named state)
+         confined to lib/obs; registering cells through the Obs API is
+         sanctioned
 
    Findings report through {!Verify.Violation}, so `jobench lint` can
    print source findings and workload-graph findings in one format.
@@ -100,6 +103,7 @@ let scan ?(allow = []) paths =
   let r5 = per_rule "R5-domain-spawn" (Rules.check_r5 ~allow) in
   let r6 = per_rule "R6-scheduler-state" (Rules.check_r6 ~allow) in
   let r7 = per_rule "R7-serving-state" (Rules.check_r7 ~allow ~mutable_fields) in
+  let r8 = per_rule "R8-observability-state" (Rules.check_r8 ~allow ~mutable_fields) in
   let hygiene = per_rule "annotation" (fun f -> Rules.check_annotations f) in
   (* Allowlist entries that matched nothing are stale: report them so
      the committed list can only shrink as the tree gets cleaned. *)
@@ -123,7 +127,7 @@ let scan ?(allow = []) paths =
       violations = stale;
     }
   in
-  let stats_and_results = [ r1; r2; r3; r4; r5; r6; r7; hygiene ] in
+  let stats_and_results = [ r1; r2; r3; r4; r5; r6; r7; r8; hygiene ] in
   let stats =
     List.map fst stats_and_results
     @ [

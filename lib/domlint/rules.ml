@@ -29,7 +29,14 @@
        join-build recycling cache in lib/exec/join_cache.ml. Even
        individually synchronized state counts: the point is confinement
        — one layer owns admission and eviction, so its invariants can
-       be audited in one place. *)
+       be audited in one place.
+   R8  observability state (toplevel bindings or mutable record fields
+       whose names speak the telemetry vocabulary — metric, span,
+       trace, telemetry) is confined to lib/obs/. Bindings that
+       register cells through the Obs API are sanctioned: the state
+       they name already lives in the obs registry. Same rationale as
+       R7 — one layer owns buffers and cells, so the flush/reset
+       discipline can be audited in one place. *)
 
 module Violation = Verify.Violation
 
@@ -521,6 +528,120 @@ let check_r7 ~allow ~mutable_fields (file : Source.t) =
             end)
       (toplevel_bindings file.Source.ast);
     resolve ~allow ~file ~rule:"R7" ~pass:r7_pass ~checks:(max 1 !checks)
+      (List.rev !findings)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* R8: observability-state confinement                                 *)
+
+let r8_pass = "domlint/R8-observability-state"
+
+(* Telemetry vocabulary. "histogram" is deliberately absent — it names
+   a statistics-domain concept (lib/dbstats/histogram.ml), not just
+   telemetry plumbing. *)
+let r8_vocab = [ "metric"; "span"; "trace"; "telemetry" ]
+
+let r8_obs_name s =
+  let s = String.lowercase_ascii s in
+  List.exists (contains_sub s) r8_vocab
+
+(* The owning layer: span buffers and metric cells live in lib/obs/. *)
+let r8_confined (file : Source.t) = contains_sub file.Source.rel "lib/obs/"
+
+(* A right-hand side that goes through the obs API
+   ([Obs.Metrics.counter], [Obs.Trace.intern], ...) is sanctioned: the
+   state such a binding names lives inside lib/obs's registry, which
+   is exactly the confinement the rule enforces. *)
+let r8_sanctioned txt =
+  List.exists (mentions_module txt) [ "Obs"; "Metrics"; "Trace" ]
+
+let check_r8 ~allow ~mutable_fields (file : Source.t) =
+  if r8_confined file then { checks = 1; kept = []; suppressed = 0 }
+  else begin
+    let checks = ref 0 in
+    let findings = ref [] in
+    let add ~line ~bind_line ~symbol msg =
+      findings := { line; bind_line; symbol; msg } :: !findings
+    in
+    let hint =
+      "observability state (span buffers, metric cells) is confined to \
+       lib/obs/; register cells through Obs.Metrics / Obs.Trace instead"
+    in
+    let scan_binding ~bind_line ~symbol (rhs : Parsetree.expression) =
+      let named = r8_obs_name symbol in
+      (* Same traversal discipline as R1/R7: skip function bodies
+         (per-call state is local), flag state created at module
+         init. *)
+      let rec walk (e : Parsetree.expression) =
+        let line = Source.line_of e.pexp_loc in
+        match e.pexp_desc with
+        | Pexp_fun _ | Pexp_function _ | Pexp_newtype _ -> ()
+        | Pexp_array _ when named ->
+            add ~line ~bind_line ~symbol
+              (Printf.sprintf
+                 "toplevel binding '%s' holds observability state (bare \
+                  array): %s"
+                 symbol hint)
+        | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) ->
+            if r8_sanctioned txt then ()
+            else begin
+              let stateful =
+                match split_qualified txt with
+                | Some (md, fn) ->
+                    List.mem md safe_wrapper_modules
+                    || List.exists
+                         (fun (m, fns) -> String.equal m md && List.mem fn fns)
+                         mutable_constructors
+                | None -> flatten txt = [ "ref" ]
+              in
+              if named && stateful then
+                add ~line ~bind_line ~symbol
+                  (Printf.sprintf
+                     "toplevel binding '%s' holds observability state (%s): %s"
+                     symbol
+                     (String.concat "." (flatten txt))
+                     hint)
+              else List.iter (fun (_, a) -> walk a) args
+            end
+        | Pexp_record (fields, base) ->
+            List.iter
+              (fun (({ txt; _ } : Longident.t Location.loc), value) ->
+                (match List.rev (flatten txt) with
+                | fname :: _
+                  when Hashtbl.mem mutable_fields fname
+                       && (named || r8_obs_name fname) ->
+                    add ~line ~bind_line ~symbol
+                      (Printf.sprintf
+                         "toplevel binding '%s' builds observability state \
+                          (mutable field '%s'): %s"
+                         symbol fname hint)
+                | _ -> ());
+                walk value)
+              fields;
+            Option.iter walk base
+        | _ ->
+            let it =
+              {
+                Ast_iterator.default_iterator with
+                expr = (fun _ child -> walk child);
+              }
+            in
+            Ast_iterator.default_iterator.expr it e
+      in
+      walk rhs
+    in
+    List.iter
+      (fun (vb : Parsetree.value_binding) ->
+        match binding_name vb with
+        | None -> ()
+        | Some symbol ->
+            if not (is_function_body vb.pvb_expr) then begin
+              incr checks;
+              scan_binding ~bind_line:(Source.line_of vb.pvb_loc) ~symbol
+                vb.pvb_expr
+            end)
+      (toplevel_bindings file.Source.ast);
+    resolve ~allow ~file ~rule:"R8" ~pass:r8_pass ~checks:(max 1 !checks)
       (List.rev !findings)
   end
 

@@ -41,6 +41,25 @@ let null_key = -1
 (* Placeholder filling reader arrays before the per-edge closures land. *)
 let no_reader : int -> int = fun _ -> null
 
+(* Interned trace phases, resolved once at module init. With tracing
+   disabled the per-node cost is one atomic load (Obs.Trace.start
+   returning the 0 sentinel) plus an integer compare — the executor's
+   hot path carries the instrumentation permanently. *)
+let ph_exec = Obs.Trace.intern "exec"
+let ph_scan = Obs.Trace.intern "exec.scan"
+let ph_hash_join = Obs.Trace.intern "exec.hash_join"
+let ph_merge_join = Obs.Trace.intern "exec.merge_join"
+let ph_nl_join = Obs.Trace.intern "exec.nl_join"
+let ph_index_nl_join = Obs.Trace.intern "exec.index_nl_join"
+
+let phase_of (p : Plan.t) =
+  match p.Plan.op with
+  | Plan.Scan _ -> ph_scan
+  | Plan.Join { algo = Plan.Hash_join; _ } -> ph_hash_join
+  | Plan.Join { algo = Plan.Merge_join; _ } -> ph_merge_join
+  | Plan.Join { algo = Plan.Nl_join; _ } -> ph_nl_join
+  | Plan.Join { algo = Plan.Index_nl_join; _ } -> ph_index_nl_join
+
 (* Per-slot scratch for morsel-parallel phases. A slot is owned by at
    most one running worker at a time ({!Util.Domain_pool.run_workers}'s
    contract), so nothing here is locked. [wbuf] stages each claimed
@@ -601,7 +620,13 @@ let run ~db ~graph ~config ~size_est ?observe ?pool ?cache ?(projections = [])
   in
 
   let rec eval (p : Plan.t) : batch =
-    checkpoint p.Plan.set (eval_op p)
+    let t0 = Obs.Trace.start () in
+    let b = eval_op p in
+    (* Nested per-operator span: a join's interval includes its
+       children's (the trace renders the tree); [a] is the node's exact
+       cardinality, [b] the cumulative work when it materialized. *)
+    Obs.Trace.span (phase_of p) ~t0 ~a:b.nrows ~b:!work;
+    checkpoint p.Plan.set b
 
   and eval_op (p : Plan.t) : batch =
     match p.Plan.op with
@@ -852,12 +877,20 @@ let run ~db ~graph ~config ~size_est ?observe ?pool ?cache ?(projections = [])
       mins;
     }
   in
-  try finish (eval plan)
-  with Timeout ->
-    {
-      rows = 0;
-      work = limit;
-      runtime_ms = float_of_int limit /. Engine_config.work_units_per_ms;
-      timed_out = true;
-      mins = [];
-    }
+  let t_exec = Obs.Trace.start () in
+  match finish (eval plan) with
+  | r ->
+      Obs.Trace.span ph_exec ~t0:t_exec ~a:r.rows ~b:r.work;
+      r
+  | exception Timeout ->
+      let r =
+        {
+          rows = 0;
+          work = limit;
+          runtime_ms = float_of_int limit /. Engine_config.work_units_per_ms;
+          timed_out = true;
+          mins = [];
+        }
+      in
+      Obs.Trace.span ph_exec ~t0:t_exec ~a:0 ~b:limit;
+      r

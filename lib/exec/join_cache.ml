@@ -71,6 +71,15 @@ type t = {
   mutable reg_bytes : int;
 }
 
+(* Process-wide totals mirrored into the Obs.Metrics registry. The
+   per-instance [c_*] cells stay authoritative for per-run reports
+   (BENCH_serve.json deltas are per cache); the registry rows aggregate
+   across every cache the process ever created. *)
+let m_hits = Obs.Metrics.counter "exec.join_cache.hits"
+let m_misses = Obs.Metrics.counter "exec.join_cache.misses"
+let m_installs = Obs.Metrics.counter "exec.join_cache.installs"
+let m_evictions = Obs.Metrics.counter "exec.join_cache.evictions"
+
 let default_budget_bytes = 64 * 1024 * 1024
 
 let create ?(shards = 16) ?(budget_bytes = default_budget_bytes) () =
@@ -136,10 +145,12 @@ let find t key =
   match Util.Shard_map.find_opt t.map key with
   | Some e ->
       Atomic.incr t.c_hits;
+      Obs.Metrics.Counter.incr m_hits;
       Atomic.set e.e_tick (tick t);
       Some e
   | None ->
       Atomic.incr t.c_misses;
+      Obs.Metrics.Counter.incr m_misses;
       None
 
 (* Under [reg_lock]: drop smallest-tick entries until within budget.
@@ -162,7 +173,8 @@ let evict_to_budget t =
         ignore (Util.Shard_map.remove t.map vk);
         t.registry <- List.filter (fun (k, _) -> k != vk) t.registry;
         t.reg_bytes <- t.reg_bytes - ve.e_bytes;
-        Atomic.incr t.c_evictions
+        Atomic.incr t.c_evictions;
+        Obs.Metrics.Counter.incr m_evictions
   done
 
 let entry_overhead_bytes = 160 (* record + key, order of magnitude *)
@@ -186,6 +198,7 @@ let install t key ~rows ~nrows ~table ~scan_work ~build_work ~seal_work =
   let _, created = Util.Shard_map.find_or_add t.map key (fun () -> entry) in
   if created then begin
     Atomic.incr t.c_installs;
+    Obs.Metrics.Counter.incr m_installs;
     Mutex.lock t.reg_lock;
     t.registry <- (key, entry) :: t.registry;
     t.reg_bytes <- t.reg_bytes + bytes;

@@ -135,16 +135,11 @@ let append t ~hash ~payload =
   t.payloads.(i) <- payload
 
 (* Final load-factor telemetry across sealed tables, surfaced by
-   [--gc-stats]. Monotone counters, not work distribution — allowlisted
-   under domlint R6 (see lint/allowlist.ml). *)
-let lf_tables = Atomic.make 0
-let lf_entries = Atomic.make 0
-let lf_buckets = Atomic.make 0
-let lf_max_permille = Atomic.make 0
-
-let rec note_max a v =
-  let cur = Atomic.get a in
-  if v > cur && not (Atomic.compare_and_set a cur v) then note_max a v
+   [--gc-stats] and the Obs.Metrics registry (which owns the cells). *)
+let lf_tables = Obs.Metrics.counter "exec.join_table.tables"
+let lf_entries = Obs.Metrics.counter "exec.join_table.entries"
+let lf_buckets = Obs.Metrics.counter "exec.join_table.buckets"
+let lf_max_permille = Obs.Metrics.gauge "exec.join_table.max_load_permille"
 
 type load_stats = {
   ls_tables : int;
@@ -155,23 +150,23 @@ type load_stats = {
 }
 
 let load_stats () =
-  let tables = Atomic.get lf_tables in
-  let entries = Atomic.get lf_entries in
-  let buckets = Atomic.get lf_buckets in
+  let tables = Obs.Metrics.Counter.value lf_tables in
+  let entries = Obs.Metrics.Counter.value lf_entries in
+  let buckets = Obs.Metrics.Counter.value lf_buckets in
   {
     ls_tables = tables;
     ls_entries = entries;
     ls_buckets = buckets;
     ls_mean_load =
       (if buckets = 0 then 0.0 else float_of_int entries /. float_of_int buckets);
-    ls_max_load = float_of_int (Atomic.get lf_max_permille) /. 1000.0;
+    ls_max_load = Obs.Metrics.Gauge.value lf_max_permille /. 1000.0;
   }
 
 let reset_load_stats () =
-  Atomic.set lf_tables 0;
-  Atomic.set lf_entries 0;
-  Atomic.set lf_buckets 0;
-  Atomic.set lf_max_permille 0
+  Obs.Metrics.Counter.reset lf_tables;
+  Obs.Metrics.Counter.reset lf_entries;
+  Obs.Metrics.Counter.reset lf_buckets;
+  Obs.Metrics.Gauge.reset lf_max_permille
 
 let seal t =
   let work = ref 0 in
@@ -193,10 +188,11 @@ let seal t =
     t.next.(i) <- t.buckets.(b);
     t.buckets.(b) <- i
   done;
-  ignore (Atomic.fetch_and_add lf_tables 1);
-  ignore (Atomic.fetch_and_add lf_entries t.count);
-  ignore (Atomic.fetch_and_add lf_buckets (Array.length t.buckets));
-  note_max lf_max_permille (1000 * t.count / Array.length t.buckets);
+  Obs.Metrics.Counter.incr lf_tables;
+  Obs.Metrics.Counter.add lf_entries t.count;
+  Obs.Metrics.Counter.add lf_buckets (Array.length t.buckets);
+  Obs.Metrics.Gauge.set_max lf_max_permille
+    (float_of_int (1000 * t.count / Array.length t.buckets));
   !work
 
 let probe t ~hash ~f =

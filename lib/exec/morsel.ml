@@ -38,12 +38,14 @@ let reset (a : acc) = Atomic.set a 0
 (* ------------------------------------------------------------------ *)
 (* Scheduler telemetry. Process-global and monotone between resets;
    counters are observability only — never part of query results, which
-   stay byte-identical at any worker count. *)
+   stay byte-identical at any worker count. The cells live in the
+   Obs.Metrics registry (the process-wide telemetry home, domlint R8);
+   this module holds the handles and the derived [stats] view. *)
 
-let phases = Atomic.make 0
-let dispatched = Atomic.make 0
-let stolen = Atomic.make 0
-let skew_permille = Atomic.make 0
+let phases = Obs.Metrics.counter "exec.morsel.phases"
+let dispatched = Obs.Metrics.counter "exec.morsel.dispatched"
+let stolen = Obs.Metrics.counter "exec.morsel.stolen"
+let skew_permille = Obs.Metrics.counter "exec.morsel.skew_permille"
 
 (* [note_phase claims] records one finished parallel phase from the
    per-slot claim counts. "Stolen" counts morsels that ran off the
@@ -53,12 +55,11 @@ let note_phase claims =
   let nslots = Array.length claims in
   let total = Array.fold_left ( + ) 0 claims in
   if total > 0 && nslots > 0 then begin
-    Atomic.incr phases;
-    ignore (Atomic.fetch_and_add dispatched total);
-    ignore (Atomic.fetch_and_add stolen (total - claims.(0)));
+    Obs.Metrics.Counter.incr phases;
+    Obs.Metrics.Counter.add dispatched total;
+    Obs.Metrics.Counter.add stolen (total - claims.(0));
     let busiest = Array.fold_left max 0 claims in
-    ignore
-      (Atomic.fetch_and_add skew_permille (1000 * busiest * nslots / total))
+    Obs.Metrics.Counter.add skew_permille (1000 * busiest * nslots / total)
   end
 
 type stats = {
@@ -69,18 +70,20 @@ type stats = {
 }
 
 let stats () =
-  let p = Atomic.get phases in
+  let p = Obs.Metrics.Counter.value phases in
   {
     st_phases = p;
-    st_dispatched = Atomic.get dispatched;
-    st_stolen = Atomic.get stolen;
+    st_dispatched = Obs.Metrics.Counter.value dispatched;
+    st_stolen = Obs.Metrics.Counter.value stolen;
     st_skew =
       (if p = 0 then 1.0
-       else float_of_int (Atomic.get skew_permille) /. (1000.0 *. float_of_int p));
+       else
+         float_of_int (Obs.Metrics.Counter.value skew_permille)
+         /. (1000.0 *. float_of_int p));
   }
 
 let reset_stats () =
-  Atomic.set phases 0;
-  Atomic.set dispatched 0;
-  Atomic.set stolen 0;
-  Atomic.set skew_permille 0
+  Obs.Metrics.Counter.reset phases;
+  Obs.Metrics.Counter.reset dispatched;
+  Obs.Metrics.Counter.reset stolen;
+  Obs.Metrics.Counter.reset skew_permille

@@ -1,0 +1,34 @@
+(** JSON rendering for trace and metrics dumps — the schema behind
+    [jobench trace], [--trace FILE], and the CI trace smoke check. *)
+
+type phase_total = {
+  pt_phase : string;
+  pt_spans : int;
+  pt_total_ms : float;
+}
+
+val phase_totals : Trace.sp list -> phase_total list
+(** Per-phase span count and summed duration, sorted by phase name. *)
+
+val top_level_phases : string list
+(** The non-overlapping pipeline phases ("bind", "plan", "verify",
+    "exec") whose durations partition a query's wall time; nested
+    spans (parse inside bind, per-operator inside exec) are excluded
+    from coverage sums. *)
+
+val coverage : wall_ms:float -> Trace.sp list -> float
+(** Summed {!top_level_phases} duration over [wall_ms]; 0 when wall is
+    not positive. *)
+
+val metrics_json : Buffer.t -> (string * Metrics.value) list -> unit
+(** Append the metrics dump as one JSON object. *)
+
+val trace_json :
+  ?query:string ->
+  wall_ms:float ->
+  spans:Trace.sp list ->
+  dropped:int ->
+  unit ->
+  string
+(** The full trace document: wall time, per-phase totals, coverage,
+    every span, and the current metrics registry dump. *)

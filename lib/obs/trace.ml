@@ -1,0 +1,189 @@
+(* Span recording over per-domain ring buffers.
+
+   Each domain that records gets its own buffer through Domain.DLS, so
+   the record path touches no shared cache line except the enabled
+   flag. The buffer's mutex is uncontended on that path — it only ever
+   conflicts with a flush from another domain — and OCaml's Mutex is a
+   futex-style fast path when free, keeping the enabled cost to a
+   clock read, a lock/unlock pair, and six int stores. The disabled
+   cost is the part that matters for golden timings: one atomic load
+   in [start] and one integer compare in [span]. *)
+
+let enabled_flag = Atomic.make false
+let set_enabled on = Atomic.set enabled_flag on
+let enabled () = Atomic.get enabled_flag
+
+(* ------------------------------------------------------------------ *)
+(* Phase interning                                                     *)
+
+let intern_lock = Mutex.create ()
+
+(* domlint: safe R1 — phase-name intern table, guarded by [intern_lock] *)
+let intern_tbl : (string, int) Hashtbl.t = Hashtbl.create 32
+
+(* domlint: safe R1 — id -> name, guarded by [intern_lock]; reads copy *)
+let intern_names : string array ref = ref [||]
+
+let intern name =
+  Mutex.lock intern_lock;
+  let id =
+    match Hashtbl.find_opt intern_tbl name with
+    | Some id -> id
+    | None ->
+        let id = Array.length !intern_names in
+        Hashtbl.add intern_tbl name id;
+        let grown = Array.make (id + 1) name in
+        Array.blit !intern_names 0 grown 0 id;
+        intern_names := grown;
+        id
+  in
+  Mutex.unlock intern_lock;
+  id
+
+let phase_name id =
+  Mutex.lock intern_lock;
+  let names = !intern_names in
+  Mutex.unlock intern_lock;
+  if id >= 0 && id < Array.length names then names.(id) else "?"
+
+(* ------------------------------------------------------------------ *)
+(* Clock                                                               *)
+
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+(* ------------------------------------------------------------------ *)
+(* Per-domain ring buffers                                             *)
+
+let stride = 6 (* phase, start_ns, end_ns, a, b, seq *)
+let capacity = 1 lsl 15 (* spans per domain before overwrite *)
+
+type buf = {
+  m : Mutex.t;
+  slots : int array;
+  mutable wr : int;  (* next write position, in spans *)
+  mutable count : int;  (* live spans, <= capacity *)
+  mutable dropped : int;  (* overwritten since last flush *)
+  mutable last_ns : int;  (* monotonic clamp *)
+  mutable seq : int;
+  id : int;  (* registration order = the reported domain id *)
+}
+
+let bufs_lock = Mutex.create ()
+
+(* domlint: safe R1 — registry of every domain's buffer so [flush] can
+   drain them all; guarded by [bufs_lock] *)
+let bufs : buf list ref = ref []
+
+let register_buf () =
+  Mutex.lock bufs_lock;
+  let b =
+    {
+      m = Mutex.create ();
+      slots = Array.make (capacity * stride) 0;
+      wr = 0;
+      count = 0;
+      dropped = 0;
+      last_ns = 0;
+      seq = 0;
+      id = List.length !bufs;
+    }
+  in
+  bufs := b :: !bufs;
+  Mutex.unlock bufs_lock;
+  b
+
+let buf_key = Domain.DLS.new_key register_buf
+
+let record phase t0 t1 a b =
+  let buf = Domain.DLS.get buf_key in
+  Mutex.lock buf.m;
+  (* Spans nest — a parent records after its children, with an earlier
+     start — so the monotonic clamp applies to span ends only. A
+     backwards clock step surfaces as a shortened span, never as
+     end < start or a regressing end stream. *)
+  let t1 = if t1 < buf.last_ns then buf.last_ns else t1 in
+  let t0 = if t0 > t1 then t1 else t0 in
+  buf.last_ns <- t1;
+  let base = buf.wr * stride in
+  buf.slots.(base) <- phase;
+  buf.slots.(base + 1) <- t0;
+  buf.slots.(base + 2) <- t1;
+  buf.slots.(base + 3) <- a;
+  buf.slots.(base + 4) <- b;
+  buf.slots.(base + 5) <- buf.seq;
+  buf.seq <- buf.seq + 1;
+  buf.wr <- (buf.wr + 1) mod capacity;
+  if buf.count < capacity then buf.count <- buf.count + 1
+  else buf.dropped <- buf.dropped + 1;
+  Mutex.unlock buf.m
+
+let start () = if Atomic.get enabled_flag then now_ns () else 0
+
+let span phase ~t0 ~a ~b = if t0 <> 0 then record phase t0 (now_ns ()) a b
+
+let event phase ~a ~b =
+  if Atomic.get enabled_flag then begin
+    let t = now_ns () in
+    record phase t t a b
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Flush                                                               *)
+
+type sp = {
+  sp_phase : string;
+  sp_domain : int;
+  sp_seq : int;
+  sp_start_ns : int;
+  sp_dur_ns : int;
+  sp_a : int;
+  sp_b : int;
+}
+
+let drain_buf buf =
+  Mutex.lock buf.m;
+  let n = buf.count in
+  (* Oldest live span first: when the ring wrapped, [wr] points at it. *)
+  let first = if n < capacity then 0 else buf.wr in
+  let out =
+    List.init n (fun i ->
+        let base = (first + i) mod capacity * stride in
+        {
+          sp_phase = phase_name buf.slots.(base);
+          sp_domain = buf.id;
+          sp_seq = buf.slots.(base + 5);
+          sp_start_ns = buf.slots.(base + 1);
+          sp_dur_ns = buf.slots.(base + 2) - buf.slots.(base + 1);
+          sp_a = buf.slots.(base + 3);
+          sp_b = buf.slots.(base + 4);
+        })
+  in
+  let dropped = buf.dropped in
+  buf.wr <- 0;
+  buf.count <- 0;
+  buf.dropped <- 0;
+  Mutex.unlock buf.m;
+  (out, dropped)
+
+let all_bufs () =
+  Mutex.lock bufs_lock;
+  let l = !bufs in
+  Mutex.unlock bufs_lock;
+  l
+
+let flush () =
+  let drained = List.map drain_buf (all_bufs ()) in
+  let dropped = List.fold_left (fun acc (_, d) -> acc + d) 0 drained in
+  let spans =
+    List.concat_map fst drained
+    |> List.sort (fun x y ->
+           match compare x.sp_start_ns y.sp_start_ns with
+           | 0 -> (
+               match compare x.sp_domain y.sp_domain with
+               | 0 -> compare x.sp_seq y.sp_seq
+               | c -> c)
+           | c -> c)
+  in
+  (spans, dropped)
+
+let clear () = ignore (flush ())

@@ -1,0 +1,70 @@
+(** Domain-safe, allocation-light span recording.
+
+    A span is six ints — interned phase id, start/end timestamps, two
+    payload words, and a per-domain sequence number — written into a
+    per-domain ring buffer (no cross-domain contention on the record
+    path, no allocation). {!flush} drains every domain's buffer and
+    merges the spans into one deterministic order: ascending start
+    time, with (domain id, sequence) as the tie-break, so the same set
+    of recorded spans always renders the same trace.
+
+    Recording is off by default. The disabled path is two reads: a
+    {!start} is one atomic load returning the 0 sentinel, and the
+    {!span} that receives 0 returns on an integer compare — no clock
+    read, no lock, no allocation — which is why instrumentation can
+    stay compiled into the executor's hot path (the bench obs gate
+    measures this; see DESIGN §2j).
+
+    Timestamps come from the wall clock; span ends are clamped per
+    buffer to be non-decreasing, so each domain's end stream is
+    monotonic even across clock adjustments. Starts are not clamped —
+    spans nest, and a parent records after its children with an
+    earlier start. *)
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+val intern : string -> int
+(** The id for a phase name, registering it on first use. Ids are
+    small ints, stable for the life of the process; intern once at
+    module init and pass the int on the hot path. *)
+
+val phase_name : int -> string
+(** Inverse of {!intern}; ["?"] for unknown ids. *)
+
+val now_ns : unit -> int
+(** The raw clock (nanoseconds). Exposed for wall-time measurement
+    next to a trace; span recording applies its own per-buffer
+    monotonic clamp on top. *)
+
+val start : unit -> int
+(** The timestamp beginning a span, or 0 when recording is disabled —
+    the sentinel {!span} uses to skip all work. *)
+
+val span : int -> t0:int -> a:int -> b:int -> unit
+(** [span phase ~t0 ~a ~b] records [t0 .. now] on the calling domain's
+    buffer. No-op when [t0 = 0] (recording was disabled at {!start}).
+    [a] and [b] are free payload words (rows and work units, for
+    executor spans). *)
+
+val event : int -> a:int -> b:int -> unit
+(** An instant (zero-duration) span at the current time; no-op when
+    recording is disabled. *)
+
+type sp = {
+  sp_phase : string;
+  sp_domain : int;  (** registration order of the recording buffer *)
+  sp_seq : int;  (** per-domain recording order *)
+  sp_start_ns : int;
+  sp_dur_ns : int;
+  sp_a : int;
+  sp_b : int;
+}
+
+val flush : unit -> sp list * int
+(** Drain every buffer: the merged spans in deterministic order, plus
+    the count of spans dropped to ring-buffer overwrite since the last
+    flush. Each recorded span is returned by exactly one flush. *)
+
+val clear : unit -> unit
+(** Discard all buffered spans and the dropped count. *)

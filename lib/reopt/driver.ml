@@ -27,6 +27,13 @@ type outcome = {
 
 exception Replan of Bitset.t
 
+(* Instant trace events: one per executor checkpoint the driver
+   observes (a = exact rows, b = cumulative work) and one per tripped
+   re-plan (a = replan ordinal, b = work wasted on the abandoned
+   attempt). Disabled tracing costs one atomic load per event. *)
+let ph_checkpoint = Obs.Trace.intern "reopt.checkpoint"
+let ph_replan = Obs.Trace.intern "reopt.replan"
+
 (* Checkpoints fire in evaluation post-order, one per materialized node
    — every node except an Index_nl_join's inner scan (never materialized
    on its own). *)
@@ -90,6 +97,7 @@ let run ~db ~graph ~config ~model ~(estimator : Cardest.Estimator.t)
         !fragments
     in
     let observe set ~rows ~work =
+      Obs.Trace.event ph_checkpoint ~a:rows ~b:work;
       Feedback.record fb set ~rows;
       (match List.assoc_opt set frag_checkpoints with
       | Some k -> reused := !reused + work - List.nth !works (k - 1)
@@ -134,6 +142,7 @@ let run ~db ~graph ~config ~model ~(estimator : Cardest.Estimator.t)
         (result, plan, !reused)
     | exception Replan set ->
         incr replans;
+        Obs.Trace.event ph_replan ~a:!replans ~b:!wasted;
         let fragment =
           match subtree_with_set plan set with
           | Some p -> p

@@ -13,6 +13,11 @@ type t = {
   mutable waits : int;  (* acquires that had to block *)
 }
 
+(* Process-wide mirrors in the Obs.Metrics registry; the per-gate
+   fields above stay authoritative for per-run reports. *)
+let m_waits = Obs.Metrics.counter "serve.admission.waits"
+let m_peak = Obs.Metrics.gauge "serve.admission.peak"
+
 let create ~limit =
   if limit < 1 then invalid_arg "Admission.create: limit must be >= 1";
   {
@@ -28,12 +33,16 @@ let acquire t =
   Mutex.lock t.m;
   if t.inflight >= t.limit then begin
     t.waits <- t.waits + 1;
+    Obs.Metrics.Counter.incr m_waits;
     while t.inflight >= t.limit do
       Condition.wait t.freed t.m
     done
   end;
   t.inflight <- t.inflight + 1;
-  if t.inflight > t.peak then t.peak <- t.inflight;
+  if t.inflight > t.peak then begin
+    t.peak <- t.inflight;
+    Obs.Metrics.Gauge.set_max m_peak (float_of_int t.inflight)
+  end;
   Mutex.unlock t.m
 
 let release t =

@@ -56,6 +56,13 @@ type catalog_entry = {
   ce_choice : Core.Session.plan_choice;
 }
 
+(* Per-request observability: a trace span covering admission wait plus
+   execution (a = catalog index, b = simulated work), and a registered
+   latency histogram in microseconds. Neither affects replies — only
+   measured wall time was ever scheduling-dependent. *)
+let ph_request = Obs.Trace.intern "serve.request"
+let request_us = Obs.Metrics.histogram "serve.request_us"
+
 let prepare pipe ?estimator ?cost_model statements =
   Array.map
     (fun (name, sql) ->
@@ -94,6 +101,7 @@ let run pipe (catalog : catalog_entry array) (traffic : Traffic.t) cfg =
       if r.Traffic.r_think_ms > 0.0 then
         Unix.sleepf (r.Traffic.r_think_ms /. 1000.0);
       let t0 = Unix.gettimeofday () in
+      let ts = Obs.Trace.start () in
       Admission.acquire adm;
       let entry = catalog.(r.Traffic.r_query) in
       let res =
@@ -101,7 +109,11 @@ let run pipe (catalog : catalog_entry array) (traffic : Traffic.t) cfg =
           ?cache:cfg.cache entry.ce_query entry.ce_choice
       in
       Admission.release adm;
+      Obs.Trace.span ph_request ~t0:ts ~a:r.Traffic.r_query
+        ~b:res.Exec.Executor.work;
       let t1 = Unix.gettimeofday () in
+      Obs.Metrics.Hist.observe request_us
+        (int_of_float ((t1 -. t0) *. 1e6));
       out.(!k) <-
         {
           p_query = r.Traffic.r_query;

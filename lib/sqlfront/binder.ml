@@ -177,4 +177,12 @@ let bind db ~name (select : Ast.select) =
   in
   { graph; projections }
 
-let bind_sql db ~name sql = bind db ~name (Parser.parse sql)
+(* The parse span nests inside the pipeline's "bind" span (parsing is
+   part of the bind phase); trace coverage sums count "bind" only. *)
+let ph_parse = Obs.Trace.intern "parse"
+
+let bind_sql db ~name sql =
+  let t0 = Obs.Trace.start () in
+  let ast = Parser.parse sql in
+  Obs.Trace.span ph_parse ~t0 ~a:0 ~b:0;
+  bind db ~name ast

@@ -46,13 +46,4 @@ let entries : Domlint.Suppress.entry list =
       symbol = "part_types";
       reason = "constant TPC-H vocabulary, never written";
     };
-    {
-      rule = "R6";
-      file = "lib/exec/join_table.ml";
-      symbol = "*";
-      reason =
-        "load-factor telemetry (lf_tables/lf_entries/lf_buckets in seal): \
-         monotone counters read only by load_stats, not work distribution \
-         — no domain ever branches on them";
-    };
   ]

@@ -291,6 +291,74 @@ let test_r7_confined () =
   close_out oc;
   check_ok "serving state inside lib/serve/ is exempt" (Domlint.scan [ path ])
 
+(* --- R8: observability state confined to lib/obs ----------------------- *)
+
+let r8 = "domlint/R8-observability-state"
+
+let test_r8 () =
+  check_flagged "toplevel span counter flagged" r8
+    (scan
+       [
+         ( "dlt_r8_bad.ml",
+           [
+             "let span_count = Atomic.make 0";
+             "let bump () = Atomic.incr span_count";
+           ] );
+       ]);
+  check_flagged "mutable trace record field flagged" r8
+    (scan
+       [
+         ( "dlt_r8_rec.ml",
+           [
+             "type sink = { mutable trace_bytes : int }";
+             "(* domlint: safe R1 — fixture: exercising R8's own check *)";
+             "let sink = { trace_bytes = 0 }";
+           ] );
+       ]);
+  check_ok "pure bindings and per-call state clean"
+    (scan
+       [
+         ( "dlt_r8_ok.ml",
+           [
+             "let trace_label = \"trace\"";
+             "let make_span_buf () = Atomic.make 0";
+           ] );
+       ]);
+  check_ok "cells registered through the Obs API sanctioned"
+    (scan
+       [
+         ( "dlt_r8_api.ml",
+           [ "let span_total = Obs.Metrics.counter \"exec.span_total\"" ] );
+       ]);
+  let r =
+    scan
+      [
+        ( "dlt_r8_sup.ml",
+          [
+            "(* domlint: safe R8 — fixture: single-domain bench helper *)";
+            "let metric_cell = Atomic.make 0";
+          ] );
+      ]
+  in
+  check_ok "annotated observability state suppressed" r;
+  Alcotest.(check int) "suppression counted" 1
+    (suppressed_of "R8-observability-state" r)
+
+let test_r8_confined () =
+  (* The same binding test_r8 flags must pass untouched when the file
+     lives under lib/obs/ — the owning layer. *)
+  let lib = Filename.concat fixture_dir "lib" in
+  let dir = Filename.concat lib "obs" in
+  List.iter
+    (fun d -> if not (Sys.file_exists d) then Sys.mkdir d 0o755)
+    [ fixture_dir; lib; dir ];
+  let path = Filename.concat dir "dlt_r8_conf.ml" in
+  let oc = open_out path in
+  output_string oc "let span_count = Atomic.make 0\n";
+  close_out oc;
+  check_ok "observability state inside lib/obs/ is exempt"
+    (Domlint.scan [ path ])
+
 (* --- annotation hygiene ---------------------------------------------- *)
 
 let test_annotation_hygiene () =
@@ -386,6 +454,8 @@ let suite =
     Alcotest.test_case "R7 serving state" `Quick test_r7;
     Alcotest.test_case "R7 allowlist" `Quick test_r7_allowlist;
     Alcotest.test_case "R7 lib/serve exempt" `Quick test_r7_confined;
+    Alcotest.test_case "R8 observability state" `Quick test_r8;
+    Alcotest.test_case "R8 lib/obs exempt" `Quick test_r8_confined;
     Alcotest.test_case "annotation hygiene" `Quick test_annotation_hygiene;
     Alcotest.test_case "R4 rejects lock cycle" `Quick test_r4_cycle;
     Alcotest.test_case "R4 accepts acyclic nesting" `Quick test_r4_acyclic;

@@ -13,6 +13,7 @@ let () =
       ("planner", Test_planner.suite);
       ("verify", Test_verify.suite);
       ("domlint", Test_domlint.suite);
+      ("obs", Test_obs.suite);
       ("registry", Test_registry.suite);
       ("parallel", Test_parallel.suite);
       ("exec", Test_exec.suite);
